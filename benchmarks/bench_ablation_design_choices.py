@@ -1,0 +1,90 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the impact of swappable pieces of
+the implementation: the covariance function, the simultaneous-band
+calibration method, and the Algorithm 3 sweep versus the naive quadratic
+error-bound computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.confidence_bands import band_z_value
+from repro.core.error_bounds import (
+    build_envelope_outputs,
+    gp_discrepancy_bound,
+    gp_discrepancy_bound_naive,
+)
+from repro.gp.kernels import Matern32, Matern52, SquaredExponential
+from repro.gp.regression import GaussianProcess
+from repro.gp.training import fit_hyperparameters
+from repro.index.bounding_box import BoundingBox
+from repro.udf.synthetic import reference_function
+
+
+def _fit_errors(kernel_factory, n_training=120, n_test=300, seed=0):
+    udf = reference_function("F4").with_simulated_eval_time(0.0)
+    rng = np.random.default_rng(seed)
+    low, high = udf.domain
+    X = rng.uniform(low, high, size=(n_training, 2))
+    y = udf.evaluate_batch(X)
+    gp = GaussianProcess(kernel=kernel_factory())
+    gp.fit(X, y)
+    fit_hyperparameters(gp)
+    X_test = rng.uniform(low, high, size=(n_test, 2))
+    truth = udf.evaluate_batch(X_test)
+    predictions = gp.predict_mean(X_test)
+    return float(np.mean(np.abs(predictions - truth) / np.maximum(np.abs(truth), 1e-9)))
+
+
+def test_ablation_kernel_choice(once):
+    """All three kernels fit the bumpy F4 reasonably; report their errors."""
+
+    def run():
+        return {
+            "squared_exponential": _fit_errors(SquaredExponential),
+            "matern52": _fit_errors(Matern52),
+            "matern32": _fit_errors(Matern32),
+        }
+
+    errors = once(run)
+    print()
+    for name, value in errors.items():
+        print(f"  kernel={name:<22} relative_error={value:.4f}")
+    assert all(value < 0.5 for value in errors.values())
+
+
+def test_ablation_band_method(once):
+    """Euler-characteristic bands are tighter than Bonferroni, wider than point-wise."""
+
+    def run():
+        kernel = SquaredExponential(signal_std=1.0, lengthscale=0.8)
+        box = BoundingBox(np.zeros(2), np.full(2, 3.0))
+        return {
+            "pointwise": band_z_value(kernel, box, alpha=0.05, method="pointwise").z_value,
+            "euler": band_z_value(kernel, box, alpha=0.05, method="euler").z_value,
+            "bonferroni": band_z_value(
+                kernel, box, alpha=0.05, method="bonferroni", n_points=2000
+            ).z_value,
+        }
+
+    z_values = once(run)
+    print()
+    for name, value in z_values.items():
+        print(f"  band={name:<12} z={value:.3f}")
+    assert z_values["pointwise"] <= z_values["euler"] <= z_values["bonferroni"] + 0.5
+
+
+def test_ablation_bound_algorithm_efficient_vs_naive(benchmark):
+    """Algorithm 3 (O(m log m)) versus the naive O(m^2) enumeration."""
+    rng = np.random.default_rng(3)
+    m = 400
+    means = rng.normal(size=m)
+    stds = np.abs(rng.normal(scale=0.3, size=m))
+    envelope = build_envelope_outputs(means, stds, 2.0)
+    lam = 0.1
+
+    fast = benchmark(lambda: gp_discrepancy_bound(envelope, lam))
+    slow = gp_discrepancy_bound_naive(envelope, lam)
+    assert abs(fast - slow) < 1e-9

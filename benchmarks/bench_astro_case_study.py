@@ -1,0 +1,78 @@
+"""Section 6.4: the astrophysics case-study table and Figure 6.
+
+Covers three artifacts:
+* the table of UDF name / dimensionality / evaluation time,
+* Fig. 6(a), the non-Gaussian output density of AngDist, and
+* Fig. 6(b-d), GP versus MC runtime per UDF as ε varies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import astro_case_study_table, astro_gp_vs_mc, astro_output_density
+
+
+def test_astro_case_study_table(once):
+    table = once(lambda: astro_case_study_table(n_probes=30, random_state=0))
+    print()
+    print(table.to_text())
+
+    by_name = {row["function"]: row for row in table.rows}
+    # Dimensions match the paper's table.
+    assert by_name["GalAge"]["dimension"] == 1
+    assert by_name["AngDist"]["dimension"] == 2
+    assert by_name["ComoveVol"]["dimension"] == 2
+    # Evaluation-time ordering: AngDist (trigonometry) is by far the fastest;
+    # the integrating UDFs are orders of magnitude slower.
+    assert by_name["AngDist"]["eval_time_ms"] < by_name["GalAge"]["eval_time_ms"]
+    assert by_name["AngDist"]["eval_time_ms"] < by_name["ComoveVol"]["eval_time_ms"]
+
+
+def test_astro_output_density(once):
+    table = once(lambda: astro_output_density(n_samples=3000, bins=30, random_state=1))
+    print()
+    print(table.to_text())
+    densities = np.array(table.column("pdf"))
+    centers = np.array(table.column("y"))
+    # The density is a proper non-negative histogram over a positive support
+    # (angular separations cannot be negative) and is clearly skewed.
+    assert np.all(densities >= 0)
+    assert centers.min() >= 0
+    peak = centers[np.argmax(densities)]
+    mean = np.average(centers, weights=densities)
+    assert mean != peak  # not symmetric around its mode
+
+
+def test_astro_gp_vs_mc(once):
+    table = once(
+        lambda: astro_gp_vs_mc(
+            epsilons=(0.1, 0.2),
+            udf_names=("GalAge", "ComoveVol"),
+            n_tuples=4,
+            random_state=2,
+        )
+    )
+    print()
+    print(table.to_text())
+
+    # Shape check (Fig. 6c, 6d): for the expensive integrating UDFs the GP
+    # approach wins at the tighter accuracy requirement (where MC needs many
+    # samples); at loose requirements on the faster GalAge the two approaches
+    # are comparable, exactly as in the paper's figure.
+    for udf_name in ("GalAge", "ComoveVol"):
+        rows = table.filtered(function=udf_name, epsilon=0.1)
+        gp_time = rows.filtered(approach="gp").column("mean_time_ms")[0]
+        mc_time = rows.filtered(approach="mc").column("mean_time_ms")[0]
+        assert gp_time < mc_time
+    comove_loose = table.filtered(function="ComoveVol", epsilon=0.2)
+    assert (
+        comove_loose.filtered(approach="gp").column("mean_time_ms")[0]
+        < comove_loose.filtered(approach="mc").column("mean_time_ms")[0]
+    )
+
+    # The GP model for these smooth UDFs needs only a modest number of
+    # training points (the paper reports ~10 for GalAge, <40 for ComoveVol).
+    for udf_name in ("GalAge", "ComoveVol"):
+        final_points = table.filtered(function=udf_name, approach="gp").column("n_training")
+        assert max(final_points) <= 120

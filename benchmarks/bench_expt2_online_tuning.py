@@ -1,0 +1,54 @@
+"""Figure 5(e): training points added over time by each tuning heuristic."""
+
+from __future__ import annotations
+
+from repro.bench import expt2_online_tuning
+
+
+def test_expt2_online_tuning(once):
+    table = once(
+        lambda: expt2_online_tuning(
+            strategies=("random", "largest_variance"),
+            n_tuples=15,
+            initial_points=20,
+            n_samples=300,
+            max_points_per_tuple=8,
+            epsilon=0.12,
+            random_state=4,
+        )
+    )
+    print()
+    print(table.to_text())
+
+    def final_count(strategy: str) -> int:
+        rows = table.filtered(strategy=strategy).rows
+        return rows[-1]["cumulative_points_added"]
+
+    # Shape check (Fig. 5e): the largest-variance heuristic needs no more
+    # points than random selection to satisfy the same error bound.
+    assert final_count("largest_variance") <= final_count("random")
+
+    # Cumulative counts are non-decreasing by construction.
+    for strategy in ("random", "largest_variance"):
+        counts = table.filtered(strategy=strategy).column("cumulative_points_added")
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+
+def test_expt2_optimal_greedy_tracks_largest_variance(once):
+    table = once(
+        lambda: expt2_online_tuning(
+            strategies=("largest_variance", "optimal_greedy"),
+            n_tuples=6,
+            initial_points=20,
+            n_samples=200,
+            max_points_per_tuple=5,
+            epsilon=0.12,
+            random_state=5,
+        )
+    )
+    print()
+    print(table.to_text())
+    largest = table.filtered(strategy="largest_variance").rows[-1]["cumulative_points_added"]
+    greedy = table.filtered(strategy="optimal_greedy").rows[-1]["cumulative_points_added"]
+    # The cheap heuristic should stay within a small factor of optimal greedy.
+    assert largest <= max(2 * greedy, greedy + 10)

@@ -1,0 +1,45 @@
+"""Figure 5(f, g): retraining strategies — accuracy and runtime."""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench import expt3_retraining
+
+
+def test_expt3_retraining(once):
+    table = once(
+        lambda: expt3_retraining(
+            thresholds=(0.05, 1.0),
+            n_tuples=8,
+            n_samples=400,
+            epsilon=0.12,
+            n_truth_samples=5000,
+            random_state=5,
+        )
+    )
+    print()
+    print(table.to_text())
+
+    def row_for(policy, threshold=None):
+        for row in table.rows:
+            if row["policy"] == policy and (
+                threshold is None or math.isclose(row["threshold"], threshold)
+            ):
+                return row
+        raise AssertionError(f"missing row for {policy} {threshold}")
+
+    eager = row_for("eager")
+    never = row_for("never")
+    moderate = row_for("threshold", 0.05)
+
+    # Shape check 1 (Fig. 5g): eager retraining retrains at least as often as
+    # the threshold heuristic, which retrains at least as often as never.
+    assert eager["n_retrains"] >= moderate["n_retrains"] >= never["n_retrains"]
+
+    # Shape check 2 (Fig. 5f): the moderate threshold's accuracy is close to
+    # eager retraining (within the accuracy requirement's slack).
+    assert moderate["mean_actual_error"] <= eager["mean_actual_error"] + 0.1
+
+    # Shape check 3: never retraining performs no retrains at all.
+    assert never["n_retrains"] == 0

@@ -1,0 +1,37 @@
+"""Figure 5(h): OLGAPRO runtime versus the accuracy requirement ε."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import expt4_accuracy_requirement
+
+
+def test_expt4_accuracy_requirement(once):
+    table = once(
+        lambda: expt4_accuracy_requirement(
+            epsilons=(0.1, 0.2),
+            function_names=("F1", "F4"),
+            n_tuples=5,
+            eval_time=1e-3,
+            random_state=6,
+        )
+    )
+    print()
+    print(table.to_text())
+
+    # Shape check 1: a tighter epsilon costs more time for every function.
+    for name in ("F1", "F4"):
+        rows = table.filtered(function=name)
+        tight = rows.filtered(epsilon=0.1).column("mean_time_ms")[0]
+        loose = rows.filtered(epsilon=0.2).column("mean_time_ms")[0]
+        assert tight >= loose * 0.8  # allow noise, but the trend must not invert badly
+
+    # Shape check 2: the bumpy F4 is more expensive than the flat F1 and ends
+    # with more training points.
+    f1_points = np.mean(table.filtered(function="F1").column("n_training_final"))
+    f4_points = np.mean(table.filtered(function="F4").column("n_training_final"))
+    assert f4_points >= f1_points
+    f1_time = np.mean(table.filtered(function="F1").column("mean_time_ms"))
+    f4_time = np.mean(table.filtered(function="F4").column("mean_time_ms"))
+    assert f4_time >= f1_time * 0.8

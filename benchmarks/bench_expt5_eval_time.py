@@ -1,0 +1,42 @@
+"""Figure 5(i): GP versus MC runtime as the UDF evaluation time grows."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import expt5_eval_time
+
+
+def test_expt5_eval_time(once):
+    table = once(
+        lambda: expt5_eval_time(
+            eval_times=(1e-5, 1e-3, 1e-1),
+            function_names=("F1", "F4"),
+            n_tuples=4,
+            epsilon=0.12,
+            random_state=7,
+        )
+    )
+    print()
+    print(table.to_text())
+
+    mc = table.filtered(approach="mc")
+    mc_times = np.array(mc.column("mean_time_ms"))
+    # Shape check 1: MC runtime grows roughly linearly with evaluation time.
+    assert mc_times[-1] > 100 * mc_times[0] * 0.1
+    assert np.all(np.diff(mc_times) > 0)
+
+    # Shape check 2: GP runtime is nearly insensitive to evaluation time —
+    # the slowest setting is within a modest factor of the fastest.
+    for name in ("F1", "F4"):
+        gp_times = np.array(table.filtered(approach="gp", function=name).column("mean_time_ms"))
+        assert gp_times.max() < gp_times.min() * 50
+
+    # Shape check 3 (the headline crossover): for slow UDFs (0.1 s per call)
+    # the GP approach beats MC by a wide margin.
+    slow_mc = mc.filtered(eval_time_ms=100.0).column("mean_time_ms")[0]
+    for name in ("F1", "F4"):
+        slow_gp = table.filtered(approach="gp", function=name, eval_time_ms=100.0).column(
+            "mean_time_ms"
+        )[0]
+        assert slow_gp < slow_mc / 5

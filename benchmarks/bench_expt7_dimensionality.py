@@ -1,0 +1,44 @@
+"""Figure 5(l): GP versus MC runtime as the UDF dimensionality grows."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import expt7_dimensionality
+
+
+def test_expt7_dimensionality(once):
+    table = once(
+        lambda: expt7_dimensionality(
+            dimensions=(1, 2, 4),
+            mc_eval_times=(1e-3, 1.0),
+            gp_eval_time=1.0,
+            n_tuples=3,
+            epsilon=0.12,
+            random_state=9,
+        )
+    )
+    print()
+    print(table.to_text())
+
+    gp = table.filtered(approach="gp")
+    gp_times = np.array(gp.column("mean_time_ms"))
+
+    # Shape check 1: GP cost grows with dimensionality (more training points
+    # are needed to cover a larger region).
+    assert gp_times[-1] >= gp_times[0] * 0.8
+
+    # Shape check 2: for a 1-second UDF, the GP approach beats MC at every
+    # dimensionality tested.
+    for dimension in (1, 2, 4):
+        gp_time = gp.filtered(dimension=dimension).column("mean_time_ms")[0]
+        mc_time = table.filtered(approach="mc", dimension=dimension, eval_time_ms=1000.0).column(
+            "mean_time_ms"
+        )[0]
+        assert gp_time < mc_time
+
+    # Shape check 3: for a fast (1 ms) UDF at higher dimensionality, MC is the
+    # competitive choice (the motivation for the hybrid rule).
+    mc_fast = table.filtered(approach="mc", dimension=4, eval_time_ms=1.0).column("mean_time_ms")[0]
+    gp_d4 = gp.filtered(dimension=4).column("mean_time_ms")[0]
+    assert mc_fast < gp_d4 * 10

@@ -1,0 +1,32 @@
+"""Figure 5(a): GP function-fitting error versus the number of training points."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import profile1_function_fitting
+
+
+def test_profile1_function_fitting(once):
+    table = once(
+        lambda: profile1_function_fitting(
+            n_training_values=(30, 60, 120),
+            function_names=("F1", "F4"),
+            n_test_points=250,
+            random_state=0,
+        )
+    )
+    print()
+    print(table.to_text())
+
+    # Shape check 1: for every function the error shrinks as n grows.
+    for name in ("F1", "F4"):
+        errors = table.filtered(function=name).column("relative_error")
+        assert errors[-1] < errors[0]
+
+    # Shape check 2: the bumpy F4 needs more points — at every n its error
+    # exceeds the smooth F1's error.
+    f1 = np.array(table.filtered(function="F1").column("relative_error"))
+    f4 = np.array(table.filtered(function="F4").column("relative_error"))
+    assert np.all(f4 >= f1 * 0.5)
+    assert f4.mean() > f1.mean()

@@ -1,0 +1,33 @@
+"""Figure 5(b): λ-discrepancy error bound versus the actual error."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import profile2_error_bound
+
+
+def test_profile2_error_bound(once):
+    table = once(
+        lambda: profile2_error_bound(
+            lambda_fractions=(0.005, 0.02, 0.05, 0.1),
+            n_training=120,
+            n_tuples=5,
+            n_samples=800,
+            n_truth_samples=12000,
+            random_state=1,
+        )
+    )
+    print()
+    print(table.to_text())
+
+    bounds = np.array(table.column("error_bound"))
+    actuals = np.array(table.column("actual_error"))
+
+    # Shape check 1: the bound is a genuine upper bound on the realised error.
+    assert np.all(bounds >= actuals - 0.02)
+
+    # Shape check 2: both the bound and the error grow as lambda shrinks
+    # (more intervals are considered in the supremum).
+    assert bounds[0] >= bounds[-1] - 1e-9
+    assert actuals[0] >= actuals[-1] - 0.02

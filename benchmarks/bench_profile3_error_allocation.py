@@ -1,0 +1,36 @@
+"""Section 6.2 Profile 3: splitting the error budget between MC and GP."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import profile3_error_allocation
+
+
+def test_profile3_error_allocation(once):
+    table = once(
+        lambda: profile3_error_allocation(
+            mc_fractions=(0.5, 0.7, 0.9),
+            n_tuples=4,
+            epsilon=0.15,
+            max_points_per_tuple=25,
+            n_truth_samples=6000,
+            random_state=2,
+        )
+    )
+    print()
+    print(table.to_text())
+
+    # Shape check 1: a larger MC share tolerates more sampling error, so it
+    # needs fewer samples per tuple (the work shifts towards GP accuracy).
+    samples = table.column("mc_samples_per_tuple")
+    assert samples[0] > samples[-1]
+
+    # Shape check 2 (why the paper picks ~0.7): runtime falls as the MC share
+    # grows, but an extreme MC share squeezes the GP budget so hard that the
+    # model stops converging and accuracy collapses.  The middle allocation
+    # must therefore be at least as accurate as the most extreme one.
+    times = table.column("mean_time_ms")
+    assert times[0] > times[-1]
+    errors = np.array(table.column("mean_actual_error"))
+    assert errors[1] <= errors[-1] + 1e-9

@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark wraps one experiment function from :mod:`repro.bench` with
+scaled-down parameters (so ``pytest benchmarks/ --benchmark-only`` completes
+in minutes) and asserts the qualitative *shape* of the paper's result rather
+than absolute numbers.  Full-scale runs are obtained by calling the same
+experiment functions with their default parameters; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return its result.
+
+    The experiments are full end-to-end algorithm executions (seconds each),
+    so repeating them for statistical timing the way micro-benchmarks do
+    would make the suite needlessly slow.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(func):
+        return run_once(benchmark, func)
+
+    return runner

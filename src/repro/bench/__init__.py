@@ -1,0 +1,48 @@
+"""Benchmark harness and experiment implementations (substrate S15).
+
+One function per paper table / figure; each returns an
+:class:`~repro.bench.harness.ExperimentTable`.  The pytest-benchmark modules
+under ``benchmarks/`` are thin wrappers over these functions.
+"""
+
+from repro.bench.experiments_astro import (
+    astro_case_study_table,
+    astro_gp_vs_mc,
+    astro_output_density,
+)
+from repro.bench.experiments_profiles import (
+    all_profiles,
+    profile1_function_fitting,
+    profile2_error_bound,
+    profile3_error_allocation,
+)
+from repro.bench.experiments_synthetic import (
+    expt1_local_inference,
+    expt2_online_tuning,
+    expt3_retraining,
+    expt4_accuracy_requirement,
+    expt5_eval_time,
+    expt6_filtering,
+    expt7_dimensionality,
+)
+from repro.bench.harness import ExperimentTable, print_tables, summarize
+
+__all__ = [
+    "ExperimentTable",
+    "print_tables",
+    "summarize",
+    "profile1_function_fitting",
+    "profile2_error_bound",
+    "profile3_error_allocation",
+    "all_profiles",
+    "expt1_local_inference",
+    "expt2_online_tuning",
+    "expt3_retraining",
+    "expt4_accuracy_requirement",
+    "expt5_eval_time",
+    "expt6_filtering",
+    "expt7_dimensionality",
+    "astro_case_study_table",
+    "astro_output_density",
+    "astro_gp_vs_mc",
+]

@@ -1,0 +1,129 @@
+"""Astrophysics case-study experiments of Section 6.4.
+
+Reproduces the case-study table (UDF name / dimensionality / evaluation
+time), the example AngDist output density of Fig. 6(a), and the GP-vs-MC
+runtime comparison of Fig. 6(b–d) on SDSS-like uncertain inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bench.harness import ExperimentTable
+from repro.core.accuracy import AccuracyRequirement
+from repro.core.mc_baseline import monte_carlo_output
+from repro.core.olgapro import OLGAPRO
+from repro.distributions.base import Distribution
+from repro.distributions.multivariate import IndependentJoint
+from repro.engine.sdss import generate_galaxy_relation
+from repro.rng import as_generator
+from repro.udf.astro import angdist_udf, case_study_udfs, comove_vol_udf, galage_udf
+from repro.udf.base import UDF
+
+
+def astro_case_study_table(n_probes: int = 50, random_state=0) -> ExperimentTable:
+    """The §6.4 table: name, dimensionality and measured evaluation time."""
+    table = ExperimentTable(
+        experiment_id="astro_case_study_table",
+        paper_artifact="Section 6.4 table (FunctName / Dim / EvalTime)",
+        description="Measured per-call evaluation time of the astrophysics UDFs",
+    )
+    for name, udf in case_study_udfs().items():
+        eval_time = udf.measure_eval_time(n_probes=n_probes, random_state=random_state)
+        table.add_row(
+            function=name,
+            dimension=int(udf.dimension),
+            eval_time_ms=float(eval_time * 1000.0),
+        )
+    return table
+
+
+def _astro_inputs(udf_name: str, n_tuples: int, random_state) -> list[Distribution]:
+    """Per-tuple input distributions for one astro UDF from the SDSS relation."""
+    rng = as_generator(random_state)
+    relation = generate_galaxy_relation(max(2 * n_tuples, 8), random_state=rng)
+    rows = relation.tuples
+    inputs: list[Distribution] = []
+    if udf_name == "GalAge":
+        for row in rows[:n_tuples]:
+            inputs.append(row["redshift"])
+    elif udf_name == "AngDist":
+        for row in rows[:n_tuples]:
+            inputs.append(IndependentJoint([row["ra_offset"], row["dec_offset"]]))
+    elif udf_name == "ComoveVol":
+        for left, right in zip(rows[:n_tuples], rows[n_tuples : 2 * n_tuples]):
+            inputs.append(IndependentJoint([left["redshift"], right["redshift"]]))
+    else:
+        raise ValueError(f"unknown astro UDF {udf_name!r}")
+    return inputs
+
+
+def astro_output_density(
+    n_samples: int = 4000, bins: int = 40, random_state=1
+) -> ExperimentTable:
+    """Fig. 6(a): example (non-Gaussian) output density of AngDist."""
+    rng = as_generator(random_state)
+    udf = angdist_udf()
+    inputs = _astro_inputs("AngDist", 1, rng)[0]
+    result = monte_carlo_output(udf, inputs, n_samples=n_samples, random_state=rng)
+    densities, edges = result.distribution.histogram(bins=bins)
+    table = ExperimentTable(
+        experiment_id="astro_output_density",
+        paper_artifact="Figure 6(a)",
+        description="Histogram density of the AngDist output for one uncertain galaxy",
+    )
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    for center, density in zip(centers, densities):
+        table.add_row(y=float(center), pdf=float(density))
+    return table
+
+
+def astro_gp_vs_mc(
+    epsilons: Sequence[float] = (0.05, 0.1, 0.2),
+    udf_names: Sequence[str] = ("AngDist", "GalAge", "ComoveVol"),
+    n_tuples: int = 6,
+    random_state=2,
+) -> ExperimentTable:
+    """Fig. 6(b–d): GP versus MC runtime for the real astrophysics UDFs."""
+    table = ExperimentTable(
+        experiment_id="astro_gp_vs_mc",
+        paper_artifact="Figure 6(b), 6(c) and 6(d)",
+        description="Per-tuple charged time of OLGAPRO and MC on SDSS-like inputs",
+    )
+    factories = {"AngDist": angdist_udf, "GalAge": galage_udf, "ComoveVol": comove_vol_udf}
+    for udf_name in udf_names:
+        inputs = _astro_inputs(udf_name, n_tuples, random_state)
+        for epsilon in epsilons:
+            requirement = AccuracyRequirement(epsilon=epsilon, delta=0.05)
+            # MC baseline.
+            rng = as_generator(random_state)
+            udf_mc: UDF = factories[udf_name]()
+            mc_times = []
+            for dist in inputs:
+                result = monte_carlo_output(udf_mc, dist, requirement=requirement, random_state=rng)
+                mc_times.append(result.charged_time)
+            table.add_row(
+                function=udf_name,
+                approach="mc",
+                epsilon=float(epsilon),
+                mean_time_ms=float(np.mean(mc_times) * 1000.0),
+                n_training=0,
+            )
+            # GP approach.
+            rng = as_generator(random_state)
+            udf_gp: UDF = factories[udf_name]()
+            processor = OLGAPRO(udf_gp, requirement, random_state=rng)
+            gp_times = []
+            for dist in inputs:
+                result = processor.process(dist)
+                gp_times.append(result.charged_time)
+            table.add_row(
+                function=udf_name,
+                approach="gp",
+                epsilon=float(epsilon),
+                mean_time_ms=float(np.mean(gp_times) * 1000.0),
+                n_training=int(processor.n_training),
+            )
+    return table

@@ -1,0 +1,107 @@
+"""Experiment harness: result tables and text reporting.
+
+Every experiment function in :mod:`repro.bench` returns an
+:class:`ExperimentTable` — a list of homogeneous row dictionaries plus a
+title — so that the pytest-benchmark wrappers, the EXPERIMENTS.md generator
+and ad-hoc scripts all share one representation and one formatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.exceptions import ReproError
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table of experiment results."""
+
+    #: Experiment identifier, e.g. ``"expt5_eval_time"``.
+    experiment_id: str
+    #: Paper artifact this table reproduces, e.g. ``"Figure 5(i)"``.
+    paper_artifact: str
+    #: Human-readable description of what is being measured.
+    description: str
+    #: Homogeneous result rows.
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one result row."""
+        if self.rows and set(values) != set(self.rows[0]):
+            raise ReproError(
+                f"row keys {sorted(values)} do not match existing columns "
+                f"{sorted(self.rows[0])}"
+            )
+        self.rows.append(values)
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names, in first-row order."""
+        return list(self.rows[0]) if self.rows else []
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        if name not in self.columns:
+            raise ReproError(f"unknown column {name!r}; available: {self.columns}")
+        return [row[name] for row in self.rows]
+
+    def filtered(self, **criteria: Any) -> "ExperimentTable":
+        """Rows matching all the given column=value criteria."""
+        subset = [
+            row for row in self.rows if all(row.get(k) == v for k, v in criteria.items())
+        ]
+        return ExperimentTable(
+            experiment_id=self.experiment_id,
+            paper_artifact=self.paper_artifact,
+            description=self.description,
+            rows=subset,
+        )
+
+    def to_text(self, float_format: str = "{:.4g}") -> str:
+        """Render the table as aligned monospace text."""
+        lines = [f"== {self.experiment_id} — {self.paper_artifact} ==", self.description]
+        if not self.rows:
+            lines.append("(no rows)")
+            return "\n".join(lines)
+        columns = self.columns
+        formatted_rows = []
+        for row in self.rows:
+            formatted_rows.append(
+                [
+                    float_format.format(v) if isinstance(v, float) else str(v)
+                    for v in (row[c] for c in columns)
+                ]
+            )
+        widths = [
+            max(len(column), *(len(r[i]) for r in formatted_rows))
+            for i, column in enumerate(columns)
+        ]
+        header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+        separator = "  ".join("-" * w for w in widths)
+        lines.extend([header, separator])
+        for formatted in formatted_rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(formatted, widths)))
+        return "\n".join(lines)
+
+
+def print_tables(tables: Iterable[ExperimentTable]) -> None:
+    """Print a sequence of experiment tables, separated by blank lines."""
+    for table in tables:
+        print(table.to_text())
+        print()
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Mean / min / max summary of a metric series (used in several tables)."""
+    import numpy as np
+
+    if len(values) == 0:
+        raise ReproError("cannot summarise an empty series")
+    arr = np.asarray(values, dtype=float)
+    return {
+        "mean": float(np.mean(arr)),
+        "min": float(np.min(arr)),
+        "max": float(np.max(arr)),
+    }

@@ -1,0 +1,127 @@
+"""Command-line driver that regenerates every paper table and figure.
+
+Usage::
+
+    python -m repro.bench.run_all              # scaled-down (minutes)
+    python -m repro.bench.run_all --full       # full-scale (hours)
+    python -m repro.bench.run_all --only expt5_eval_time astro_gp_vs_mc
+    python -m repro.bench.run_all --output results.txt
+
+Each experiment prints an :class:`~repro.bench.harness.ExperimentTable`; the
+``--output`` option additionally writes the combined report to a file so it
+can be diffed against EXPERIMENTS.md after code changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.bench import (
+    astro_case_study_table,
+    astro_gp_vs_mc,
+    astro_output_density,
+    expt1_local_inference,
+    expt2_online_tuning,
+    expt3_retraining,
+    expt4_accuracy_requirement,
+    expt5_eval_time,
+    expt6_filtering,
+    expt7_dimensionality,
+    profile1_function_fitting,
+    profile2_error_bound,
+    profile3_error_allocation,
+)
+from repro.bench.harness import ExperimentTable
+
+#: Scaled-down parameter overrides, mirroring the pytest-benchmark wrappers.
+_SCALED_OVERRIDES: dict[str, dict] = {
+    "profile1_function_fitting": {"n_training_values": (30, 60, 120), "n_test_points": 250},
+    "profile2_error_bound": {"n_training": 120, "n_tuples": 5, "n_samples": 800,
+                             "n_truth_samples": 12000},
+    "profile3_error_allocation": {"mc_fractions": (0.5, 0.7, 0.9), "n_tuples": 4,
+                                  "epsilon": 0.15, "max_points_per_tuple": 25,
+                                  "n_truth_samples": 6000},
+    "expt1_local_inference": {"gamma_fractions": (0.005, 0.05, 0.2), "n_training": 300,
+                              "n_tuples": 4, "n_samples": 1500, "n_truth_samples": 6000},
+    "expt2_online_tuning": {"strategies": ("random", "largest_variance"), "n_tuples": 15,
+                            "initial_points": 20, "n_samples": 300, "max_points_per_tuple": 8,
+                            "epsilon": 0.12},
+    "expt3_retraining": {"thresholds": (0.05, 1.0), "n_tuples": 8, "n_samples": 400,
+                         "epsilon": 0.12, "n_truth_samples": 5000},
+    "expt4_accuracy_requirement": {"epsilons": (0.1, 0.2), "function_names": ("F1", "F4"),
+                                   "n_tuples": 5},
+    "expt5_eval_time": {"eval_times": (1e-5, 1e-3, 1e-1), "function_names": ("F1", "F4"),
+                        "n_tuples": 4, "epsilon": 0.12},
+    "expt6_filtering": {"target_filter_rates": (0.2, 0.8), "n_tuples": 12, "epsilon": 0.12,
+                        "n_truth_samples": 4000},
+    "expt7_dimensionality": {"dimensions": (1, 2, 4), "mc_eval_times": (1e-3, 1.0),
+                             "n_tuples": 3, "epsilon": 0.12},
+    "astro_case_study_table": {"n_probes": 30},
+    "astro_output_density": {"n_samples": 3000, "bins": 30},
+    "astro_gp_vs_mc": {"epsilons": (0.1, 0.2), "udf_names": ("GalAge", "ComoveVol"),
+                       "n_tuples": 4},
+}
+
+#: Every experiment, in presentation order.
+EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
+    "profile1_function_fitting": profile1_function_fitting,
+    "profile2_error_bound": profile2_error_bound,
+    "profile3_error_allocation": profile3_error_allocation,
+    "expt1_local_inference": expt1_local_inference,
+    "expt2_online_tuning": expt2_online_tuning,
+    "expt3_retraining": expt3_retraining,
+    "expt4_accuracy_requirement": expt4_accuracy_requirement,
+    "expt5_eval_time": expt5_eval_time,
+    "expt6_filtering": expt6_filtering,
+    "expt7_dimensionality": expt7_dimensionality,
+    "astro_case_study_table": astro_case_study_table,
+    "astro_output_density": astro_output_density,
+    "astro_gp_vs_mc": astro_gp_vs_mc,
+}
+
+
+def run(names: list[str], full_scale: bool) -> list[tuple[str, ExperimentTable, float]]:
+    """Run the selected experiments and return (name, table, seconds) triples."""
+    results = []
+    for name in names:
+        factory = EXPERIMENTS[name]
+        kwargs = {} if full_scale else _SCALED_OVERRIDES.get(name, {})
+        started = time.perf_counter()
+        table = factory(**kwargs)
+        elapsed = time.perf_counter() - started
+        results.append((name, table, elapsed))
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--full", action="store_true",
+                        help="run with the experiments' full-scale default parameters")
+    parser.add_argument("--only", nargs="+", metavar="NAME", choices=sorted(EXPERIMENTS),
+                        help="run only the named experiments")
+    parser.add_argument("--output", metavar="PATH",
+                        help="also write the combined report to this file")
+    args = parser.parse_args(argv)
+
+    names = args.only if args.only else list(EXPERIMENTS)
+    results = run(names, full_scale=args.full)
+
+    lines: list[str] = []
+    for name, table, elapsed in results:
+        lines.append(table.to_text())
+        lines.append(f"(ran {name} in {elapsed:.1f} s)")
+        lines.append("")
+    report = "\n".join(lines)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

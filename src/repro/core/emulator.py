@@ -1,0 +1,245 @@
+"""GP emulation of black-box UDFs and the offline Algorithm 2 (§3, §4.1).
+
+:class:`GPEmulator` owns the pieces shared by the offline and online
+algorithms: the wrapped UDF, the Gaussian process fitted to the UDF's
+input/output pairs, the R-tree over training inputs used by local inference,
+and hyperparameter training.  :func:`offline_gp_output` is the paper's
+Algorithm 2 — collect a fixed training set, learn the GP once, then compute
+output distributions for uncertain inputs by sampling the emulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_BAND_ALPHA
+from repro.core.confidence_bands import BandMethod, band_z_value
+from repro.core.error_bounds import EnvelopeOutputs, build_envelope_outputs
+from repro.distributions.base import Distribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.exceptions import GPError, UDFError
+from repro.gp.kernels import Kernel, SquaredExponential
+from repro.gp.regression import GaussianProcess
+from repro.gp.training import fit_hyperparameters, initial_hyperparameters
+from repro.index.bounding_box import BoundingBox
+from repro.index.rtree import RTree
+from repro.rng import RandomState, as_generator
+from repro.udf.base import UDF
+
+Design = Literal["random", "grid", "halton"]
+
+
+class GPEmulator:
+    """A Gaussian-process emulator of one black-box UDF.
+
+    The emulator owns the UDF's accumulated training data (input/output
+    pairs obtained by actually calling the UDF), the fitted GP, and a
+    spatial index over the training inputs for local inference.
+    """
+
+    def __init__(
+        self,
+        udf: UDF,
+        kernel: Optional[Kernel] = None,
+        noise_variance: float = 1e-8,
+    ):
+        self.udf = udf
+        self.gp = GaussianProcess(
+            kernel=kernel if kernel is not None else SquaredExponential(),
+            noise_variance=noise_variance,
+        )
+        self.index = RTree(dimension=udf.dimension)
+        self._trained_hyperparameters = False
+
+    # -- training data management ---------------------------------------------------
+    @property
+    def n_training(self) -> int:
+        """Number of UDF evaluations collected as training data."""
+        return self.gp.n_training
+
+    def add_training_point(self, x: np.ndarray) -> float:
+        """Evaluate the UDF at ``x`` and absorb the pair into the model."""
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        if x.shape != (self.udf.dimension,):
+            raise UDFError(
+                f"training point has shape {x.shape}, expected ({self.udf.dimension},)"
+            )
+        y = self.udf(x)
+        self.gp.add_point(x, y)
+        self.index.insert(x, self.gp.n_training - 1)
+        return y
+
+    def train_initial(
+        self,
+        n_points: int,
+        design: Design = "random",
+        domain: Optional[tuple[np.ndarray, np.ndarray]] = None,
+        random_state: RandomState = None,
+        optimize_hyperparameters: bool = True,
+    ) -> None:
+        """Collect an initial training design and learn hyperparameters.
+
+        ``domain`` defaults to the UDF's declared domain.  Designs:
+        ``"random"`` (uniform), ``"grid"`` (regular lattice, rounded up to a
+        full grid), or ``"halton"`` (low-discrepancy; better space filling
+        for the same budget).
+        """
+        if n_points <= 0:
+            raise GPError("n_points must be positive")
+        low, high = self._resolve_domain(domain)
+        points = _design_points(n_points, low, high, design, random_state)
+        values = self.udf.evaluate_batch(points)
+        self.gp.fit(points, values)
+        for row_index, row in enumerate(points):
+            self.index.insert(row, row_index)
+        if optimize_hyperparameters:
+            self.retrain()
+
+    def retrain(self) -> None:
+        """Maximum-likelihood refit of the kernel hyperparameters (§3.4)."""
+        if self.gp.n_training == 0:
+            raise GPError("cannot retrain an emulator with no training data")
+        self.gp.set_hyperparameters(
+            initial_hyperparameters(self.gp.X_train, self.gp.y_train)
+        )
+        fit_hyperparameters(self.gp)
+        self._trained_hyperparameters = True
+
+    # -- inference --------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Global GP inference: posterior mean and std at the rows of ``X``."""
+        return self.gp.predict(X, return_std=True)
+
+    def _resolve_domain(
+        self, domain: Optional[tuple[np.ndarray, np.ndarray]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if domain is not None:
+            return np.asarray(domain[0], dtype=float), np.asarray(domain[1], dtype=float)
+        if self.udf.domain is not None:
+            return self.udf.domain
+        raise GPError(
+            "no training domain available: pass one explicitly or declare it on the UDF"
+        )
+
+
+@dataclass(frozen=True)
+class GPOutputResult:
+    """Output of computing one uncertain tuple through a GP emulator."""
+
+    #: The distribution of ``Ŷ'`` returned to the user.
+    distribution: EmpiricalDistribution
+    #: The three empirical variables used for error bounding.
+    envelope: EnvelopeOutputs
+    #: Number of Monte-Carlo input samples used.
+    n_samples: int
+    #: Number of UDF calls charged while processing this tuple.
+    udf_calls: int
+    #: Wall-clock plus simulated UDF cost in seconds.
+    charged_time: float
+    #: Number of training points in the model after processing the tuple.
+    n_training: int
+
+
+def emulate_output(
+    emulator: GPEmulator,
+    input_distribution: Distribution,
+    n_samples: int,
+    band_alpha: float = DEFAULT_BAND_ALPHA,
+    band_method: BandMethod = "euler",
+    random_state: RandomState = None,
+) -> GPOutputResult:
+    """Propagate one uncertain input through a *trained* emulator.
+
+    This is the inference part of Algorithm 2: draw input samples, predict
+    with the GP, and build the empirical output variables plus envelope.
+    """
+    if n_samples <= 0:
+        raise GPError("n_samples must be positive")
+    rng = as_generator(random_state)
+    calls_before = emulator.udf.call_count
+    time_before = emulator.udf.charged_time
+
+    samples = input_distribution.sample(n_samples, random_state=rng)
+    means, stds = emulator.predict(samples)
+    band = band_z_value(
+        emulator.gp.kernel,
+        BoundingBox.from_points(samples),
+        alpha=band_alpha,
+        method=band_method,
+        n_points=n_samples,
+    )
+    envelope = build_envelope_outputs(means, stds, band.z_value)
+    return GPOutputResult(
+        distribution=envelope.y_hat,
+        envelope=envelope,
+        n_samples=n_samples,
+        udf_calls=emulator.udf.call_count - calls_before,
+        charged_time=emulator.udf.charged_time - time_before,
+        n_training=emulator.n_training,
+    )
+
+
+def offline_gp_output(
+    udf: UDF,
+    input_distribution: Distribution,
+    n_training: int,
+    n_samples: int,
+    kernel: Optional[Kernel] = None,
+    design: Design = "random",
+    band_alpha: float = DEFAULT_BAND_ALPHA,
+    band_method: BandMethod = "euler",
+    random_state: RandomState = None,
+) -> GPOutputResult:
+    """Algorithm 2 end-to-end: train offline on ``n_training`` points, then infer."""
+    from dataclasses import replace
+
+    rng = as_generator(random_state)
+    calls_before = udf.call_count
+    charged_before = udf.charged_time
+    emulator = GPEmulator(udf, kernel=kernel)
+    emulator.train_initial(n_training, design=design, random_state=rng)
+    result = emulate_output(
+        emulator,
+        input_distribution,
+        n_samples,
+        band_alpha=band_alpha,
+        band_method=band_method,
+        random_state=rng,
+    )
+    # Charge the offline training phase to this result as well, so the cost
+    # accounting covers the full Algorithm 2 run.
+    return replace(
+        result,
+        udf_calls=udf.call_count - calls_before,
+        charged_time=udf.charged_time - charged_before,
+    )
+
+
+def _design_points(
+    n_points: int,
+    low: np.ndarray,
+    high: np.ndarray,
+    design: Design,
+    random_state: RandomState,
+) -> np.ndarray:
+    """Generate an initial training design inside ``[low, high]``."""
+    d = low.size
+    if design == "random":
+        rng = as_generator(random_state)
+        return rng.uniform(low, high, size=(n_points, d))
+    if design == "grid":
+        per_dim = int(np.ceil(n_points ** (1.0 / d)))
+        axes = [np.linspace(low[i], high[i], per_dim) for i in range(d)]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        points = np.stack([m.ravel() for m in mesh], axis=1)
+        return points[:n_points] if points.shape[0] >= n_points else points
+    if design == "halton":
+        from scipy.stats import qmc
+
+        sampler = qmc.Halton(d=d, scramble=True, seed=as_generator(random_state))
+        unit = sampler.random(n_points)
+        return qmc.scale(unit, low, high)
+    raise GPError(f"unknown design {design!r}")

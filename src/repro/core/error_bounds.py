@@ -1,0 +1,229 @@
+"""Error bounds for GP-emulated output distributions (§4.2–4.3).
+
+Given the Monte-Carlo samples of the emulator's predictive mean and standard
+deviation at the input samples, and a simultaneous band multiplier ``z``,
+the three empirical output variables of the paper are
+
+* ``Ŷ'``  — outputs of the posterior-mean emulator (what is returned to the
+  user),
+* ``Y'_S`` — outputs of the lower envelope function ``f̂ - z σ``, and
+* ``Y'_L`` — outputs of the upper envelope function ``f̂ + z σ``.
+
+Because the envelope contains any posterior sample function ``f̃`` with high
+probability, the probability ``ρ̃`` that ``f̃(X)`` falls in an interval
+``[a, b]`` is bracketed by ``ρ_L ≤ ρ̃ ≤ ρ_U`` (Proposition 4.1) with
+
+``ρ_U = Pr[Y_S ≤ b] − Pr[Y_L ≤ a]`` and
+``ρ_L = max(0, Pr[Y_L ≤ b] − Pr[Y_S ≤ a])``.
+
+The GP-modelling contribution to the λ-discrepancy error is then
+
+``ε_GP = sup_{b−a ≥ λ} max(ρ'_U − ρ̂', ρ̂' − ρ'_L)``,
+
+computed here both by the paper's efficient sweep (Algorithm 3,
+O(m log m)) and by a quadratic reference used in tests.  The KS-metric bound
+follows Proposition 4.2, and :func:`combine_bounds` applies Theorem 4.1 to
+merge the GP and Monte-Carlo error contributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import ks_distance
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.exceptions import AccuracyError, GPError
+
+
+@dataclass(frozen=True)
+class EnvelopeOutputs:
+    """The three empirical output variables derived from one GP inference."""
+
+    #: Output of the posterior-mean emulator (returned to the user).
+    y_hat: EmpiricalDistribution
+    #: Output of the lower envelope function ``f̂ - z σ``.
+    y_lower: EmpiricalDistribution
+    #: Output of the upper envelope function ``f̂ + z σ``.
+    y_upper: EmpiricalDistribution
+    #: Simultaneous band multiplier used to build the envelope.
+    z_value: float
+
+    @property
+    def n_samples(self) -> int:
+        """Number of Monte-Carlo samples backing the empirical variables."""
+        return self.y_hat.size
+
+    def output_range(self) -> float:
+        """Width of the support of the mean-function output."""
+        lo, hi = self.y_hat.support
+        return hi - lo
+
+
+def build_envelope_outputs(means: np.ndarray, stds: np.ndarray, z_value: float) -> EnvelopeOutputs:
+    """Construct ``Ŷ'``, ``Y'_S`` and ``Y'_L`` from per-sample GP predictions."""
+    means = np.asarray(means, dtype=float).ravel()
+    stds = np.asarray(stds, dtype=float).ravel()
+    if means.shape != stds.shape:
+        raise GPError("means and stds must have the same shape")
+    if np.any(stds < 0):
+        raise GPError("standard deviations must be non-negative")
+    if z_value < 0:
+        raise GPError("z_value must be non-negative")
+    return EnvelopeOutputs(
+        y_hat=EmpiricalDistribution(means),
+        y_lower=EmpiricalDistribution(means - z_value * stds),
+        y_upper=EmpiricalDistribution(means + z_value * stds),
+        z_value=z_value,
+    )
+
+
+def interval_probability_bounds(
+    envelope: EnvelopeOutputs, a: float, b: float
+) -> tuple[float, float, float]:
+    """``(ρ'_L, ρ̂', ρ'_U)`` for a single interval ``[a, b]`` (Proposition 4.1)."""
+    if b < a:
+        raise AccuracyError(f"interval upper bound {b} is below lower bound {a}")
+    f_s = envelope.y_lower.cdf
+    f_l = envelope.y_upper.cdf
+    f_h = envelope.y_hat.cdf
+    rho_upper = float(f_s(np.asarray(b)) - f_l(np.asarray(a)))
+    rho_lower = max(0.0, float(f_l(np.asarray(b)) - f_s(np.asarray(a))))
+    rho_hat = float(f_h(np.asarray(b)) - f_h(np.asarray(a)))
+    return rho_lower, rho_hat, min(1.0, rho_upper)
+
+
+def _augmented_grid(envelope: EnvelopeOutputs, lam: float) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Union grid of the three sample sets plus virtual ±infinity points."""
+    grid = np.union1d(
+        np.union1d(envelope.y_hat.samples, envelope.y_lower.samples),
+        envelope.y_upper.samples,
+    )
+    pad = max(lam, 1.0) * 2.0 + 1.0
+    grid = np.concatenate([[grid[0] - pad], grid, [grid[-1] + pad]])
+    f_s = envelope.y_lower.cdf(grid)
+    f_h = envelope.y_hat.cdf(grid)
+    f_l = envelope.y_upper.cdf(grid)
+    return grid, f_s, f_h, f_l
+
+
+def gp_discrepancy_bound(envelope: EnvelopeOutputs, lam: float) -> float:
+    """Algorithm 3: the GP share ``ε_GP`` of the λ-discrepancy error bound.
+
+    Sweeps left endpoints ``a`` over the union grid; for each, the supremum
+    over right endpoints ``b ≥ a + λ`` decomposes into terms that only need
+    pre-computed suffix maxima of ``F_S − F̂`` and ``F̂ − F_L`` plus one
+    binary search, giving O(m log m) overall.
+    """
+    if lam < 0:
+        raise AccuracyError(f"lambda must be non-negative, got {lam}")
+    grid, f_s, f_h, f_l = _augmented_grid(envelope, lam)
+    n = grid.size
+    d_sh = f_s - f_h  # >= 0 up to MC noise
+    d_hl = f_h - f_l  # >= 0 up to MC noise
+
+    # Suffix maxima: sufmax[i] = max over j >= i.
+    sufmax_sh = np.maximum.accumulate(d_sh[::-1])[::-1]
+    sufmax_hl = np.maximum.accumulate(d_hl[::-1])[::-1]
+
+    best = 0.0
+    # Indices of the first feasible right endpoint for every left endpoint.
+    first_feasible = np.searchsorted(grid, grid + lam, side="left")
+    # For the rho_L > 0 region: first index where F_L(b) >= F_S(a).
+    crossing = np.searchsorted(f_l, f_s, side="left")
+    for ia in range(n):
+        ib_min = first_feasible[ia]
+        if ib_min >= n:
+            continue
+        # Term A: rho'_U - rho_hat' = d_hl(a) + max_{b} d_sh(b).
+        best = max(best, d_hl[ia] + sufmax_sh[ib_min])
+        # Term B, region where rho'_L > 0: d_sh(a) + max_{b} d_hl(b).
+        ib1 = max(ib_min, crossing[ia])
+        if ib1 < n:
+            best = max(best, d_sh[ia] + sufmax_hl[ib1])
+        # Term B, region where rho'_L = 0 (b below the crossing): the bound is
+        # rho_hat' itself, maximised at the largest feasible b in the region
+        # because the mean CDF is non-decreasing.
+        ib2 = min(crossing[ia], n) - 1
+        if ib2 >= ib_min:
+            best = max(best, f_h[ib2] - f_h[ia])
+    return float(min(1.0, best))
+
+
+def gp_discrepancy_bound_naive(envelope: EnvelopeOutputs, lam: float) -> float:
+    """Quadratic reference implementation of :func:`gp_discrepancy_bound`.
+
+    Enumerates every feasible interval on the augmented grid.  Used by tests
+    to validate the efficient sweep; O(m^2).
+    """
+    if lam < 0:
+        raise AccuracyError(f"lambda must be non-negative, got {lam}")
+    grid, f_s, f_h, f_l = _augmented_grid(envelope, lam)
+    n = grid.size
+    best = 0.0
+    for ia in range(n):
+        for ib in range(ia, n):
+            if grid[ib] - grid[ia] < lam:
+                continue
+            rho_upper = f_s[ib] - f_l[ia]
+            rho_lower = max(0.0, f_l[ib] - f_s[ia])
+            rho_hat = f_h[ib] - f_h[ia]
+            best = max(best, rho_upper - rho_hat, rho_hat - rho_lower)
+    return float(min(1.0, best))
+
+
+def gp_ks_bound(envelope: EnvelopeOutputs) -> float:
+    """KS-metric GP error bound (Proposition 4.2).
+
+    The KS distance between the mean-function output and any envelope-
+    constrained sample-function output is maximised when the sample function
+    sits on one of the envelope boundaries, so the bound is the larger of
+    the KS distances to ``Y'_S`` and ``Y'_L``.
+    """
+    return max(
+        ks_distance(envelope.y_hat, envelope.y_lower),
+        ks_distance(envelope.y_hat, envelope.y_upper),
+    )
+
+
+@dataclass(frozen=True)
+class CombinedErrorBound:
+    """Theorem 4.1: total error bound from the GP and MC contributions."""
+
+    epsilon_gp: float
+    epsilon_mc: float
+    delta_gp: float
+    delta_mc: float
+
+    @property
+    def epsilon_total(self) -> float:
+        """Total error bound ``ε_GP + ε_MC``."""
+        return self.epsilon_gp + self.epsilon_mc
+
+    @property
+    def confidence(self) -> float:
+        """Probability with which the total bound holds: ``(1-δ_GP)(1-δ_MC)``."""
+        return (1.0 - self.delta_gp) * (1.0 - self.delta_mc)
+
+    def satisfies(self, epsilon: float, delta: float) -> bool:
+        """Whether this bound meets a user requirement ``(ε, δ)``."""
+        return self.epsilon_total <= epsilon + 1e-12 and self.confidence >= (1.0 - delta) - 1e-12
+
+
+def combine_bounds(
+    epsilon_gp: float, epsilon_mc: float, delta_gp: float, delta_mc: float
+) -> CombinedErrorBound:
+    """Apply Theorem 4.1 to merge the two independent error sources."""
+    for name, value in (("epsilon_gp", epsilon_gp), ("epsilon_mc", epsilon_mc)):
+        if value < 0:
+            raise AccuracyError(f"{name} must be non-negative, got {value}")
+    for name, value in (("delta_gp", delta_gp), ("delta_mc", delta_mc)):
+        if not (0.0 <= value < 1.0):
+            raise AccuracyError(f"{name} must be in [0, 1), got {value}")
+    return CombinedErrorBound(
+        epsilon_gp=epsilon_gp,
+        epsilon_mc=epsilon_mc,
+        delta_gp=delta_gp,
+        delta_mc=delta_mc,
+    )

@@ -1,0 +1,145 @@
+"""Selection predicates on UDF outputs and online filtering (§2.2B, §5.5).
+
+A query such as Q2 keeps a tuple only if ``f(X) ∈ [a, b]`` with sufficient
+probability.  While sampling, the probability ``ρ = Pr[f(X) ∈ [a, b]]`` is
+estimated by the fraction of samples inside the interval; Hoeffding's
+inequality gives a confidence interval around that estimate (Remark 2.1).
+If the upper end of the interval is already below the user's threshold θ the
+tuple can be dropped early, saving the remaining evaluations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.config import DEFAULT_TEP_THRESHOLD
+from repro.exceptions import AccuracyError
+
+
+@dataclass(frozen=True)
+class SelectionPredicate:
+    """Predicate ``output ∈ [low, high]`` with a minimum-probability threshold.
+
+    A tuple whose existence probability (the probability that the predicate
+    holds) is below ``threshold`` is considered uninteresting and filtered
+    from the query result.
+    """
+
+    low: float
+    high: float
+    threshold: float = DEFAULT_TEP_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise AccuracyError(
+                f"predicate upper bound {self.high} is below lower bound {self.low}"
+            )
+        if not (0.0 <= self.threshold <= 1.0):
+            raise AccuracyError("threshold must be in [0, 1]")
+
+    def indicator(self, values: np.ndarray) -> np.ndarray:
+        """Bernoulli indicator ``1[low <= value <= high]`` per sample."""
+        values = np.asarray(values, dtype=float)
+        return ((values >= self.low) & (values <= self.high)).astype(float)
+
+    def selectivity(self, values: np.ndarray) -> float:
+        """Fraction of samples satisfying the predicate."""
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return 0.0
+        return float(self.indicator(values).mean())
+
+
+def hoeffding_half_width(n_samples: int, delta: float) -> float:
+    """Half-width of the (1 - δ) Hoeffding confidence interval (Remark 2.1).
+
+    For the mean of ``n`` i.i.d. Bernoulli samples the deviation exceeds
+    ``sqrt(ln(2/δ) / (2 n))`` with probability at most δ.
+    """
+    if n_samples <= 0:
+        raise AccuracyError("n_samples must be positive")
+    if not (0.0 < delta < 1.0):
+        raise AccuracyError(f"delta must be in (0, 1), got {delta}")
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * n_samples))
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Outcome of an online filtering check."""
+
+    #: ``"drop"`` — confidently below the threshold, ``"keep"`` — confidently
+    #: above it, ``"undecided"`` — the confidence interval straddles θ.
+    action: Literal["drop", "keep", "undecided"]
+    estimate: float
+    half_width: float
+    n_samples: int
+
+    @property
+    def lower(self) -> float:
+        """Lower end of the confidence interval (clipped to [0, 1])."""
+        return max(0.0, self.estimate - self.half_width)
+
+    @property
+    def upper(self) -> float:
+        """Upper end of the confidence interval (clipped to [0, 1])."""
+        return min(1.0, self.estimate + self.half_width)
+
+
+def filtering_decision(
+    indicator_samples: np.ndarray,
+    predicate: SelectionPredicate,
+    delta: float,
+) -> FilterDecision:
+    """Decide drop / keep / undecided from the Bernoulli samples seen so far.
+
+    ``indicator_samples`` are the 0/1 evaluations ``h_i = 1[a <= f(x_i) <= b]``
+    of the samples drawn so far.  The tuple is dropped when even the upper
+    confidence limit is below θ, and can be confidently kept when the lower
+    confidence limit is at or above θ.
+    """
+    samples = np.asarray(indicator_samples, dtype=float).ravel()
+    if samples.size == 0:
+        return FilterDecision(action="undecided", estimate=0.0, half_width=1.0, n_samples=0)
+    estimate = float(samples.mean())
+    half_width = hoeffding_half_width(samples.size, delta)
+    if estimate + half_width < predicate.threshold:
+        action: Literal["drop", "keep", "undecided"] = "drop"
+    elif estimate - half_width >= predicate.threshold:
+        action = "keep"
+    else:
+        action = "undecided"
+    return FilterDecision(
+        action=action, estimate=estimate, half_width=half_width, n_samples=samples.size
+    )
+
+
+def upper_bound_decision(
+    rho_upper: float,
+    rho_estimate: float,
+    predicate: SelectionPredicate,
+    n_samples: int,
+    delta: float,
+) -> FilterDecision:
+    """Filtering decision from a GP-derived upper bound ``ρ_U`` (§5.5).
+
+    With GP sampling the tuple existence probability is bounded above by
+    ``ρ_U`` (Proposition 4.1) plus the Hoeffding sampling slack; the tuple is
+    dropped when that combined upper bound is still below the threshold.
+    """
+    half_width = hoeffding_half_width(n_samples, delta)
+    if rho_upper + half_width < predicate.threshold:
+        action: Literal["drop", "keep", "undecided"] = "drop"
+    elif rho_estimate - half_width >= predicate.threshold:
+        action = "keep"
+    else:
+        action = "undecided"
+    return FilterDecision(
+        action=action,
+        estimate=rho_estimate,
+        half_width=half_width,
+        n_samples=n_samples,
+    )

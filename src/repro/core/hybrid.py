@@ -1,0 +1,149 @@
+"""Hybrid GP / Monte-Carlo execution (§5.4 and the Expt 5/7 rules).
+
+The better approach for a given UDF depends on how expensive the UDF is and
+how many training points the GP needs, which grows with dimensionality and
+function complexity.  The hybrid executor encodes the rules distilled in
+Section 6.3:
+
+* very fast functions (≤ 0.01 ms per call) — always plain Monte Carlo;
+* low-dimensional functions (d ≤ 2) — use the GP once evaluation exceeds
+  about 1 ms;
+* high-dimensional functions (up to d = 10) — use the GP only when
+  evaluation exceeds about 100 ms;
+* otherwise — measure: run a few tuples with both approaches and keep the
+  faster one for the rest of the stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from repro.core.accuracy import AccuracyRequirement
+from repro.core.mc_baseline import MCResult, monte_carlo_output
+from repro.core.olgapro import OLGAPRO, OnlineTupleResult
+from repro.distributions.base import Distribution
+from repro.exceptions import GPError
+from repro.rng import RandomState, as_generator
+from repro.udf.base import UDF
+
+Method = Literal["gp", "mc", "measure"]
+
+#: Evaluation time (seconds) below which MC always wins.
+FAST_FUNCTION_CUTOFF = 1e-5
+#: Evaluation time above which the GP wins for low-dimensional UDFs.
+LOW_DIM_GP_CUTOFF = 1e-3
+#: Evaluation time above which the GP wins even for high-dimensional UDFs.
+HIGH_DIM_GP_CUTOFF = 1e-1
+#: Dimensionality treated as "low" by the rules.
+LOW_DIMENSION = 2
+
+
+def rule_based_choice(dimension: int, eval_time: float) -> Method:
+    """Static rule from the paper's evaluation: pick GP, MC, or 'measure'."""
+    if dimension <= 0:
+        raise GPError("dimension must be positive")
+    if eval_time < 0:
+        raise GPError("eval_time must be non-negative")
+    if eval_time <= FAST_FUNCTION_CUTOFF:
+        return "mc"
+    if dimension <= LOW_DIMENSION:
+        return "gp" if eval_time >= LOW_DIM_GP_CUTOFF else "measure"
+    if eval_time >= HIGH_DIM_GP_CUTOFF:
+        return "gp"
+    if eval_time <= LOW_DIM_GP_CUTOFF:
+        return "mc"
+    return "measure"
+
+
+@dataclass(frozen=True)
+class HybridDecision:
+    """The method the hybrid executor settled on and why."""
+
+    method: Literal["gp", "mc"]
+    measured_eval_time: float
+    dimension: int
+    #: Whether the decision came from the static rule or from measurement.
+    source: Literal["rule", "measured"]
+
+
+class HybridExecutor:
+    """Chooses between OLGAPRO and plain Monte Carlo for a UDF, then runs it."""
+
+    def __init__(
+        self,
+        udf: UDF,
+        requirement: AccuracyRequirement | None = None,
+        probe_tuples: int = 2,
+        random_state: RandomState = None,
+        **olgapro_kwargs,
+    ):
+        self.udf = udf
+        self.requirement = requirement if requirement is not None else AccuracyRequirement()
+        self.probe_tuples = int(probe_tuples)
+        self._rng = as_generator(random_state)
+        self._olgapro = OLGAPRO(
+            udf, requirement=self.requirement, random_state=self._rng, **olgapro_kwargs
+        )
+        self._decision: Optional[HybridDecision] = None
+
+    @property
+    def decision(self) -> Optional[HybridDecision]:
+        """The decision made so far (``None`` until the first tuple)."""
+        return self._decision
+
+    def decide(self, input_distribution: Distribution) -> HybridDecision:
+        """Pick GP or MC for this UDF, measuring if the static rule is unsure."""
+        if self._decision is not None:
+            return self._decision
+        eval_time = self.udf.measure_eval_time(n_probes=5, random_state=self._rng)
+        choice = rule_based_choice(self.udf.dimension, eval_time)
+        if choice in ("gp", "mc"):
+            self._decision = HybridDecision(
+                method=choice,
+                measured_eval_time=eval_time,
+                dimension=self.udf.dimension,
+                source="rule",
+            )
+            return self._decision
+        # Measure: run a couple of tuples each way and keep the faster one.
+        gp_time = 0.0
+        mc_time = 0.0
+        for _ in range(max(1, self.probe_tuples)):
+            started = time.perf_counter()
+            charged = self.udf.charged_time
+            self._olgapro.process(input_distribution, random_state=self._rng)
+            gp_time += (time.perf_counter() - started) + (self.udf.charged_time - charged)
+
+            started = time.perf_counter()
+            charged = self.udf.charged_time
+            monte_carlo_output(
+                self.udf,
+                input_distribution,
+                requirement=self.requirement,
+                random_state=self._rng,
+            )
+            mc_time += (time.perf_counter() - started) + (self.udf.charged_time - charged)
+        method: Literal["gp", "mc"] = "gp" if gp_time <= mc_time else "mc"
+        self._decision = HybridDecision(
+            method=method,
+            measured_eval_time=eval_time,
+            dimension=self.udf.dimension,
+            source="measured",
+        )
+        return self._decision
+
+    def process(
+        self, input_distribution: Distribution, random_state: RandomState = None
+    ) -> OnlineTupleResult | MCResult:
+        """Process a tuple with whichever method the executor has chosen."""
+        decision = self.decide(input_distribution)
+        if decision.method == "gp":
+            return self._olgapro.process(input_distribution, random_state=random_state)
+        return monte_carlo_output(
+            self.udf,
+            input_distribution,
+            requirement=self.requirement,
+            random_state=random_state if random_state is not None else self._rng,
+        )

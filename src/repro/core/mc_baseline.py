@@ -1,0 +1,149 @@
+"""Monte-Carlo baseline for computing UDF output distributions (§2.2).
+
+Algorithm 1 of the paper: sample the input distribution, evaluate the UDF on
+every sample, and return the empirical CDF of the outputs.  The number of
+samples required for an (ε, δ) guarantee comes from
+:func:`repro.core.accuracy.required_mc_samples`.
+
+When a selection predicate is present, :func:`monte_carlo_with_filter`
+evaluates the UDF in batches and applies the Hoeffding early-drop test of
+Remark 2.1 after every batch, so uninteresting tuples are discarded without
+paying for the full sample budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.accuracy import AccuracyRequirement, required_mc_samples
+from repro.core.filtering import FilterDecision, SelectionPredicate, filtering_decision
+from repro.distributions.base import Distribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.exceptions import AccuracyError
+from repro.rng import RandomState, as_generator
+from repro.udf.base import UDF
+
+
+@dataclass(frozen=True)
+class MCResult:
+    """Result of running the Monte-Carlo baseline on one input tuple."""
+
+    #: Empirical output distribution Y'.
+    distribution: EmpiricalDistribution
+    #: Number of input samples drawn (= number of UDF evaluations).
+    n_samples: int
+    #: Number of UDF calls charged for this tuple.
+    udf_calls: int
+    #: Wall-clock plus simulated UDF cost in seconds.
+    charged_time: float
+
+
+@dataclass(frozen=True)
+class FilteredMCResult:
+    """Result of the MC baseline with online filtering (Remark 2.1)."""
+
+    #: Output distribution, or ``None`` when the tuple was dropped early.
+    distribution: Optional[EmpiricalDistribution]
+    #: Final filtering decision.
+    decision: FilterDecision
+    n_samples: int
+    udf_calls: int
+    charged_time: float
+
+    @property
+    def dropped(self) -> bool:
+        """Whether the tuple was filtered out."""
+        return self.decision.action == "drop"
+
+
+def mc_sample_count(requirement: AccuracyRequirement) -> int:
+    """Sample count for Algorithm 1 under the full (un-split) requirement."""
+    return required_mc_samples(requirement.epsilon, requirement.delta, requirement.metric)
+
+
+def monte_carlo_output(
+    udf: UDF,
+    input_distribution: Distribution,
+    requirement: AccuracyRequirement | None = None,
+    n_samples: int | None = None,
+    random_state: RandomState = None,
+) -> MCResult:
+    """Algorithm 1: compute the output distribution by direct simulation.
+
+    Exactly one of ``requirement`` and ``n_samples`` selects the sample
+    budget; providing a requirement uses the (ε, δ) sample-size formula.
+    """
+    if (requirement is None) == (n_samples is None):
+        raise AccuracyError("provide exactly one of requirement / n_samples")
+    m = n_samples if n_samples is not None else mc_sample_count(requirement)
+    if m <= 0:
+        raise AccuracyError("sample count must be positive")
+    rng = as_generator(random_state)
+
+    calls_before = udf.call_count
+    time_before = udf.charged_time
+    inputs = input_distribution.sample(m, random_state=rng)
+    outputs = udf.evaluate_batch(inputs)
+    return MCResult(
+        distribution=EmpiricalDistribution(outputs),
+        n_samples=m,
+        udf_calls=udf.call_count - calls_before,
+        charged_time=udf.charged_time - time_before,
+    )
+
+
+def monte_carlo_with_filter(
+    udf: UDF,
+    input_distribution: Distribution,
+    predicate: SelectionPredicate,
+    requirement: AccuracyRequirement | None = None,
+    n_samples: int | None = None,
+    batch_size: int = 100,
+    random_state: RandomState = None,
+) -> FilteredMCResult:
+    """Algorithm 1 + Remark 2.1: simulate with early dropping of dull tuples.
+
+    Samples are drawn in batches of ``batch_size``.  After each batch the
+    Hoeffding confidence interval for the predicate probability ρ is
+    recomputed from all samples seen so far; if its upper end is below the
+    predicate threshold the tuple is dropped immediately.
+    """
+    if (requirement is None) == (n_samples is None):
+        raise AccuracyError("provide exactly one of requirement / n_samples")
+    if batch_size <= 0:
+        raise AccuracyError("batch_size must be positive")
+    m = n_samples if n_samples is not None else mc_sample_count(requirement)
+    delta = requirement.delta if requirement is not None else 0.05
+    rng = as_generator(random_state)
+
+    calls_before = udf.call_count
+    time_before = udf.charged_time
+    outputs: list[np.ndarray] = []
+    drawn = 0
+    decision = FilterDecision(action="undecided", estimate=0.0, half_width=1.0, n_samples=0)
+    while drawn < m:
+        batch = min(batch_size, m - drawn)
+        inputs = input_distribution.sample(batch, random_state=rng)
+        outputs.append(udf.evaluate_batch(inputs))
+        drawn += batch
+        all_outputs = np.concatenate(outputs)
+        decision = filtering_decision(predicate.indicator(all_outputs), predicate, delta)
+        if decision.action == "drop":
+            return FilteredMCResult(
+                distribution=None,
+                decision=decision,
+                n_samples=drawn,
+                udf_calls=udf.call_count - calls_before,
+                charged_time=udf.charged_time - time_before,
+            )
+    all_outputs = np.concatenate(outputs)
+    return FilteredMCResult(
+        distribution=EmpiricalDistribution(all_outputs),
+        decision=decision,
+        n_samples=drawn,
+        udf_calls=udf.call_count - calls_before,
+        charged_time=udf.charged_time - time_before,
+    )

@@ -1,0 +1,416 @@
+"""OLGAPRO — the complete online GP algorithm (Algorithm 5, §5.4).
+
+For every uncertain input tuple the algorithm:
+
+1. draws the number of Monte-Carlo input samples dictated by the sampling
+   share of the error budget,
+2. runs (local) GP inference at those samples,
+3. computes the λ-discrepancy (or KS) error bound of the GP modelling error
+   using a simultaneous confidence band,
+4. while the bound exceeds the GP share of the budget, evaluates the real
+   UDF at the sample chosen by the online-tuning strategy and absorbs the
+   new training point incrementally,
+5. once the tuple is finished, consults the retraining policy and, when it
+   fires, refits the kernel hyperparameters and re-runs inference.
+
+The training data, the GP, the R-tree index and the hyperparameters persist
+across tuples — that is what makes the algorithm online: the model warms up
+on the first tuples and afterwards rarely needs to call the UDF at all.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import (
+    DEFAULT_BAND_ALPHA,
+    DEFAULT_GAMMA_FRACTION,
+    DEFAULT_LAMBDA_FRACTION,
+    DEFAULT_MAX_POINTS_PER_TUPLE,
+    DEFAULT_MAX_TRAINING_POINTS,
+    DEFAULT_MC_FRACTION,
+)
+from repro.core.accuracy import AccuracyRequirement, ErrorBudget
+from repro.core.confidence_bands import BandMethod, band_z_value
+from repro.core.emulator import GPEmulator
+from repro.core.error_bounds import (
+    CombinedErrorBound,
+    EnvelopeOutputs,
+    build_envelope_outputs,
+    combine_bounds,
+    gp_discrepancy_bound,
+    gp_ks_bound,
+    interval_probability_bounds,
+)
+from repro.core.filtering import FilterDecision, SelectionPredicate, upper_bound_decision
+from repro.core.local_inference import LocalInferenceEngine, global_inference
+from repro.core.online_tuning import LargestVarianceStrategy, TuningStrategy
+from repro.core.retraining import RetrainingPolicy, ThresholdRetrain
+from repro.distributions.base import Distribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.exceptions import GPError
+from repro.gp.kernels import Kernel
+from repro.index.bounding_box import BoundingBox
+from repro.rng import RandomState, as_generator
+from repro.udf.base import UDF
+
+
+@dataclass(frozen=True)
+class OnlineTupleResult:
+    """Result of processing one uncertain input tuple with OLGAPRO."""
+
+    #: Output distribution ``Ŷ'`` returned to the user.
+    distribution: EmpiricalDistribution
+    #: The empirical envelope variables behind the error bound.
+    envelope: EnvelopeOutputs
+    #: Combined GP + MC error bound (Theorem 4.1).
+    error_bound: CombinedErrorBound
+    #: Whether the GP error bound met its budget within the point cap.
+    converged: bool
+    #: Training points added while processing this tuple.
+    points_added: int
+    #: Total training points in the model after the tuple.
+    n_training: int
+    #: Monte-Carlo input samples used.
+    n_samples: int
+    #: UDF calls charged to this tuple.
+    udf_calls: int
+    #: Wall-clock plus simulated UDF cost attributable to this tuple (seconds).
+    charged_time: float
+    #: Pure wall-clock processing time of this tuple (seconds).
+    elapsed_time: float
+    #: Whether a full hyperparameter retrain was performed for this tuple.
+    retrained: bool
+
+
+@dataclass(frozen=True)
+class FilteredOnlineResult:
+    """Result of processing a tuple that carries a selection predicate."""
+
+    #: Full result when the tuple survived, ``None`` when it was dropped early.
+    result: Optional[OnlineTupleResult]
+    #: Filtering decision (drop / keep / undecided).
+    decision: FilterDecision
+    #: Estimated tuple existence probability (NaN when dropped before a full pass).
+    existence_probability: float
+    charged_time: float
+    elapsed_time: float
+
+    @property
+    def dropped(self) -> bool:
+        """Whether the tuple was filtered out."""
+        return self.result is None
+
+
+class OLGAPRO:
+    """Online GP processor for one UDF (Algorithm 5)."""
+
+    def __init__(
+        self,
+        udf: UDF,
+        requirement: AccuracyRequirement | None = None,
+        kernel: Optional[Kernel] = None,
+        tuning_strategy: Optional[TuningStrategy] = None,
+        retraining_policy: Optional[RetrainingPolicy] = None,
+        mc_fraction: float = DEFAULT_MC_FRACTION,
+        lambda_fraction: float = DEFAULT_LAMBDA_FRACTION,
+        lambda_value: Optional[float] = None,
+        gamma_fraction: float = DEFAULT_GAMMA_FRACTION,
+        gamma: Optional[float] = None,
+        band_alpha: float = DEFAULT_BAND_ALPHA,
+        band_method: BandMethod = "euler",
+        initial_training_points: int = 5,
+        max_points_per_tuple: int = DEFAULT_MAX_POINTS_PER_TUPLE,
+        max_training_points: int = DEFAULT_MAX_TRAINING_POINTS,
+        use_local_inference: bool = True,
+        subdivisions: int = 2,
+        n_samples: Optional[int] = None,
+        random_state: RandomState = None,
+    ):
+        self.udf = udf
+        self.requirement = requirement if requirement is not None else AccuracyRequirement()
+        self.budget: ErrorBudget = self.requirement.split(mc_fraction)
+        #: Optional override of the per-tuple Monte-Carlo sample count.  When
+        #: ``None`` the count follows the sampling share of the error budget.
+        self.n_samples_override = n_samples
+        self.emulator = GPEmulator(udf, kernel=kernel)
+        self.tuning_strategy = tuning_strategy or LargestVarianceStrategy()
+        self.retraining_policy = retraining_policy or ThresholdRetrain()
+        self.lambda_fraction = float(lambda_fraction)
+        self._lambda_value = lambda_value
+        self.gamma_fraction = float(gamma_fraction)
+        self._gamma = gamma
+        self.band_alpha = float(band_alpha)
+        self.band_method: BandMethod = band_method
+        self.initial_training_points = int(initial_training_points)
+        self.max_points_per_tuple = int(max_points_per_tuple)
+        self.max_training_points = int(max_training_points)
+        self.use_local_inference = bool(use_local_inference)
+        self.subdivisions = int(subdivisions)
+        self._rng = as_generator(random_state)
+        self._tuples_processed = 0
+
+        if self.initial_training_points < 2:
+            raise GPError("initial_training_points must be at least 2")
+        if self.max_points_per_tuple < 1:
+            raise GPError("max_points_per_tuple must be at least 1")
+
+    # -- introspection --------------------------------------------------------------
+    @property
+    def n_training(self) -> int:
+        """Training points accumulated so far across all tuples."""
+        return self.emulator.n_training
+
+    @property
+    def tuples_processed(self) -> int:
+        """Number of input tuples processed so far."""
+        return self._tuples_processed
+
+    def output_range(self) -> float:
+        """Current estimate of the UDF output range (from the training data)."""
+        if self.emulator.n_training == 0:
+            return 1.0
+        y = self.emulator.gp.y_train
+        return max(float(np.max(y) - np.min(y)), 1e-12)
+
+    def lambda_value(self) -> float:
+        """Minimum interval length λ in output units."""
+        if self._lambda_value is not None:
+            return self._lambda_value
+        return self.lambda_fraction * self.output_range()
+
+    def gamma_threshold(self) -> float:
+        """Local-inference threshold Γ in output units."""
+        if self._gamma is not None:
+            return self._gamma
+        return max(self.gamma_fraction * self.output_range(), 1e-12)
+
+    def mc_samples(self) -> int:
+        """Per-tuple Monte-Carlo sample count actually used."""
+        if self.n_samples_override is not None:
+            return int(self.n_samples_override)
+        return self.budget.mc_samples
+
+    # -- main entry points -------------------------------------------------------------
+    def process(
+        self, input_distribution: Distribution, random_state: RandomState = None
+    ) -> OnlineTupleResult:
+        """Compute the output distribution for one uncertain input tuple."""
+        started = time.perf_counter()
+        rng = as_generator(random_state) if random_state is not None else self._rng
+        calls_before = self.udf.call_count
+        charged_before = self.udf.charged_time
+
+        self._ensure_initialized(input_distribution, rng)
+        m = self.mc_samples()
+        samples = input_distribution.sample(m, random_state=rng)
+        box = BoundingBox.from_points(samples)
+
+        envelope, gp_bound, points_added, converged = self._tune_until_bounded(samples, box, rng)
+
+        retrained = self._maybe_retrain(points_added)
+        if retrained:
+            envelope, gp_bound = self._infer_and_bound(samples, box)
+
+        elapsed = time.perf_counter() - started
+        self._tuples_processed += 1
+        return OnlineTupleResult(
+            distribution=envelope.y_hat,
+            envelope=envelope,
+            error_bound=combine_bounds(
+                epsilon_gp=gp_bound,
+                epsilon_mc=self.budget.epsilon_mc,
+                delta_gp=self.budget.delta_gp,
+                delta_mc=self.budget.delta_mc,
+            ),
+            converged=converged,
+            points_added=points_added,
+            n_training=self.emulator.n_training,
+            n_samples=m,
+            udf_calls=self.udf.call_count - calls_before,
+            charged_time=self.udf.charged_time - charged_before + elapsed,
+            elapsed_time=elapsed,
+            retrained=retrained,
+        )
+
+    def process_with_filter(
+        self,
+        input_distribution: Distribution,
+        predicate: SelectionPredicate,
+        pilot_fraction: float = 0.1,
+        random_state: RandomState = None,
+    ) -> FilteredOnlineResult:
+        """Process a tuple carrying a selection predicate with online filtering (§5.5).
+
+        A pilot batch of input samples is pushed through the emulator first;
+        if even the *upper* bound ``ρ_U`` on the predicate probability (plus
+        the Hoeffding slack for the pilot size) is below the threshold, the
+        tuple is dropped without paying for the full sample budget or any
+        further training-point additions.
+        """
+        started = time.perf_counter()
+        rng = as_generator(random_state) if random_state is not None else self._rng
+        charged_before = self.udf.charged_time
+
+        self._ensure_initialized(input_distribution, rng)
+        m = self.mc_samples()
+        # The pilot must be large enough that the Hoeffding slack can actually
+        # certify "below threshold": half-width at most threshold / 2.
+        theta = max(predicate.threshold, 1e-3)
+        required = int(np.ceil(np.log(2.0 / self.budget.delta_mc) / (2.0 * (theta / 2.0) ** 2)))
+        pilot_size = max(50, int(pilot_fraction * m), required)
+        pilot_size = min(pilot_size, m)
+        pilot = input_distribution.sample(pilot_size, random_state=rng)
+        pilot_box = BoundingBox.from_points(pilot)
+        # Tune the model on the pilot first so that the upper bound ρ_U used
+        # for the drop decision comes from a model that meets the GP error
+        # budget in this input region; otherwise an immature emulator could
+        # filter out tuples it simply has not learned yet (false negatives).
+        envelope, _, _, _ = self._tune_until_bounded(pilot, pilot_box, rng)
+        rho_lower, rho_hat, rho_upper = interval_probability_bounds(
+            envelope, predicate.low, predicate.high
+        )
+        del rho_lower
+        decision = upper_bound_decision(
+            rho_upper, rho_hat, predicate, pilot_size, self.budget.delta_mc
+        )
+        if decision.action == "drop":
+            elapsed = time.perf_counter() - started
+            return FilteredOnlineResult(
+                result=None,
+                decision=decision,
+                existence_probability=rho_hat,
+                charged_time=self.udf.charged_time - charged_before + elapsed,
+                elapsed_time=elapsed,
+            )
+        result = self.process(input_distribution, random_state=rng)
+        existence = result.distribution.interval_probability(predicate.low, predicate.high)
+        final_decision = upper_bound_decision(
+            existence, existence, predicate, result.n_samples, self.budget.delta_mc
+        )
+        elapsed = time.perf_counter() - started
+        return FilteredOnlineResult(
+            result=result,
+            decision=final_decision,
+            existence_probability=existence,
+            charged_time=self.udf.charged_time - charged_before + elapsed - result.elapsed_time
+            + result.elapsed_time,
+            elapsed_time=elapsed,
+        )
+
+    # -- internals ------------------------------------------------------------------------
+    def _ensure_initialized(self, input_distribution: Distribution, rng: np.random.Generator) -> None:
+        """Seed the model with a few training points around the first input."""
+        if self.emulator.n_training > 0:
+            return
+        if self.udf.domain is not None:
+            domain = self.udf.domain
+        else:
+            domain = input_distribution.support_box(coverage=0.999)
+        self.emulator.train_initial(
+            self.initial_training_points,
+            design="random",
+            domain=domain,
+            random_state=rng,
+            optimize_hyperparameters=True,
+        )
+
+    def _infer(self, samples: np.ndarray, box: BoundingBox):
+        if self.use_local_inference and self.emulator.n_training > 3:
+            engine = LocalInferenceEngine(
+                gamma_threshold=self.gamma_threshold(), subdivisions=self.subdivisions
+            )
+            return engine.predict(self.emulator.gp, self.emulator.index, samples, sample_box=box)
+        return global_inference(self.emulator.gp, samples)
+
+    def _infer_and_bound(
+        self, samples: np.ndarray, box: BoundingBox
+    ) -> tuple[EnvelopeOutputs, float]:
+        inference = self._infer(samples, box)
+        band = band_z_value(
+            self.emulator.gp.kernel,
+            box,
+            alpha=self.band_alpha,
+            method=self.band_method,
+            n_points=samples.shape[0],
+        )
+        envelope = build_envelope_outputs(inference.means, inference.stds, band.z_value)
+        if self.requirement.metric == "ks":
+            bound = gp_ks_bound(envelope)
+        else:
+            bound = gp_discrepancy_bound(envelope, self.lambda_value())
+        return envelope, bound
+
+    def _tune_until_bounded(
+        self, samples: np.ndarray, box: BoundingBox, rng: np.random.Generator
+    ) -> tuple[EnvelopeOutputs, float, int, bool]:
+        """Steps 3–7 of Algorithm 5: add training points until the bound fits."""
+        points_added = 0
+        envelope, bound = self._infer_and_bound(samples, box)
+        while bound > self.budget.epsilon_gp:
+            if points_added >= self.max_points_per_tuple:
+                return envelope, bound, points_added, False
+            if self.emulator.n_training >= self.max_training_points:
+                return envelope, bound, points_added, False
+            inference = self._infer(samples, box)
+            index = self.tuning_strategy.select(
+                samples,
+                inference.means,
+                inference.stds,
+                random_state=rng,
+                error_evaluator=self._make_error_evaluator(samples, box),
+            )
+            self.emulator.add_training_point(samples[index])
+            points_added += 1
+            envelope, bound = self._infer_and_bound(samples, box)
+        return envelope, bound, points_added, True
+
+    def _make_error_evaluator(self, samples: np.ndarray, box: BoundingBox):
+        """Candidate evaluator for the optimal-greedy tuning strategy.
+
+        Simulating a candidate uses the GP's own predicted mean as the
+        hypothetical function value — the predictive variance reduction (and
+        hence the error bound) does not depend on the actual observed value,
+        so this avoids spending real UDF calls on the simulation.
+        """
+
+        def evaluate(candidate_index: int) -> float:
+            gp_copy = self._clone_gp()
+            x = samples[candidate_index]
+            y_hat = float(gp_copy.predict_mean(x.reshape(1, -1))[0])
+            gp_copy.add_point(x, y_hat)
+            means, stds = gp_copy.predict(samples, return_std=True)
+            band = band_z_value(
+                gp_copy.kernel,
+                box,
+                alpha=self.band_alpha,
+                method=self.band_method,
+                n_points=samples.shape[0],
+            )
+            envelope = build_envelope_outputs(means, stds, band.z_value)
+            if self.requirement.metric == "ks":
+                return gp_ks_bound(envelope)
+            return gp_discrepancy_bound(envelope, self.lambda_value())
+
+        return evaluate
+
+    def _clone_gp(self):
+        from repro.gp.regression import GaussianProcess
+
+        clone = GaussianProcess(
+            kernel=self.emulator.gp.kernel.clone(),
+            noise_variance=self.emulator.gp.noise_variance,
+        )
+        clone.fit(self.emulator.gp.X_train, self.emulator.gp.y_train)
+        return clone
+
+    def _maybe_retrain(self, points_added: int) -> bool:
+        decision = self.retraining_policy.decide(self.emulator.gp, points_added)
+        if decision.should_retrain:
+            self.retraining_policy.retrain(self.emulator.gp)
+            return True
+        return False

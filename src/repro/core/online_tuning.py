@@ -1,0 +1,141 @@
+"""Online tuning: choosing where to add the next training point (§5.2).
+
+When the error bound for the current input tuple exceeds the GP error
+budget, OLGAPRO evaluates the UDF at one more input location and absorbs the
+new pair into the model.  The paper's heuristic picks the cached Monte-Carlo
+sample with the largest predictive variance; Expt 2 compares it against a
+random choice and against a hypothetical "optimal greedy" strategy that
+simulates every candidate and keeps the one reducing the error bound most.
+All three are implemented here behind a common interface so the experiment
+is a straight swap.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import GPError
+from repro.rng import RandomState, as_generator
+
+#: Callback used by the optimal-greedy strategy: given the index of a
+#: candidate sample, return the error bound that would result from adding a
+#: training point there.
+ErrorEvaluator = Callable[[int], float]
+
+
+class TuningStrategy(abc.ABC):
+    """Strategy for selecting the next training-point location."""
+
+    #: Short name used in experiment tables.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        samples: np.ndarray,
+        means: np.ndarray,
+        stds: np.ndarray,
+        random_state: RandomState = None,
+        error_evaluator: Optional[ErrorEvaluator] = None,
+    ) -> int:
+        """Index (into ``samples``) of the input location to evaluate next."""
+
+    @staticmethod
+    def _validate(samples: np.ndarray, means: np.ndarray, stds: np.ndarray) -> None:
+        samples = np.atleast_2d(samples)
+        if samples.shape[0] == 0:
+            raise GPError("no candidate samples to choose from")
+        if means.shape[0] != samples.shape[0] or stds.shape[0] != samples.shape[0]:
+            raise GPError("samples, means and stds must have matching lengths")
+
+
+class LargestVarianceStrategy(TuningStrategy):
+    """Pick the sample whose prediction is most uncertain (the paper's choice)."""
+
+    name = "largest_variance"
+
+    def select(
+        self,
+        samples: np.ndarray,
+        means: np.ndarray,
+        stds: np.ndarray,
+        random_state: RandomState = None,
+        error_evaluator: Optional[ErrorEvaluator] = None,
+    ) -> int:
+        self._validate(samples, means, stds)
+        return int(np.argmax(np.asarray(stds)))
+
+
+class RandomStrategy(TuningStrategy):
+    """Pick a candidate uniformly at random (Expt 2 baseline)."""
+
+    name = "random"
+
+    def select(
+        self,
+        samples: np.ndarray,
+        means: np.ndarray,
+        stds: np.ndarray,
+        random_state: RandomState = None,
+        error_evaluator: Optional[ErrorEvaluator] = None,
+    ) -> int:
+        self._validate(samples, means, stds)
+        rng = as_generator(random_state)
+        return int(rng.integers(0, np.atleast_2d(samples).shape[0]))
+
+
+class OptimalGreedyStrategy(TuningStrategy):
+    """Simulate adding every candidate and keep the best (Expt 2 upper bound).
+
+    Prohibitively expensive in practice — it requires one full inference and
+    error-bound computation per candidate — but it quantifies how close the
+    cheap largest-variance heuristic gets.  ``max_candidates`` caps the
+    number of candidates actually simulated (the highest-variance ones are
+    tried first) so the experiment remains tractable.
+    """
+
+    name = "optimal_greedy"
+
+    def __init__(self, max_candidates: int | None = None):
+        self.max_candidates = max_candidates
+
+    def select(
+        self,
+        samples: np.ndarray,
+        means: np.ndarray,
+        stds: np.ndarray,
+        random_state: RandomState = None,
+        error_evaluator: Optional[ErrorEvaluator] = None,
+    ) -> int:
+        self._validate(samples, means, stds)
+        if error_evaluator is None:
+            raise GPError("OptimalGreedyStrategy requires an error_evaluator callback")
+        order = np.argsort(-np.asarray(stds))
+        if self.max_candidates is not None:
+            order = order[: self.max_candidates]
+        best_index = int(order[0])
+        best_error = float("inf")
+        for candidate in order:
+            error = float(error_evaluator(int(candidate)))
+            if error < best_error:
+                best_error = error
+                best_index = int(candidate)
+        return best_index
+
+
+STRATEGIES = {
+    "largest_variance": LargestVarianceStrategy,
+    "random": RandomStrategy,
+    "optimal_greedy": OptimalGreedyStrategy,
+}
+
+
+def make_strategy(name: str, **kwargs) -> TuningStrategy:
+    """Construct a tuning strategy by name."""
+    key = name.lower()
+    if key not in STRATEGIES:
+        raise GPError(f"unknown tuning strategy {name!r}; choose from {sorted(STRATEGIES)}")
+    return STRATEGIES[key](**kwargs)

@@ -1,0 +1,57 @@
+"""Uncertain-data distribution model (substrate S1).
+
+Public surface:
+
+* univariate continuous marginals — :class:`Gaussian`, :class:`Uniform`,
+  :class:`Exponential`, :class:`Gamma`, :class:`TruncatedGaussian`,
+  :class:`GaussianMixture1D`
+* discrete marginals — :class:`Categorical`, :class:`Poisson`,
+  :class:`TupleAlternatives`
+* composites — :class:`MultivariateGaussian`, :class:`IndependentJoint`,
+  :class:`PointMass`
+* empirical outputs — :class:`EmpiricalDistribution`, :class:`TruncationResult`
+"""
+
+from repro.distributions.base import Distribution, UnivariateDistribution, ensure_2d
+from repro.distributions.continuous import (
+    Exponential,
+    Gamma,
+    Gaussian,
+    GaussianMixture1D,
+    TruncatedGaussian,
+    Uniform,
+)
+from repro.distributions.discrete import Categorical, Poisson, TupleAlternatives
+from repro.distributions.empirical import (
+    EmpiricalDistribution,
+    TruncationResult,
+    ecdf_difference_sup,
+)
+from repro.distributions.multivariate import (
+    IndependentJoint,
+    MultivariateGaussian,
+    PointMass,
+    joint_from_marginals,
+)
+
+__all__ = [
+    "Distribution",
+    "UnivariateDistribution",
+    "ensure_2d",
+    "Gaussian",
+    "Uniform",
+    "Exponential",
+    "Gamma",
+    "TruncatedGaussian",
+    "GaussianMixture1D",
+    "Categorical",
+    "Poisson",
+    "TupleAlternatives",
+    "MultivariateGaussian",
+    "IndependentJoint",
+    "PointMass",
+    "joint_from_marginals",
+    "EmpiricalDistribution",
+    "TruncationResult",
+    "ecdf_difference_sup",
+]

@@ -1,0 +1,119 @@
+"""Abstract interfaces for uncertain-attribute distributions.
+
+The paper models every uncertain input tuple as a random vector ``X`` with a
+joint distribution ``p(x)`` that may be continuous or discrete (Section 1).
+The algorithms only ever interact with ``p(x)`` through two operations:
+
+* drawing i.i.d. samples (Monte-Carlo integration, Algorithms 1 and 2), and
+* querying simple summary statistics (mean / support) for workload set-up.
+
+:class:`Distribution` captures exactly that contract.  Univariate marginals
+additionally expose ``pdf``/``cdf`` so that tests can compare empirical
+results against ground truth.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.rng import RandomState, as_generator
+
+
+class Distribution(abc.ABC):
+    """A (possibly multivariate) random vector that can be sampled.
+
+    Subclasses represent the uncertain attributes of a tuple.  The key
+    method is :meth:`sample`, which returns an ``(m, d)`` array of ``m``
+    i.i.d. draws of the ``d``-dimensional vector.
+    """
+
+    @property
+    @abc.abstractmethod
+    def dimension(self) -> int:
+        """Number of scalar components of the random vector."""
+
+    @abc.abstractmethod
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        """Draw ``size`` i.i.d. samples, returned with shape ``(size, dimension)``."""
+
+    @abc.abstractmethod
+    def mean(self) -> np.ndarray:
+        """Mean vector with shape ``(dimension,)``."""
+
+    def support_box(self, coverage: float = 0.9999) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned box containing at least ``coverage`` probability mass.
+
+        Used by workload generators and by local inference to size bounding
+        boxes.  The default implementation estimates the box from a moderate
+        Monte-Carlo sample; subclasses with analytic quantiles override it.
+        """
+        rng = as_generator(0)
+        samples = self.sample(4096, random_state=rng)
+        lo = np.quantile(samples, (1.0 - coverage) / 2.0, axis=0)
+        hi = np.quantile(samples, 1.0 - (1.0 - coverage) / 2.0, axis=0)
+        return np.asarray(lo, dtype=float), np.asarray(hi, dtype=float)
+
+    def _validated_size(self, size: int) -> int:
+        if size <= 0:
+            raise ValueError(f"sample size must be positive, got {size}")
+        return int(size)
+
+
+class UnivariateDistribution(Distribution):
+    """A scalar random variable with analytic pdf / cdf / quantiles."""
+
+    @property
+    def dimension(self) -> int:
+        return 1
+
+    @abc.abstractmethod
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        """Probability density (or mass) evaluated element-wise at ``x``."""
+
+    @abc.abstractmethod
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """Cumulative distribution function evaluated element-wise at ``x``."""
+
+    @abc.abstractmethod
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        """Quantile function (inverse CDF) evaluated element-wise at ``q``."""
+
+    def variance(self) -> float:
+        """Variance of the variable.  Subclasses with closed forms override."""
+        rng = as_generator(0)
+        return float(np.var(self.sample(8192, random_state=rng)))
+
+    def std(self) -> float:
+        """Standard deviation of the variable."""
+        return float(np.sqrt(self.variance()))
+
+    def support_box(self, coverage: float = 0.9999) -> tuple[np.ndarray, np.ndarray]:
+        tail = (1.0 - coverage) / 2.0
+        lo = float(self.ppf(np.asarray(tail)))
+        hi = float(self.ppf(np.asarray(1.0 - tail)))
+        return np.array([lo]), np.array([hi])
+
+    def interval_probability(self, a: float, b: float) -> float:
+        """Probability that the variable falls in ``[a, b]``."""
+        if b < a:
+            raise ValueError(f"interval upper bound {b} is below lower bound {a}")
+        return float(self.cdf(np.asarray(b)) - self.cdf(np.asarray(a)))
+
+
+def ensure_2d(samples: np.ndarray, dimension: int) -> np.ndarray:
+    """Coerce a sample array into shape ``(m, dimension)``.
+
+    Univariate distributions naturally produce 1-D arrays; multivariate code
+    paths always expect the 2-D layout used throughout the library.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2 or arr.shape[1] != dimension:
+        raise ValueError(
+            f"expected samples with shape (m, {dimension}), got {arr.shape}"
+        )
+    return arr

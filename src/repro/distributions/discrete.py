@@ -1,0 +1,174 @@
+"""Discrete distributions for uncertain attributes.
+
+The framework's problem statement allows the per-tuple joint distribution to
+be "either continuous or discrete" (Section 1).  Discrete uncertainty
+appears in practice as categorical alternatives with probabilities (x-tuples
+in the Trio / MayBMS tradition) or as integer-valued noisy counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import Distribution, UnivariateDistribution
+from repro.exceptions import DistributionError
+from repro.rng import RandomState, as_generator
+
+
+class Categorical(UnivariateDistribution):
+    """Finite discrete distribution over real-valued outcomes.
+
+    ``values[i]`` occurs with probability ``probabilities[i]``.  Values need
+    not be sorted; the CDF respects numerical ordering of the outcomes.
+    """
+
+    def __init__(self, values: Sequence[float], probabilities: Sequence[float]):
+        vals = np.asarray(values, dtype=float)
+        probs = np.asarray(probabilities, dtype=float)
+        if vals.ndim != 1 or vals.size == 0:
+            raise DistributionError("values must be a non-empty 1-D sequence")
+        if probs.shape != vals.shape:
+            raise DistributionError("probabilities must match values in length")
+        if np.any(probs < 0):
+            raise DistributionError("probabilities must be non-negative")
+        total = probs.sum()
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+            if total <= 0:
+                raise DistributionError("probabilities must sum to a positive value")
+            probs = probs / total
+        order = np.argsort(vals)
+        self.values = vals[order]
+        self.probabilities = probs[order]
+        self._cumulative = np.cumsum(self.probabilities)
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        size = self._validated_size(size)
+        rng = as_generator(random_state)
+        idx = rng.choice(self.values.size, size=size, p=self.probabilities)
+        return self.values[idx].reshape(-1, 1)
+
+    def mean(self) -> np.ndarray:
+        return np.array([float(np.dot(self.values, self.probabilities))])
+
+    def variance(self) -> float:
+        mu = float(np.dot(self.values, self.probabilities))
+        return float(np.dot(self.probabilities, (self.values - mu) ** 2))
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        # Probability mass: exact matches get their probability, else zero.
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x, dtype=float)
+        for value, prob in zip(self.values, self.probabilities):
+            out = out + np.where(np.isclose(x, value), prob, 0.0)
+        return out
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        idx = np.searchsorted(self.values, x, side="right")
+        cdf_with_zero = np.concatenate([[0.0], self._cumulative])
+        return cdf_with_zero[idx]
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=float)
+        idx = np.searchsorted(self._cumulative, q, side="left")
+        idx = np.clip(idx, 0, self.values.size - 1)
+        return self.values[idx]
+
+    def __repr__(self) -> str:
+        return f"Categorical(k={self.values.size})"
+
+
+class Poisson(UnivariateDistribution):
+    """Poisson distribution with rate ``lam`` (noisy counts)."""
+
+    def __init__(self, lam: float):
+        if lam <= 0 or not math.isfinite(lam):
+            raise DistributionError(f"lambda must be positive and finite, got {lam}")
+        self.lam = float(lam)
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        size = self._validated_size(size)
+        rng = as_generator(random_state)
+        return rng.poisson(self.lam, size=(size, 1)).astype(float)
+
+    def mean(self) -> np.ndarray:
+        return np.array([self.lam])
+
+    def variance(self) -> float:
+        return self.lam
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        from scipy import stats
+
+        x = np.asarray(x, dtype=float)
+        return stats.poisson.pmf(np.round(x), self.lam) * np.isclose(x, np.round(x))
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        from scipy import stats
+
+        return stats.poisson.cdf(np.asarray(x, dtype=float), self.lam)
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        from scipy import stats
+
+        return stats.poisson.ppf(np.asarray(q, dtype=float), self.lam).astype(float)
+
+    def __repr__(self) -> str:
+        return f"Poisson(lam={self.lam:g})"
+
+
+class TupleAlternatives(Distribution):
+    """X-tuple style discrete uncertainty over whole attribute vectors.
+
+    Each alternative is a complete value assignment for the vector; exactly
+    one alternative is true, with the given probability.  Probabilities may
+    sum to less than one, in which case the remainder is the probability
+    that the tuple does not exist (maybe-tuple semantics); sampling then
+    returns NaN rows for the non-existent draws so downstream code can
+    compute tuple existence probabilities.
+    """
+
+    def __init__(self, alternatives: Sequence[Sequence[float]], probabilities: Sequence[float]):
+        alts = np.atleast_2d(np.asarray(alternatives, dtype=float))
+        probs = np.asarray(probabilities, dtype=float)
+        if alts.shape[0] != probs.size:
+            raise DistributionError("one probability per alternative is required")
+        if np.any(probs < 0):
+            raise DistributionError("probabilities must be non-negative")
+        total = probs.sum()
+        if total > 1.0 + 1e-9:
+            raise DistributionError(f"alternative probabilities sum to {total} > 1")
+        self.alternatives = alts
+        self.probabilities = probs
+        self.existence_probability = float(min(total, 1.0))
+
+    @property
+    def dimension(self) -> int:
+        return self.alternatives.shape[1]
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        size = self._validated_size(size)
+        rng = as_generator(random_state)
+        missing_prob = max(0.0, 1.0 - self.probabilities.sum())
+        full_probs = np.concatenate([self.probabilities, [missing_prob]])
+        full_probs = full_probs / full_probs.sum()
+        idx = rng.choice(self.alternatives.shape[0] + 1, size=size, p=full_probs)
+        out = np.full((size, self.dimension), np.nan)
+        present = idx < self.alternatives.shape[0]
+        out[present] = self.alternatives[idx[present]]
+        return out
+
+    def mean(self) -> np.ndarray:
+        if self.existence_probability == 0:
+            return np.full(self.dimension, np.nan)
+        weights = self.probabilities / self.probabilities.sum()
+        return weights @ self.alternatives
+
+    def __repr__(self) -> str:
+        return (
+            f"TupleAlternatives(k={self.alternatives.shape[0]}, "
+            f"existence={self.existence_probability:g})"
+        )

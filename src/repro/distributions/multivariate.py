@@ -1,0 +1,166 @@
+"""Multivariate and composite distributions for uncertain tuples.
+
+Query processing produces per-tuple random vectors such as
+``X = {G1.pos, G1.redshift, G2.pos, G2.redshift}`` (query Q2 in the paper).
+:class:`IndependentJoint` composes univariate marginals under independence —
+the paper's default assumption — while :class:`MultivariateGaussian` supports
+correlated Gaussian attributes, which the paper notes only changes the
+sampling step.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import Distribution, UnivariateDistribution
+from repro.exceptions import DistributionError
+from repro.rng import RandomState, as_generator, spawn
+
+
+class MultivariateGaussian(Distribution):
+    """Jointly Gaussian random vector ``N(mu, Sigma)``."""
+
+    def __init__(self, mean: Sequence[float], cov: Sequence[Sequence[float]]):
+        mean_arr = np.atleast_1d(np.asarray(mean, dtype=float))
+        cov_arr = np.atleast_2d(np.asarray(cov, dtype=float))
+        if mean_arr.ndim != 1:
+            raise DistributionError("mean must be a 1-D vector")
+        d = mean_arr.size
+        if cov_arr.shape != (d, d):
+            raise DistributionError(
+                f"covariance shape {cov_arr.shape} does not match dimension {d}"
+            )
+        if not np.allclose(cov_arr, cov_arr.T, atol=1e-10):
+            raise DistributionError("covariance matrix must be symmetric")
+        # Positive semi-definiteness check through eigenvalues; a tiny negative
+        # tolerance absorbs floating-point noise.
+        eigenvalues = np.linalg.eigvalsh(cov_arr)
+        if np.any(eigenvalues < -1e-10):
+            raise DistributionError("covariance matrix must be positive semi-definite")
+        self._mean = mean_arr
+        self._cov = cov_arr
+        # Cholesky of a PSD matrix with jitter for degenerate covariances.
+        jitter = 0.0
+        for _ in range(6):
+            try:
+                self._chol = np.linalg.cholesky(cov_arr + jitter * np.eye(d))
+                break
+            except np.linalg.LinAlgError:
+                jitter = max(jitter * 10.0, 1e-12)
+        else:
+            raise DistributionError("could not factorise the covariance matrix")
+
+    @property
+    def dimension(self) -> int:
+        return self._mean.size
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        size = self._validated_size(size)
+        rng = as_generator(random_state)
+        z = rng.standard_normal(size=(size, self.dimension))
+        return self._mean + z @ self._chol.T
+
+    def mean(self) -> np.ndarray:
+        return self._mean.copy()
+
+    def covariance(self) -> np.ndarray:
+        """Covariance matrix of the vector."""
+        return self._cov.copy()
+
+    def support_box(self, coverage: float = 0.9999) -> tuple[np.ndarray, np.ndarray]:
+        # A per-axis Gaussian quantile box; slightly conservative for the
+        # joint coverage but adequate for bounding-box construction.
+        from scipy import stats
+
+        tail = (1.0 - coverage) / 2.0
+        z = stats.norm.ppf(1.0 - tail)
+        std = np.sqrt(np.diag(self._cov))
+        return self._mean - z * std, self._mean + z * std
+
+    def __repr__(self) -> str:
+        return f"MultivariateGaussian(d={self.dimension})"
+
+
+class IndependentJoint(Distribution):
+    """Product distribution of independent (possibly multivariate) components.
+
+    This is how the query engine assembles the per-tuple input vector for a
+    UDF: one component per uncertain attribute referenced by the call.
+    """
+
+    def __init__(self, components: Sequence[Distribution]):
+        if not components:
+            raise DistributionError("IndependentJoint requires at least one component")
+        self.components = list(components)
+        self._dims = [c.dimension for c in self.components]
+
+    @property
+    def dimension(self) -> int:
+        return int(sum(self._dims))
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        size = self._validated_size(size)
+        rng = as_generator(random_state)
+        child_rngs = spawn(rng, len(self.components))
+        parts = [
+            comp.sample(size, random_state=child)
+            for comp, child in zip(self.components, child_rngs)
+        ]
+        return np.hstack(parts)
+
+    def mean(self) -> np.ndarray:
+        return np.concatenate([np.atleast_1d(c.mean()) for c in self.components])
+
+    def support_box(self, coverage: float = 0.9999) -> tuple[np.ndarray, np.ndarray]:
+        lows, highs = [], []
+        for comp in self.components:
+            lo, hi = comp.support_box(coverage)
+            lows.append(np.atleast_1d(lo))
+            highs.append(np.atleast_1d(hi))
+        return np.concatenate(lows), np.concatenate(highs)
+
+    def marginal(self, index: int) -> Distribution:
+        """Return the ``index``-th component distribution."""
+        return self.components[index]
+
+    def __repr__(self) -> str:
+        return f"IndependentJoint({self.components!r})"
+
+
+class PointMass(Distribution):
+    """Degenerate distribution representing a certain (non-uncertain) value.
+
+    The query engine uses this for deterministic attributes and constants
+    (e.g. the ``AREA`` argument of ``ComoveVol`` in query Q2), so every UDF
+    argument can be treated uniformly as a random vector.
+    """
+
+    def __init__(self, value: float | Sequence[float]):
+        arr = np.atleast_1d(np.asarray(value, dtype=float))
+        if arr.ndim != 1:
+            raise DistributionError("PointMass value must be a scalar or 1-D vector")
+        self.value = arr
+
+    @property
+    def dimension(self) -> int:
+        return self.value.size
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        size = self._validated_size(size)
+        return np.tile(self.value, (size, 1))
+
+    def mean(self) -> np.ndarray:
+        return self.value.copy()
+
+    def support_box(self, coverage: float = 0.9999) -> tuple[np.ndarray, np.ndarray]:
+        return self.value.copy(), self.value.copy()
+
+    def __repr__(self) -> str:
+        return f"PointMass({self.value.tolist()})"
+
+
+def joint_from_marginals(marginals: Sequence[UnivariateDistribution]) -> IndependentJoint:
+    """Convenience constructor for a joint of independent scalar marginals."""
+    return IndependentJoint(list(marginals))

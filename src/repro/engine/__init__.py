@@ -1,0 +1,44 @@
+"""Probabilistic query-engine substrate (S13, S14).
+
+Public surface: uncertain schemas, tuples and relations; the synthetic
+SDSS-like Galaxy generator; the UDF execution engine with MC / GP / hybrid
+strategies; iterator-style physical operators; and the fluent query builder.
+"""
+
+from repro.engine.executor import ComputedOutput, Strategy, UDFExecutionEngine
+from repro.engine.operators import (
+    ApplyUDF,
+    CrossJoin,
+    Operator,
+    Project,
+    Scan,
+    SelectUDF,
+    SelectWhere,
+    materialize,
+)
+from repro.engine.query import Query
+from repro.engine.schema import Attribute, AttributeKind, Schema
+from repro.engine.sdss import galaxy_schema, generate_galaxy_relation
+from repro.engine.tuples import Relation, UncertainTuple
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Schema",
+    "UncertainTuple",
+    "Relation",
+    "galaxy_schema",
+    "generate_galaxy_relation",
+    "UDFExecutionEngine",
+    "ComputedOutput",
+    "Strategy",
+    "Operator",
+    "Scan",
+    "Project",
+    "SelectWhere",
+    "CrossJoin",
+    "ApplyUDF",
+    "SelectUDF",
+    "materialize",
+    "Query",
+]

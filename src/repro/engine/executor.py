@@ -1,0 +1,195 @@
+"""Strategy layer: how the engine computes a UDF on one uncertain tuple.
+
+Each UDF referenced by a query is bound to a per-UDF processor that persists
+across tuples (this is what makes the GP approach pay off: the emulator
+trained on early tuples answers later tuples almost for free).  Three
+strategies are available, mirroring the paper's evaluation:
+
+* ``"mc"``      — Algorithm 1, plain Monte-Carlo simulation of the UDF,
+* ``"gp"``      — OLGAPRO (Algorithm 5),
+* ``"hybrid"``  — the §5.4 selector that measures the UDF and picks one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from repro.core.accuracy import AccuracyRequirement
+from repro.core.filtering import SelectionPredicate
+from repro.core.hybrid import HybridExecutor
+from repro.core.mc_baseline import monte_carlo_output, monte_carlo_with_filter
+from repro.core.olgapro import OLGAPRO
+from repro.distributions.base import Distribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.exceptions import QueryError
+from repro.rng import RandomState, as_generator
+from repro.udf.base import UDF
+
+Strategy = Literal["mc", "gp", "hybrid"]
+
+
+@dataclass(frozen=True)
+class ComputedOutput:
+    """Output of evaluating one UDF on one uncertain tuple."""
+
+    #: Output distribution (``None`` when the tuple was filtered out early).
+    distribution: Optional[EmpiricalDistribution]
+    #: Total error bound claimed for the distribution (NaN for plain MC,
+    #: whose guarantee is the a-priori sampling bound).
+    error_bound: float
+    #: Existence probability contributed by a selection predicate (1.0 when
+    #: no predicate was evaluated).
+    existence_probability: float
+    #: Whether the tuple was dropped by online filtering.
+    dropped: bool
+    #: UDF calls charged for this evaluation.
+    udf_calls: int
+    #: Charged time (wall clock + simulated UDF cost) in seconds.
+    charged_time: float
+
+
+class UDFExecutionEngine:
+    """Evaluates UDFs on uncertain tuples with a configurable strategy."""
+
+    def __init__(
+        self,
+        strategy: Strategy = "gp",
+        requirement: AccuracyRequirement | None = None,
+        random_state: RandomState = None,
+        **processor_kwargs,
+    ):
+        if strategy not in ("mc", "gp", "hybrid"):
+            raise QueryError(f"unknown strategy {strategy!r}")
+        self.strategy: Strategy = strategy
+        self.requirement = requirement if requirement is not None else AccuracyRequirement()
+        self._rng = as_generator(random_state)
+        self._processor_kwargs = processor_kwargs
+        self._processors: dict[str, OLGAPRO | HybridExecutor] = {}
+
+    def _processor_for(self, udf: UDF) -> OLGAPRO | HybridExecutor:
+        key = udf.name
+        if key not in self._processors:
+            if self.strategy == "gp":
+                self._processors[key] = OLGAPRO(
+                    udf,
+                    requirement=self.requirement,
+                    random_state=self._rng,
+                    **self._processor_kwargs,
+                )
+            else:  # hybrid
+                self._processors[key] = HybridExecutor(
+                    udf,
+                    requirement=self.requirement,
+                    random_state=self._rng,
+                    **self._processor_kwargs,
+                )
+        return self._processors[key]
+
+    # -- evaluation without a predicate ------------------------------------------------
+    def compute(self, udf: UDF, input_distribution: Distribution) -> ComputedOutput:
+        """Full output distribution of ``udf`` on one tuple's input vector."""
+        if self.strategy == "mc":
+            result = monte_carlo_output(
+                udf, input_distribution, requirement=self.requirement, random_state=self._rng
+            )
+            return ComputedOutput(
+                distribution=result.distribution,
+                error_bound=self.requirement.epsilon,
+                existence_probability=1.0,
+                dropped=False,
+                udf_calls=result.udf_calls,
+                charged_time=result.charged_time,
+            )
+        processor = self._processor_for(udf)
+        if isinstance(processor, HybridExecutor):
+            outcome = processor.process(input_distribution)
+            if hasattr(outcome, "error_bound"):
+                return ComputedOutput(
+                    distribution=outcome.distribution,
+                    error_bound=outcome.error_bound.epsilon_total,
+                    existence_probability=1.0,
+                    dropped=False,
+                    udf_calls=outcome.udf_calls,
+                    charged_time=outcome.charged_time,
+                )
+            return ComputedOutput(
+                distribution=outcome.distribution,
+                error_bound=self.requirement.epsilon,
+                existence_probability=1.0,
+                dropped=False,
+                udf_calls=outcome.udf_calls,
+                charged_time=outcome.charged_time,
+            )
+        result = processor.process(input_distribution)
+        return ComputedOutput(
+            distribution=result.distribution,
+            error_bound=result.error_bound.epsilon_total,
+            existence_probability=1.0,
+            dropped=False,
+            udf_calls=result.udf_calls,
+            charged_time=result.charged_time,
+        )
+
+    # -- evaluation with a selection predicate ------------------------------------------
+    def compute_with_predicate(
+        self, udf: UDF, input_distribution: Distribution, predicate: SelectionPredicate
+    ) -> ComputedOutput:
+        """Evaluate ``udf`` under a predicate, using online filtering (§2.2B, §5.5)."""
+        if self.strategy == "mc":
+            result = monte_carlo_with_filter(
+                udf,
+                input_distribution,
+                predicate,
+                requirement=self.requirement,
+                random_state=self._rng,
+            )
+            existence = result.decision.estimate
+            return ComputedOutput(
+                distribution=result.distribution,
+                error_bound=self.requirement.epsilon,
+                existence_probability=existence,
+                dropped=result.dropped,
+                udf_calls=result.udf_calls,
+                charged_time=result.charged_time,
+            )
+        processor = self._processor_for(udf)
+        if isinstance(processor, HybridExecutor):
+            # The hybrid executor delegates predicates to its chosen method;
+            # keep the logic simple by resolving the choice first.
+            decision = processor.decide(input_distribution)
+            if decision.method == "mc":
+                result = monte_carlo_with_filter(
+                    udf,
+                    input_distribution,
+                    predicate,
+                    requirement=self.requirement,
+                    random_state=self._rng,
+                )
+                return ComputedOutput(
+                    distribution=result.distribution,
+                    error_bound=self.requirement.epsilon,
+                    existence_probability=result.decision.estimate,
+                    dropped=result.dropped,
+                    udf_calls=result.udf_calls,
+                    charged_time=result.charged_time,
+                )
+            processor = processor._olgapro
+        filtered = processor.process_with_filter(input_distribution, predicate)
+        if filtered.dropped:
+            return ComputedOutput(
+                distribution=None,
+                error_bound=self.requirement.epsilon,
+                existence_probability=filtered.existence_probability,
+                dropped=True,
+                udf_calls=0,
+                charged_time=filtered.charged_time,
+            )
+        return ComputedOutput(
+            distribution=filtered.result.distribution,
+            error_bound=filtered.result.error_bound.epsilon_total,
+            existence_probability=filtered.existence_probability,
+            dropped=False,
+            udf_calls=filtered.result.udf_calls,
+            charged_time=filtered.charged_time,
+        )

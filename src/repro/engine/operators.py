@@ -1,0 +1,258 @@
+"""Physical query operators over uncertain relations (substrate S14).
+
+The operators are iterator-style: each consumes a stream of
+:class:`~repro.engine.tuples.UncertainTuple` and produces another stream.
+They cover what queries Q1 and Q2 of the paper need:
+
+* :class:`Scan`          — read a stored relation,
+* :class:`Project`       — keep a subset of attributes,
+* :class:`SelectWhere`   — filter on certain attributes with a plain predicate,
+* :class:`CrossJoin`     — pair tuples of two inputs with prefixed names,
+* :class:`ApplyUDF`      — evaluate a UDF on uncertain attributes, attaching
+  the output distribution and its error bound to the tuple,
+* :class:`SelectUDF`     — evaluate a UDF under a range predicate with online
+  filtering, dropping low-probability tuples and recording the tuple
+  existence probability of the survivors.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.filtering import SelectionPredicate
+from repro.engine.executor import UDFExecutionEngine
+from repro.engine.schema import Attribute, AttributeKind, Schema
+from repro.engine.tuples import Relation, UncertainTuple
+from repro.exceptions import QueryError
+from repro.udf.base import UDF
+
+
+class Operator(abc.ABC):
+    """A node of a physical query plan."""
+
+    @abc.abstractmethod
+    def schema(self) -> Schema:
+        """Schema of the tuples this operator produces."""
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[UncertainTuple]:
+        """Produce the output tuples."""
+
+    def execute(self, name: str = "result") -> Relation:
+        """Materialise the operator's output into a relation."""
+        result = Relation(name=name, schema=self.schema())
+        for row in self:
+            result.insert(row)
+        return result
+
+
+class Scan(Operator):
+    """Full scan of a stored relation."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+
+    def schema(self) -> Schema:
+        return self.relation.schema
+
+    def __iter__(self) -> Iterator[UncertainTuple]:
+        return iter(self.relation)
+
+
+class Project(Operator):
+    """Keep only the named attributes (plus any derived annotations)."""
+
+    def __init__(self, child: Operator, names: Sequence[str]):
+        if not names:
+            raise QueryError("projection requires at least one attribute")
+        self.child = child
+        self.names = list(names)
+        for name in self.names:
+            if name not in child.schema():
+                raise QueryError(f"cannot project unknown attribute {name!r}")
+
+    def schema(self) -> Schema:
+        return self.child.schema().project(self.names)
+
+    def __iter__(self) -> Iterator[UncertainTuple]:
+        for row in self.child:
+            projected = {name: row[name] for name in self.names}
+            out = UncertainTuple(
+                values=projected,
+                existence_probability=row.existence_probability,
+                annotations=dict(row.annotations),
+            )
+            yield out
+
+
+class SelectWhere(Operator):
+    """Filter tuples with an arbitrary predicate over certain attributes."""
+
+    def __init__(self, child: Operator, predicate: Callable[[UncertainTuple], bool]):
+        self.child = child
+        self.predicate = predicate
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def __iter__(self) -> Iterator[UncertainTuple]:
+        for row in self.child:
+            if self.predicate(row):
+                yield row
+
+
+class CrossJoin(Operator):
+    """Cartesian product of two inputs with prefixed attribute names.
+
+    Query Q2 joins ``Galaxy AS G1`` with ``Galaxy AS G2``; the prefixes
+    reproduce that aliasing.  An optional ``pair_filter`` lets callers prune
+    pairs cheaply on certain attributes (e.g. ``G1.objID < G2.objID``).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_prefix: str = "L",
+        right_prefix: str = "R",
+        pair_filter: Callable[[UncertainTuple], bool] | None = None,
+    ):
+        if left_prefix == right_prefix:
+            raise QueryError("join prefixes must differ")
+        self.left = left
+        self.right = right
+        self.left_prefix = left_prefix
+        self.right_prefix = right_prefix
+        self.pair_filter = pair_filter
+
+    def schema(self) -> Schema:
+        left_schema = self.left.schema().prefixed(self.left_prefix)
+        right_schema = self.right.schema().prefixed(self.right_prefix)
+        return Schema(left_schema.attributes + right_schema.attributes)
+
+    def __iter__(self) -> Iterator[UncertainTuple]:
+        right_rows = list(self.right)
+        for left_row in self.left:
+            for right_row in right_rows:
+                merged = left_row.merged_with(right_row, self.left_prefix, self.right_prefix)
+                if self.pair_filter is None or self.pair_filter(merged):
+                    yield merged
+
+
+class ApplyUDF(Operator):
+    """Evaluate a UDF on each tuple, adding the output distribution as a column.
+
+    The derived attribute stores the empirical output distribution; the
+    claimed error bound is recorded in ``annotations[alias + "_error_bound"]``
+    and the UDF cost in ``annotations[alias + "_udf_calls"]``.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        udf: UDF,
+        argument_names: Sequence[str],
+        alias: str,
+        engine: UDFExecutionEngine,
+    ):
+        if not argument_names:
+            raise QueryError("a UDF call needs at least one argument attribute")
+        for name in argument_names:
+            if name not in child.schema():
+                raise QueryError(f"UDF argument {name!r} is not in the input schema")
+        if alias in child.schema():
+            raise QueryError(f"alias {alias!r} collides with an existing attribute")
+        self.child = child
+        self.udf = udf
+        self.argument_names = list(argument_names)
+        self.alias = alias
+        self.engine = engine
+
+    def schema(self) -> Schema:
+        derived = Attribute(
+            self.alias,
+            AttributeKind.UNCERTAIN,
+            description=f"{self.udf.name}({', '.join(self.argument_names)})",
+        )
+        return self.child.schema().with_attribute(derived)
+
+    def __iter__(self) -> Iterator[UncertainTuple]:
+        for row in self.child:
+            input_distribution = row.input_distribution(self.argument_names)
+            output = self.engine.compute(self.udf, input_distribution)
+            out = row.with_value(self.alias, output.distribution)
+            out.annotations[f"{self.alias}_error_bound"] = output.error_bound
+            out.annotations[f"{self.alias}_udf_calls"] = output.udf_calls
+            out.annotations[f"{self.alias}_charged_time"] = output.charged_time
+            yield out
+
+
+class SelectUDF(Operator):
+    """Evaluate a UDF under a range predicate and filter improbable tuples.
+
+    Implements the WHERE clause of query Q2: the UDF output distribution is
+    restricted to ``[low, high]``, the tuple existence probability becomes
+    the probability mass inside that interval, and tuples whose existence
+    probability is (confidently) below the threshold are dropped using the
+    online-filtering machinery.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        udf: UDF,
+        argument_names: Sequence[str],
+        alias: str,
+        predicate: SelectionPredicate,
+        engine: UDFExecutionEngine,
+    ):
+        for name in argument_names:
+            if name not in child.schema():
+                raise QueryError(f"UDF argument {name!r} is not in the input schema")
+        if alias in child.schema():
+            raise QueryError(f"alias {alias!r} collides with an existing attribute")
+        self.child = child
+        self.udf = udf
+        self.argument_names = list(argument_names)
+        self.alias = alias
+        self.predicate = predicate
+        self.engine = engine
+
+    def schema(self) -> Schema:
+        derived = Attribute(
+            self.alias,
+            AttributeKind.UNCERTAIN,
+            description=(
+                f"{self.udf.name}({', '.join(self.argument_names)}) restricted to "
+                f"[{self.predicate.low}, {self.predicate.high}]"
+            ),
+        )
+        return self.child.schema().with_attribute(derived)
+
+    def __iter__(self) -> Iterator[UncertainTuple]:
+        for row in self.child:
+            input_distribution = row.input_distribution(self.argument_names)
+            output = self.engine.compute_with_predicate(
+                self.udf, input_distribution, self.predicate
+            )
+            if output.dropped or output.distribution is None:
+                continue
+            truncation = output.distribution.truncate(self.predicate.low, self.predicate.high)
+            existence = row.existence_probability * truncation.existence_probability
+            if truncation.distribution is None or existence < self.predicate.threshold:
+                continue
+            out = row.with_value(self.alias, truncation.distribution)
+            out.existence_probability = existence
+            out.annotations[f"{self.alias}_error_bound"] = output.error_bound
+            out.annotations[f"{self.alias}_udf_calls"] = output.udf_calls
+            out.annotations[f"{self.alias}_charged_time"] = output.charged_time
+            yield out
+
+
+def materialize(rows: Iterable[UncertainTuple], schema: Schema, name: str = "result") -> Relation:
+    """Collect an operator's output stream into a relation."""
+    relation = Relation(name=name, schema=schema)
+    for row in rows:
+        relation.insert(row)
+    return relation

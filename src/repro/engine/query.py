@@ -1,0 +1,141 @@
+"""A small fluent query builder over uncertain relations.
+
+This is the user-facing layer of the query-engine substrate.  It builds the
+physical plans of the operator module for queries shaped like the paper's
+Q1 and Q2::
+
+    # Q1: Select G.objID, GalAge(G.redshift) From Galaxy G
+    result = (
+        Query(galaxy)
+        .apply_udf(galage, ["redshift"], alias="galage")
+        .project(["objID", "galage"])
+        .run(engine)
+    )
+
+    # Q2-style: join + UDF + range predicate on the UDF output
+    result = (
+        Query(galaxy).alias("G1")
+        .cross_join(galaxy, alias="G2", pair_filter=lambda t: t["G1.objID"] < t["G2.objID"])
+        .where_udf(distance, ["G1.ra_offset", "G1.dec_offset", "G2.ra_offset", "G2.dec_offset"],
+                   alias="dist", low=0.5, high=2.0, threshold=0.1)
+        .apply_udf(comove_vol, ["G1.redshift", "G2.redshift"], alias="covol")
+        .run(engine)
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.filtering import SelectionPredicate
+from repro.engine.executor import UDFExecutionEngine
+from repro.engine.operators import (
+    ApplyUDF,
+    CrossJoin,
+    Operator,
+    Project,
+    Scan,
+    SelectUDF,
+    SelectWhere,
+)
+from repro.engine.tuples import Relation, UncertainTuple
+from repro.exceptions import QueryError
+from repro.udf.base import UDF
+
+
+class Query:
+    """Fluent builder that accumulates a plan of deferred operators."""
+
+    def __init__(self, relation: Relation):
+        self._relation = relation
+        self._alias: str | None = None
+        #: Deferred plan construction steps; each maps an Operator to the next.
+        self._steps: list[Callable[[Operator, UDFExecutionEngine], Operator]] = []
+
+    # -- plan-building steps ----------------------------------------------------------
+    def alias(self, name: str) -> "Query":
+        """Name this relation for use as a join prefix."""
+        if not name:
+            raise QueryError("alias must be non-empty")
+        self._alias = name
+        return self
+
+    def cross_join(
+        self,
+        other: Relation,
+        alias: str,
+        pair_filter: Callable[[UncertainTuple], bool] | None = None,
+    ) -> "Query":
+        """Cartesian-join with another relation; attributes become prefixed."""
+        left_alias = self._alias or self._relation.name
+        if left_alias == alias:
+            raise QueryError("join aliases must differ")
+
+        def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
+            return CrossJoin(
+                child,
+                Scan(other),
+                left_prefix=left_alias,
+                right_prefix=alias,
+                pair_filter=pair_filter,
+            )
+
+        self._steps.append(build)
+        return self
+
+    def where(self, predicate: Callable[[UncertainTuple], bool]) -> "Query":
+        """Filter on certain attributes with an arbitrary Python predicate."""
+
+        def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
+            return SelectWhere(child, predicate)
+
+        self._steps.append(build)
+        return self
+
+    def apply_udf(self, udf: UDF, arguments: Sequence[str], alias: str) -> "Query":
+        """Evaluate a UDF on each tuple and keep its output distribution."""
+
+        def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
+            return ApplyUDF(child, udf, arguments, alias, engine)
+
+        self._steps.append(build)
+        return self
+
+    def where_udf(
+        self,
+        udf: UDF,
+        arguments: Sequence[str],
+        alias: str,
+        low: float,
+        high: float,
+        threshold: float = 0.1,
+    ) -> "Query":
+        """Evaluate a UDF under a range predicate and drop improbable tuples."""
+        predicate = SelectionPredicate(low=low, high=high, threshold=threshold)
+
+        def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
+            return SelectUDF(child, udf, arguments, alias, predicate, engine)
+
+        self._steps.append(build)
+        return self
+
+    def project(self, names: Sequence[str]) -> "Query":
+        """Keep only the named attributes in the result."""
+
+        def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
+            return Project(child, names)
+
+        self._steps.append(build)
+        return self
+
+    # -- execution --------------------------------------------------------------------
+    def plan(self, engine: UDFExecutionEngine) -> Operator:
+        """Build the physical operator tree without executing it."""
+        operator: Operator = Scan(self._relation)
+        for step in self._steps:
+            operator = step(operator, engine)
+        return operator
+
+    def run(self, engine: UDFExecutionEngine, name: str = "result") -> Relation:
+        """Execute the query and materialise the result relation."""
+        return self.plan(engine).execute(name=name)

@@ -1,0 +1,107 @@
+"""Relational schema for uncertain relations (substrate S14).
+
+The data model follows the paper's running example: a relation such as
+``Galaxy(objID, pos^p, redshift^p, ...)`` has ordinary (certain) attributes
+and probabilistic (uncertain) attributes whose per-tuple values are
+continuous or discrete distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from repro.exceptions import SchemaError
+
+
+class AttributeKind(Enum):
+    """Whether an attribute stores a plain value or a distribution."""
+
+    CERTAIN = "certain"
+    UNCERTAIN = "uncertain"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named column of a relation."""
+
+    name: str
+    kind: AttributeKind = AttributeKind.CERTAIN
+    #: Dimensionality of the attribute's value (uncertain positions may be 2-D).
+    dimension: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.dimension <= 0:
+            raise SchemaError("attribute dimension must be positive")
+
+    @property
+    def is_uncertain(self) -> bool:
+        """Whether the attribute carries a probability distribution per tuple."""
+        return self.kind is AttributeKind.UNCERTAIN
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of attributes with unique names."""
+
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+
+    @staticmethod
+    def of(attributes: Iterable[Attribute]) -> "Schema":
+        """Build a schema from any iterable of attributes."""
+        return Schema(tuple(attributes))
+
+    def __contains__(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"unknown attribute {name!r}; schema has {self.names()}")
+
+    def names(self) -> list[str]:
+        """Attribute names in schema order."""
+        return [a.name for a in self.attributes]
+
+    def uncertain_names(self) -> list[str]:
+        """Names of the uncertain attributes."""
+        return [a.name for a in self.attributes if a.is_uncertain]
+
+    def with_attribute(self, attribute: Attribute) -> "Schema":
+        """New schema with one attribute appended."""
+        return Schema(self.attributes + (attribute,))
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """New schema restricted to ``names`` (order follows ``names``)."""
+        return Schema(tuple(self.attribute(n) for n in names))
+
+    def prefixed(self, prefix: str) -> "Schema":
+        """New schema with every attribute renamed ``prefix.name`` (for joins)."""
+        return Schema(
+            tuple(
+                Attribute(
+                    name=f"{prefix}.{a.name}",
+                    kind=a.kind,
+                    dimension=a.dimension,
+                    description=a.description,
+                )
+                for a in self.attributes
+            )
+        )

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch every failure mode of the framework with a single ``except`` clause
+while still being able to distinguish specific conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DistributionError(ReproError):
+    """Raised when an uncertain-data distribution is misconfigured.
+
+    Examples: a negative standard deviation, mixture weights that do not sum
+    to one, or a covariance matrix that is not positive semi-definite.
+    """
+
+
+class EmptySampleError(DistributionError):
+    """Raised when an empirical distribution is built from zero samples."""
+
+
+class UDFError(ReproError):
+    """Raised when a user-defined function cannot be evaluated.
+
+    This covers both malformed UDF registrations (wrong dimensionality,
+    non-scalar output) and failures raised by the black-box code itself.
+    """
+
+
+class GPError(ReproError):
+    """Raised for Gaussian-process failures (singular kernel matrix, etc.)."""
+
+
+class NotTrainedError(GPError):
+    """Raised when inference is requested from a GP with no training data."""
+
+
+class AccuracyError(ReproError):
+    """Raised for invalid accuracy specifications.
+
+    Examples: ``epsilon`` outside ``(0, 1)``, ``delta`` outside ``(0, 1)``, or
+    an error-budget split that does not sum to the total budget.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an online algorithm cannot meet its accuracy target.
+
+    OLGAPRO raises this when the maximum number of training points allowed
+    for a single input tuple has been exhausted and the error bound still
+    exceeds the user requirement.
+    """
+
+
+class IndexError_(ReproError):
+    """Raised for spatial-index (R-tree) misuse.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class SchemaError(ReproError):
+    """Raised by the query-engine substrate for schema violations."""
+
+
+class QueryError(ReproError):
+    """Raised when a logical query plan is malformed or cannot be executed."""

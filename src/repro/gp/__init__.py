@@ -1,0 +1,52 @@
+"""Gaussian-process regression substrate (S4), built from scratch on numpy.
+
+Public surface: kernels (:class:`SquaredExponential`, :class:`Matern32`,
+:class:`Matern52`), the exact :class:`GaussianProcess` regressor with
+incremental updates, and MLE hyperparameter training utilities.
+"""
+
+from repro.gp.kernels import (
+    KERNELS,
+    Kernel,
+    Matern32,
+    Matern52,
+    SquaredExponential,
+    make_kernel,
+    pairwise_sq_dists,
+)
+from repro.gp.linalg import (
+    block_inverse_update,
+    inverse_from_cholesky,
+    jittered_cholesky,
+    log_det_from_cholesky,
+    solve_cholesky,
+)
+from repro.gp.regression import GaussianProcess
+from repro.gp.training import (
+    TrainingResult,
+    fit_hyperparameters,
+    gradient_step,
+    initial_hyperparameters,
+    newton_step,
+)
+
+__all__ = [
+    "Kernel",
+    "SquaredExponential",
+    "Matern32",
+    "Matern52",
+    "KERNELS",
+    "make_kernel",
+    "pairwise_sq_dists",
+    "GaussianProcess",
+    "jittered_cholesky",
+    "solve_cholesky",
+    "inverse_from_cholesky",
+    "log_det_from_cholesky",
+    "block_inverse_update",
+    "TrainingResult",
+    "fit_hyperparameters",
+    "initial_hyperparameters",
+    "gradient_step",
+    "newton_step",
+]

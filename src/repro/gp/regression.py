@@ -1,0 +1,305 @@
+"""Exact Gaussian-process regression with incremental updates.
+
+Implements Section 3.3 (inference for new input points), the marginal
+likelihood and its derivatives used in Section 3.4 / 5.3, and the
+incremental inverse-covariance update of Section 5.2 that lets OLGAPRO add
+training points online in ``O(n^2)``.
+
+The model follows the paper's choices: zero mean function and a stationary
+kernel; a small observation-noise variance is kept on the diagonal for
+numerical stability (UDFs are deterministic, so this acts as jitter).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_JITTER
+from repro.exceptions import GPError, NotTrainedError
+from repro.gp.kernels import Kernel, SquaredExponential
+from repro.gp.linalg import (
+    block_inverse_update,
+    inverse_from_cholesky,
+    jittered_cholesky,
+    log_det_from_cholesky,
+    symmetrize,
+)
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class GaussianProcess:
+    """Zero-mean GP regressor over a black-box scalar function.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance function; defaults to the paper's squared-exponential.
+    noise_variance:
+        Diagonal noise / jitter added to the training covariance matrix.
+    refresh_every:
+        After this many incremental point additions the inverse covariance
+        matrix is recomputed from a fresh Cholesky factorisation to stop
+        floating-point drift from accumulating.
+    center_targets:
+        When true (default) the GP is fitted to the training targets minus
+        their mean and the mean is added back at prediction time.  This is
+        equivalent to using a constant mean function and removes the
+        degenerate maximum-likelihood modes a strict zero-mean model exhibits
+        on targets with a large offset.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        noise_variance: float = DEFAULT_JITTER,
+        refresh_every: int = 64,
+        center_targets: bool = True,
+    ):
+        if noise_variance < 0:
+            raise GPError("noise_variance must be non-negative")
+        if refresh_every <= 0:
+            raise GPError("refresh_every must be positive")
+        self.kernel = kernel if kernel is not None else SquaredExponential()
+        self.noise_variance = float(noise_variance)
+        self.refresh_every = int(refresh_every)
+        self.center_targets = bool(center_targets)
+
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._offset = 0.0
+        self._K_inv: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._log_det: Optional[float] = None
+        self._adds_since_refresh = 0
+
+    # -- training-set accessors -------------------------------------------------
+    @property
+    def n_training(self) -> int:
+        """Number of training points currently in the model."""
+        return 0 if self._X is None else int(self._X.shape[0])
+
+    @property
+    def X_train(self) -> np.ndarray:
+        """Training inputs with shape ``(n, d)``."""
+        self._require_trained()
+        return self._X.copy()
+
+    @property
+    def y_train(self) -> np.ndarray:
+        """Training targets with shape ``(n,)``."""
+        self._require_trained()
+        return self._y.copy()
+
+    @property
+    def alpha(self) -> np.ndarray:
+        """The weight vector ``K^{-1} (y - offset)`` used for O(n) mean prediction (§5.1)."""
+        self._require_trained()
+        return self._alpha.copy()
+
+    @property
+    def mean_offset(self) -> float:
+        """Constant added back to every mean prediction (0 when not centering)."""
+        return self._offset
+
+    @property
+    def K_inv(self) -> np.ndarray:
+        """Inverse of the (noise-augmented) training covariance matrix."""
+        self._require_trained()
+        return self._K_inv.copy()
+
+    @property
+    def dimension(self) -> int:
+        """Input dimensionality of the modelled function."""
+        self._require_trained()
+        return int(self._X.shape[1])
+
+    # -- fitting -----------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """(Re)build the model from scratch on the given training data.
+
+        Cost is ``O(n^3)`` for the Cholesky factorisation, matching the
+        training-complexity discussion in Section 3.3.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise GPError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} values"
+            )
+        if X.shape[0] == 0:
+            raise GPError("cannot fit a GP on zero training points")
+        self._X = X.copy()
+        self._y = y.copy()
+        self._recompute()
+        return self
+
+    def add_point(self, x: np.ndarray, y: float) -> None:
+        """Add one training point, updating ``K^{-1}`` incrementally (§5.2)."""
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        if self._X is None:
+            self.fit(x.reshape(1, -1), np.array([y]))
+            return
+        if x.shape != (self._X.shape[1],):
+            raise GPError(
+                f"point has shape {x.shape}, expected ({self._X.shape[1]},)"
+            )
+        k_new = self.kernel(self._X, x.reshape(1, -1)).ravel()
+        k_self = float(self.kernel.diag(x.reshape(1, -1))[0]) + self.effective_noise()
+        try:
+            new_inv = block_inverse_update(self._K_inv, k_new, k_self)
+        except GPError:
+            # Degenerate update (duplicate point); fall back to a full refit
+            # which applies escalating jitter.
+            self._X = np.vstack([self._X, x])
+            self._y = np.append(self._y, y)
+            self._recompute()
+            return
+        self._X = np.vstack([self._X, x])
+        self._y = np.append(self._y, y)
+        self._K_inv = symmetrize(new_inv)
+        # Keep the existing offset for incremental updates; it is refreshed on
+        # the next full recompute.
+        self._alpha = self._K_inv @ (self._y - self._offset)
+        self._log_det = None  # recomputed lazily when the likelihood is needed
+        self._adds_since_refresh += 1
+        if self._adds_since_refresh >= self.refresh_every:
+            self._recompute()
+
+    def set_hyperparameters(self, theta: np.ndarray) -> None:
+        """Set kernel hyperparameters (log space) and refit the matrices."""
+        self.kernel.theta = np.asarray(theta, dtype=float)
+        if self._X is not None:
+            self._recompute()
+
+    # -- prediction ----------------------------------------------------------------
+    def predict(
+        self, X_test: np.ndarray, return_std: bool = True
+    ) -> tuple[np.ndarray, np.ndarray] | np.ndarray:
+        """Posterior mean (and standard deviation) at the test inputs.
+
+        Implements Eq. (2): ``m = K(X, X*) K(X*, X*)^{-1} f*`` and
+        ``Sigma = K(X, X) - K(X, X*) K(X*, X*)^{-1} K(X*, X)`` (diagonal only).
+        """
+        self._require_trained()
+        X_test = np.atleast_2d(np.asarray(X_test, dtype=float))
+        K_star = self.kernel(X_test, self._X)
+        mean = K_star @ self._alpha + self._offset
+        if not return_std:
+            return mean
+        # Only the marginal variances are needed by the framework.
+        tmp = K_star @ self._K_inv
+        var = self.kernel.diag(X_test) - np.sum(tmp * K_star, axis=1)
+        var = np.maximum(var, 0.0)
+        return mean, np.sqrt(var)
+
+    def predict_mean(self, X_test: np.ndarray) -> np.ndarray:
+        """Posterior mean only — ``O(n)`` per test point via the cached alpha."""
+        self._require_trained()
+        X_test = np.atleast_2d(np.asarray(X_test, dtype=float))
+        return self.kernel(X_test, self._X) @ self._alpha + self._offset
+
+    def sample_posterior(
+        self, X_test: np.ndarray, n_samples: int = 1, random_state=None
+    ) -> np.ndarray:
+        """Draw sample functions from the posterior at the test inputs.
+
+        Returns an array with shape ``(n_samples, len(X_test))``.  Used by
+        tests to validate that the simultaneous confidence band actually
+        contains posterior sample paths with the advertised probability.
+        """
+        from repro.rng import as_generator
+
+        self._require_trained()
+        X_test = np.atleast_2d(np.asarray(X_test, dtype=float))
+        K_star = self.kernel(X_test, self._X)
+        mean = K_star @ self._alpha + self._offset
+        cov = self.kernel(X_test, X_test) - K_star @ self._K_inv @ K_star.T
+        cov = symmetrize(cov)
+        L, _ = jittered_cholesky(cov + 1e-12 * np.eye(cov.shape[0]))
+        rng = as_generator(random_state)
+        z = rng.standard_normal(size=(n_samples, X_test.shape[0]))
+        return mean + z @ L.T
+
+    # -- marginal likelihood and derivatives ------------------------------------------
+    def log_marginal_likelihood(self) -> float:
+        """``log p(y | X, theta)`` for the current hyperparameters (§3.4)."""
+        self._require_trained()
+        if self._log_det is None:
+            self._refresh_log_det()
+        n = self.n_training
+        fit_term = float((self._y - self._offset) @ self._alpha)
+        return -0.5 * fit_term - 0.5 * self._log_det - 0.5 * n * _LOG_2PI
+
+    def log_marginal_likelihood_gradient(self) -> np.ndarray:
+        """Gradient of the log marginal likelihood w.r.t. ``kernel.theta``.
+
+        Uses the standard identity ``dL/dtheta_j = 0.5 tr[(alpha alpha^T -
+        K^{-1}) dK/dtheta_j]``.
+        """
+        self._require_trained()
+        grads = self.kernel.gradients(self._X)
+        outer = np.outer(self._alpha, self._alpha)
+        inner = outer - self._K_inv
+        return np.array([0.5 * np.sum(inner * dK) for dK in grads])
+
+    def log_marginal_likelihood_hessian_diag(self) -> np.ndarray:
+        """Per-hyperparameter second derivatives ``d^2 L / d theta_j^2``.
+
+        Follows the formula quoted in Section 5.3 of the paper, with
+        ``dK^{-1}/dtheta_j = -K^{-1} (dK/dtheta_j) K^{-1}``.  These feed the
+        Newton-step retraining heuristic.
+        """
+        self._require_trained()
+        grads = self.kernel.gradients(self._X)
+        seconds = self.kernel.second_derivatives(self._X)
+        K_inv = self._K_inv
+        y = self._y - self._offset
+        yyT = np.outer(y, y)
+        K_inv_yyT = K_inv @ yyT
+        hessian = np.empty(len(grads))
+        for j, (dK, d2K) in enumerate(zip(grads, seconds)):
+            dK_inv = -K_inv @ dK @ K_inv
+            term1 = dK_inv @ K_inv_yyT.T  # (dK^{-1} y y^T K^{-1})
+            term2 = K_inv_yyT @ dK_inv  # (K^{-1} y y^T dK^{-1})
+            first = (term1 + term2 - dK_inv) @ dK
+            second = (K_inv @ yyT @ K_inv - K_inv) @ d2K
+            hessian[j] = 0.5 * float(np.trace(first) + np.trace(second))
+        return hessian
+
+    # -- internals -----------------------------------------------------------------
+    def effective_noise(self) -> float:
+        """Diagonal nugget actually added to the training covariance matrix.
+
+        The configured noise is treated as a floor; an additional relative
+        jitter proportional to the signal variance keeps the condition number
+        of the kernel matrix bounded (and the weight vector α well behaved)
+        even when maximum-likelihood training drives the signal variance to
+        large values or training points cluster tightly.
+        """
+        return max(self.noise_variance, 1e-7 * self.kernel.signal_std**2)
+
+    def _recompute(self) -> None:
+        self._offset = float(np.mean(self._y)) if self.center_targets else 0.0
+        K = self.kernel(self._X, self._X) + self.effective_noise() * np.eye(self._X.shape[0])
+        L, _ = jittered_cholesky(K)
+        self._K_inv = inverse_from_cholesky(L)
+        self._alpha = self._K_inv @ (self._y - self._offset)
+        self._log_det = log_det_from_cholesky(L)
+        self._adds_since_refresh = 0
+
+    def _refresh_log_det(self) -> None:
+        K = self.kernel(self._X, self._X) + self.effective_noise() * np.eye(self._X.shape[0])
+        L, _ = jittered_cholesky(K)
+        self._log_det = log_det_from_cholesky(L)
+
+    def _require_trained(self) -> None:
+        if self._X is None:
+            raise NotTrainedError("the GP has no training data yet")
+
+    def __repr__(self) -> str:
+        return (
+            f"GaussianProcess(kernel={self.kernel!r}, n_training={self.n_training})"
+        )

@@ -1,0 +1,6 @@
+"""Spatial-index substrate (S7): bounding boxes and a from-scratch R-tree."""
+
+from repro.index.bounding_box import BoundingBox, union_of_boxes
+from repro.index.rtree import RTree
+
+__all__ = ["BoundingBox", "union_of_boxes", "RTree"]

@@ -1,0 +1,46 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component of the library accepts either a seed, an existing
+:class:`numpy.random.Generator`, or ``None``.  This module centralises the
+conversion so behaviour is reproducible when a seed is supplied and properly
+independent when child generators are spawned.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+
+
+def as_generator(random_state: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for fresh OS entropy, an ``int`` seed for reproducibility,
+        or an existing generator which is returned unchanged.
+    """
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(random_state)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Child streams are derived through ``Generator.spawn`` so that parallel
+    workloads (e.g. per-tuple sampling in the query engine) do not share a
+    stream and therefore do not produce correlated samples.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return list(rng.spawn(count))
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh 63-bit seed from ``rng`` for handing to external code."""
+    return int(rng.integers(0, 2**63 - 1))

@@ -1,0 +1,51 @@
+"""User-defined-function substrate (S11, S12).
+
+Public surface: the instrumented black-box :class:`UDF` wrapper, synthetic
+Gaussian-mixture functions of controlled shape (F1–F4 and the
+dimensionality-sweep family), the astrophysics cosmology UDFs of the §6.4
+case study, and the name registry used by the query engine.
+"""
+
+from repro.udf.astro import (
+    Cosmology,
+    angdist_udf,
+    angular_separation_deg,
+    case_study_udfs,
+    comove_vol_udf,
+    distance_modulus_udf,
+    galage_udf,
+    lookback_time_udf,
+    sky_distance_udf,
+)
+from repro.udf.base import UDF, as_udf
+from repro.udf.registry import UDFRegistry, default_registry
+from repro.udf.synthetic import (
+    GaussianMixtureFunction,
+    MixtureSpec,
+    high_dimensional_function,
+    make_mixture_udf,
+    reference_function,
+    reference_suite,
+)
+
+__all__ = [
+    "UDF",
+    "as_udf",
+    "UDFRegistry",
+    "default_registry",
+    "GaussianMixtureFunction",
+    "MixtureSpec",
+    "make_mixture_udf",
+    "reference_function",
+    "reference_suite",
+    "high_dimensional_function",
+    "Cosmology",
+    "galage_udf",
+    "comove_vol_udf",
+    "angdist_udf",
+    "sky_distance_udf",
+    "lookback_time_udf",
+    "distance_modulus_udf",
+    "angular_separation_deg",
+    "case_study_udfs",
+]

@@ -1,0 +1,59 @@
+"""Registry mapping UDF names to implementations for the query engine.
+
+Query text such as ``GalAge(G.redshift)`` refers to UDFs by name; the engine
+resolves those names through a :class:`UDFRegistry`.  A default registry
+pre-populated with the astrophysics case-study functions is available via
+:func:`default_registry`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.exceptions import UDFError
+from repro.udf.base import UDF
+
+
+class UDFRegistry:
+    """Name -> :class:`UDF` mapping with case-insensitive lookup."""
+
+    def __init__(self) -> None:
+        self._udfs: dict[str, UDF] = {}
+
+    def register(self, udf: UDF, name: str | None = None, replace: bool = False) -> None:
+        """Register ``udf`` under ``name`` (defaults to ``udf.name``)."""
+        key = (name or udf.name).lower()
+        if not key:
+            raise UDFError("UDF name must be non-empty")
+        if key in self._udfs and not replace:
+            raise UDFError(f"UDF {key!r} is already registered")
+        self._udfs[key] = udf
+
+    def get(self, name: str) -> UDF:
+        """Look up a UDF by name; raises :class:`UDFError` if unknown."""
+        key = name.lower()
+        if key not in self._udfs:
+            raise UDFError(
+                f"unknown UDF {name!r}; registered: {sorted(self._udfs)}"
+            )
+        return self._udfs[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._udfs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._udfs))
+
+    def __len__(self) -> int:
+        return len(self._udfs)
+
+
+def default_registry() -> UDFRegistry:
+    """Registry pre-populated with the astrophysics case-study UDFs."""
+    from repro.udf.astro import case_study_udfs, sky_distance_udf
+
+    registry = UDFRegistry()
+    for udf in case_study_udfs().values():
+        registry.register(udf)
+    registry.register(sky_distance_udf())
+    return registry

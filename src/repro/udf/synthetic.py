@@ -1,0 +1,204 @@
+"""Synthetic UDFs with controlled shape, dimensionality and cost (§6.1A).
+
+The paper generates test functions as Gaussian mixtures: the number of
+components controls the number of peaks ("bumpiness"), the component
+covariance controls how spiky / stretched the peaks are, and the component
+means set the domain.  Four reference two-dimensional functions F1–F4 are
+the combinations of {1, 5} components x {large, small} component variance;
+Expt 7 additionally varies the input dimensionality from 1 to 10.
+
+The evaluation-time knob ``T`` of Expt 5 maps to
+:attr:`repro.udf.base.UDF.simulated_eval_time`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_DOMAIN_HIGH, DEFAULT_DOMAIN_LOW
+from repro.exceptions import UDFError
+from repro.rng import RandomState, as_generator
+from repro.udf.base import UDF
+
+
+@dataclass(frozen=True)
+class MixtureSpec:
+    """Parameters of a synthetic Gaussian-mixture function."""
+
+    dimension: int
+    n_components: int
+    component_std: float
+    amplitude: float = 1.0
+    domain_low: float = DEFAULT_DOMAIN_LOW
+    domain_high: float = DEFAULT_DOMAIN_HIGH
+
+
+class GaussianMixtureFunction:
+    """Deterministic scalar function built as a sum of Gaussian bumps.
+
+    ``f(x) = sum_i a_i * exp(-||x - c_i||^2 / (2 s_i^2)) + baseline``
+
+    The baseline keeps the function strictly positive, which makes relative
+    errors (Profile 1 in the paper) well defined everywhere.
+    """
+
+    def __init__(
+        self,
+        centers: np.ndarray,
+        stds: np.ndarray,
+        amplitudes: np.ndarray,
+        baseline: float = 0.5,
+        domain: Optional[tuple[np.ndarray, np.ndarray]] = None,
+    ):
+        centers = np.atleast_2d(np.asarray(centers, dtype=float))
+        stds = np.asarray(stds, dtype=float).ravel()
+        amplitudes = np.asarray(amplitudes, dtype=float).ravel()
+        if centers.shape[0] != stds.size or centers.shape[0] != amplitudes.size:
+            raise UDFError("centers, stds and amplitudes must have matching lengths")
+        if np.any(stds <= 0):
+            raise UDFError("component stds must be positive")
+        self.centers = centers
+        self.stds = stds
+        self.amplitudes = amplitudes
+        self.baseline = float(baseline)
+        self.domain = domain
+
+    @property
+    def dimension(self) -> int:
+        """Input dimensionality d."""
+        return self.centers.shape[1]
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation at the rows of ``X`` (or a single point)."""
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        X = np.atleast_2d(X)
+        if X.shape[1] != self.dimension:
+            raise UDFError(
+                f"input has {X.shape[1]} columns, expected {self.dimension}"
+            )
+        diffs = X[:, None, :] - self.centers[None, :, :]
+        sq = np.sum(diffs**2, axis=-1)
+        values = self.baseline + np.sum(
+            self.amplitudes * np.exp(-0.5 * sq / self.stds**2), axis=-1
+        )
+        return float(values[0]) if single else values
+
+    def value_range(self, n_grid: int = 4096, random_state: RandomState = 0) -> tuple[float, float]:
+        """Approximate (min, max) of the function over its domain.
+
+        Used to express λ, Γ and relative errors "as a percentage of the
+        function range", exactly as the paper's experiments do.
+        """
+        rng = as_generator(random_state)
+        if self.domain is not None:
+            low, high = self.domain
+        else:
+            low = self.centers.min(axis=0) - 3 * self.stds.max()
+            high = self.centers.max(axis=0) + 3 * self.stds.max()
+        probes = rng.uniform(low, high, size=(n_grid, self.dimension))
+        # Include the component centres: the maxima live there.
+        probes = np.vstack([probes, self.centers])
+        values = self(probes)
+        return float(np.min(values)), float(np.max(values))
+
+
+def make_mixture_udf(
+    spec: MixtureSpec,
+    simulated_eval_time: float = 0.0,
+    name: Optional[str] = None,
+    random_state: RandomState = 0,
+) -> UDF:
+    """Build an instrumented :class:`UDF` from a :class:`MixtureSpec`."""
+    if spec.dimension <= 0:
+        raise UDFError("dimension must be positive")
+    if spec.n_components <= 0:
+        raise UDFError("n_components must be positive")
+    rng = as_generator(random_state)
+    low = np.full(spec.dimension, spec.domain_low)
+    high = np.full(spec.dimension, spec.domain_high)
+    span = spec.domain_high - spec.domain_low
+    # Keep component centres away from the very edge of the domain so that
+    # the interesting structure is where input distributions will live.
+    centers = rng.uniform(
+        spec.domain_low + 0.1 * span,
+        spec.domain_high - 0.1 * span,
+        size=(spec.n_components, spec.dimension),
+    )
+    stds = np.full(spec.n_components, spec.component_std)
+    amplitudes = spec.amplitude * rng.uniform(0.5, 1.5, size=spec.n_components)
+    function = GaussianMixtureFunction(centers, stds, amplitudes, domain=(low, high))
+    return UDF(
+        function,
+        dimension=spec.dimension,
+        name=name or f"gmm_d{spec.dimension}_k{spec.n_components}",
+        vectorized=True,
+        simulated_eval_time=simulated_eval_time,
+        domain=(low, high),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The four reference functions of Fig. 4: combinations of {1, 5} components and
+# {large, small} component variance over the default [0, 10]^2 domain.
+# ---------------------------------------------------------------------------
+
+_F_SPECS = {
+    "F1": MixtureSpec(dimension=2, n_components=1, component_std=3.0, amplitude=2.0),
+    "F2": MixtureSpec(dimension=2, n_components=1, component_std=0.8, amplitude=2.0),
+    "F3": MixtureSpec(dimension=2, n_components=5, component_std=3.0, amplitude=2.0),
+    "F4": MixtureSpec(dimension=2, n_components=5, component_std=0.8, amplitude=2.0),
+}
+
+
+def reference_function(
+    name: str, simulated_eval_time: float = 0.0, random_state: RandomState = 7
+) -> UDF:
+    """One of the paper's reference functions ``F1``–``F4`` (Fig. 4).
+
+    F1: one flat peak (smooth); F2: one narrow peak (spiky); F3: five broad
+    peaks (bumpy); F4: five narrow peaks (the hardest case, used as the
+    default function in Expts 1–3 and 6).
+    """
+    key = name.upper()
+    if key not in _F_SPECS:
+        raise UDFError(f"unknown reference function {name!r}; choose from F1..F4")
+    return make_mixture_udf(
+        _F_SPECS[key],
+        simulated_eval_time=simulated_eval_time,
+        name=key,
+        random_state=random_state,
+    )
+
+
+def reference_suite(simulated_eval_time: float = 0.0) -> dict[str, UDF]:
+    """All four reference functions keyed by name."""
+    return {
+        name: reference_function(name, simulated_eval_time=simulated_eval_time)
+        for name in _F_SPECS
+    }
+
+
+def high_dimensional_function(
+    dimension: int,
+    n_components: int = 5,
+    component_std: float = 2.0,
+    simulated_eval_time: float = 0.0,
+    random_state: RandomState = 11,
+) -> UDF:
+    """Synthetic function for the dimensionality sweep of Expt 7 (d = 1..10)."""
+    spec = MixtureSpec(
+        dimension=dimension,
+        n_components=n_components,
+        component_std=component_std,
+        amplitude=2.0,
+    )
+    return make_mixture_udf(
+        spec,
+        simulated_eval_time=simulated_eval_time,
+        name=f"synthetic_d{dimension}",
+        random_state=random_state,
+    )

@@ -1,0 +1,21 @@
+"""Workload generators for the evaluation experiments (substrate S15)."""
+
+from repro.workloads.generators import (
+    InputFamily,
+    WorkloadSpec,
+    input_distribution,
+    input_stream,
+    selectivity_predicate,
+    true_output_distribution,
+    workload_for_udf,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "InputFamily",
+    "input_distribution",
+    "input_stream",
+    "workload_for_udf",
+    "true_output_distribution",
+    "selectivity_predicate",
+]

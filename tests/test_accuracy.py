@@ -1,0 +1,105 @@
+"""Unit tests for accuracy requirements, budgets and sample-size bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.accuracy import (
+    AccuracyRequirement,
+    ks_epsilon_for_samples,
+    required_mc_samples,
+)
+from repro.exceptions import AccuracyError
+
+
+class TestAccuracyRequirement:
+    def test_defaults_match_paper(self):
+        req = AccuracyRequirement()
+        assert req.epsilon == 0.1
+        assert req.delta == 0.05
+        assert req.metric == "discrepancy"
+
+    def test_validation(self):
+        with pytest.raises(AccuracyError):
+            AccuracyRequirement(epsilon=0.0)
+        with pytest.raises(AccuracyError):
+            AccuracyRequirement(epsilon=1.5)
+        with pytest.raises(AccuracyError):
+            AccuracyRequirement(delta=0.0)
+        with pytest.raises(AccuracyError):
+            AccuracyRequirement(metric="tv")
+        with pytest.raises(AccuracyError):
+            AccuracyRequirement(lambda_value=-1.0)
+
+    def test_with_lambda_fraction(self):
+        req = AccuracyRequirement().with_lambda_fraction(output_range=50.0, fraction=0.01)
+        assert req.lambda_value == pytest.approx(0.5)
+        with pytest.raises(AccuracyError):
+            AccuracyRequirement().with_lambda_fraction(output_range=0.0)
+
+
+class TestBudgetSplit:
+    def test_epsilon_split_sums(self):
+        budget = AccuracyRequirement(epsilon=0.1, delta=0.05).split(mc_fraction=0.7)
+        assert budget.epsilon_mc == pytest.approx(0.07)
+        assert budget.epsilon_gp == pytest.approx(0.03)
+        assert budget.epsilon_mc + budget.epsilon_gp == pytest.approx(0.1)
+
+    def test_delta_split_preserves_confidence(self):
+        req = AccuracyRequirement(epsilon=0.1, delta=0.05)
+        budget = req.split()
+        joint = (1 - budget.delta_mc) * (1 - budget.delta_gp)
+        assert joint == pytest.approx(1 - req.delta, abs=1e-12)
+
+    def test_invalid_fractions(self):
+        req = AccuracyRequirement()
+        with pytest.raises(AccuracyError):
+            req.split(mc_fraction=0.0)
+        with pytest.raises(AccuracyError):
+            req.split(mc_fraction=1.0)
+        with pytest.raises(AccuracyError):
+            req.split(mc_delta_fraction=1.0)
+
+    def test_budget_sample_count_consistent(self):
+        budget = AccuracyRequirement(epsilon=0.1, delta=0.05).split(mc_fraction=0.7)
+        expected = required_mc_samples(budget.epsilon_mc, budget.delta_mc, "discrepancy")
+        assert budget.mc_samples == expected
+
+
+class TestSampleCounts:
+    def test_paper_worked_example(self):
+        # epsilon = 0.02, delta = 0.05 (discrepancy) requires m > 18000.
+        m = required_mc_samples(0.02, 0.05, metric="discrepancy")
+        assert m > 18000
+        assert m == math.ceil(math.log(2 / 0.05) / (2 * 0.01**2))
+
+    def test_ks_requires_quarter_of_discrepancy(self):
+        ks = required_mc_samples(0.1, 0.05, metric="ks")
+        disc = required_mc_samples(0.1, 0.05, metric="discrepancy")
+        assert disc == pytest.approx(4 * ks, rel=0.01)
+
+    def test_monotonicity(self):
+        assert required_mc_samples(0.05, 0.05) > required_mc_samples(0.1, 0.05)
+        assert required_mc_samples(0.1, 0.01) > required_mc_samples(0.1, 0.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(AccuracyError):
+            required_mc_samples(0.0, 0.05)
+        with pytest.raises(AccuracyError):
+            required_mc_samples(0.1, 1.0)
+        with pytest.raises(AccuracyError):
+            required_mc_samples(0.1, 0.05, metric="other")
+
+    def test_inverse_formula(self):
+        m = required_mc_samples(0.1, 0.05, metric="ks")
+        epsilon = ks_epsilon_for_samples(m, 0.05)
+        assert epsilon <= 0.1
+        assert ks_epsilon_for_samples(m - 10, 0.05) > epsilon
+
+    def test_inverse_validation(self):
+        with pytest.raises(AccuracyError):
+            ks_epsilon_for_samples(0, 0.05)
+        with pytest.raises(AccuracyError):
+            ks_epsilon_for_samples(10, 0.0)

@@ -1,0 +1,60 @@
+"""Unit tests for the experiment harness (result tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, summarize
+from repro.exceptions import ReproError
+
+
+class TestExperimentTable:
+    def make(self):
+        table = ExperimentTable(
+            experiment_id="expt_test",
+            paper_artifact="Figure 0",
+            description="test table",
+        )
+        table.add_row(approach="gp", time_ms=1.5)
+        table.add_row(approach="mc", time_ms=30.0)
+        return table
+
+    def test_columns_and_column_access(self):
+        table = self.make()
+        assert table.columns == ["approach", "time_ms"]
+        assert table.column("approach") == ["gp", "mc"]
+        with pytest.raises(ReproError):
+            table.column("missing")
+
+    def test_row_key_consistency_enforced(self):
+        table = self.make()
+        with pytest.raises(ReproError):
+            table.add_row(approach="gp", runtime=1.0)
+
+    def test_filtered(self):
+        table = self.make()
+        subset = table.filtered(approach="gp")
+        assert len(subset.rows) == 1
+        assert subset.rows[0]["time_ms"] == 1.5
+
+    def test_to_text_contains_values(self):
+        text = self.make().to_text()
+        assert "expt_test" in text
+        assert "Figure 0" in text
+        assert "gp" in text and "mc" in text
+
+    def test_to_text_empty_table(self):
+        table = ExperimentTable("x", "y", "z")
+        assert "(no rows)" in table.to_text()
+
+
+class TestSummarize:
+    def test_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])

@@ -1,0 +1,159 @@
+"""Unit tests for axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IndexError_
+from repro.index.bounding_box import BoundingBox, union_of_boxes
+
+
+class TestConstruction:
+    def test_from_points(self):
+        box = BoundingBox.from_points(np.array([[0.0, 1.0], [2.0, -1.0], [1.0, 0.5]]))
+        assert np.allclose(box.low, [0.0, -1.0])
+        assert np.allclose(box.high, [2.0, 1.0])
+
+    def test_from_single_point(self):
+        box = BoundingBox.from_point(np.array([3.0, 4.0]))
+        assert box.volume() == 0.0
+        assert box.contains_point(np.array([3.0, 4.0]))
+
+    def test_invalid_corners_rejected(self):
+        with pytest.raises(IndexError_):
+            BoundingBox(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(IndexError_):
+            BoundingBox.from_points(np.empty((0, 2)))
+
+
+class TestGeometry:
+    def setup_method(self):
+        self.box = BoundingBox(np.array([0.0, 0.0]), np.array([2.0, 4.0]))
+
+    def test_volume_and_margin(self):
+        assert self.box.volume() == pytest.approx(8.0)
+        assert self.box.margin() == pytest.approx(6.0)
+
+    def test_center_and_lengths(self):
+        assert np.allclose(self.box.center, [1.0, 2.0])
+        assert np.allclose(self.box.lengths, [2.0, 4.0])
+
+    def test_contains_point(self):
+        assert self.box.contains_point(np.array([1.0, 1.0]))
+        assert self.box.contains_point(np.array([0.0, 4.0]))  # boundary counts
+        assert not self.box.contains_point(np.array([3.0, 1.0]))
+
+    def test_contains_box(self):
+        inner = BoundingBox(np.array([0.5, 1.0]), np.array([1.5, 3.0]))
+        assert self.box.contains_box(inner)
+        assert not inner.contains_box(self.box)
+
+    def test_intersects(self):
+        overlapping = BoundingBox(np.array([1.0, 3.0]), np.array([5.0, 6.0]))
+        disjoint = BoundingBox(np.array([5.0, 5.0]), np.array([6.0, 6.0]))
+        assert self.box.intersects(overlapping)
+        assert not self.box.intersects(disjoint)
+
+    def test_union(self):
+        other = BoundingBox(np.array([-1.0, 2.0]), np.array([1.0, 6.0]))
+        union = self.box.union(other)
+        assert np.allclose(union.low, [-1.0, 0.0])
+        assert np.allclose(union.high, [2.0, 6.0])
+
+    def test_enlargement(self):
+        other = BoundingBox(np.array([2.0, 0.0]), np.array([4.0, 4.0]))
+        assert self.box.enlargement(other) == pytest.approx(8.0)
+
+    def test_expand(self):
+        grown = self.box.expand(1.0)
+        assert np.allclose(grown.low, [-1.0, -1.0])
+        assert np.allclose(grown.high, [3.0, 5.0])
+        with pytest.raises(IndexError_):
+            self.box.expand(-0.5)
+
+
+class TestDistances:
+    def setup_method(self):
+        self.box = BoundingBox(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+
+    def test_nearest_point_inside(self):
+        p = np.array([0.5, 0.5])
+        assert np.allclose(self.box.nearest_point_to(p), p)
+        assert self.box.min_distance_to(p) == 0.0
+
+    def test_nearest_point_outside(self):
+        p = np.array([3.0, 0.5])
+        assert np.allclose(self.box.nearest_point_to(p), [1.0, 0.5])
+        assert self.box.min_distance_to(p) == pytest.approx(2.0)
+
+    def test_farthest_point(self):
+        p = np.array([-1.0, -1.0])
+        assert np.allclose(self.box.farthest_point_to(p), [1.0, 1.0])
+        assert self.box.max_distance_to(p) == pytest.approx(np.sqrt(8.0))
+
+    def test_far_distance_dominates_near(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = rng.uniform(-5, 5, size=2)
+            assert self.box.max_distance_to(p) >= self.box.min_distance_to(p)
+
+    def test_box_to_box_distance(self):
+        other = BoundingBox(np.array([3.0, 0.0]), np.array([4.0, 1.0]))
+        assert self.box.min_distance_to_box(other) == pytest.approx(2.0)
+        touching = BoundingBox(np.array([1.0, 0.0]), np.array([2.0, 1.0]))
+        assert self.box.min_distance_to_box(touching) == 0.0
+
+    def test_kernel_bound_property(self):
+        # For any point inside the box, its distance to an external point is
+        # between the min and max distances — the inequality local inference
+        # relies on.
+        rng = np.random.default_rng(1)
+        external = np.array([2.5, -1.5])
+        dmin = self.box.min_distance_to(external)
+        dmax = self.box.max_distance_to(external)
+        for _ in range(100):
+            inside = rng.uniform(self.box.low, self.box.high)
+            d = float(np.linalg.norm(inside - external))
+            assert dmin - 1e-12 <= d <= dmax + 1e-12
+
+
+class TestSubdivision:
+    def test_subdivide_counts(self):
+        box = BoundingBox(np.array([0.0, 0.0]), np.array([4.0, 4.0]))
+        parts = box.subdivide(2)
+        assert len(parts) == 4
+        assert sum(p.volume() for p in parts) == pytest.approx(box.volume())
+
+    def test_subdivide_one_returns_self(self):
+        box = BoundingBox(np.array([0.0]), np.array([1.0]))
+        assert box.subdivide(1) == [box]
+
+    def test_subdivide_invalid(self):
+        box = BoundingBox(np.array([0.0]), np.array([1.0]))
+        with pytest.raises(IndexError_):
+            box.subdivide(0)
+
+    def test_subdivision_covers_box(self):
+        box = BoundingBox(np.array([0.0, 1.0]), np.array([2.0, 3.0]))
+        parts = box.subdivide(3)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            p = rng.uniform(box.low, box.high)
+            assert any(part.contains_point(p) for part in parts)
+
+
+class TestUnionOfBoxes:
+    def test_union_of_many(self):
+        boxes = [
+            BoundingBox(np.array([float(i)]), np.array([float(i) + 1.0]))
+            for i in range(5)
+        ]
+        union = union_of_boxes(boxes)
+        assert union.low[0] == 0.0 and union.high[0] == 5.0
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(IndexError_):
+            union_of_boxes([])

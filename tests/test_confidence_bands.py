@@ -1,0 +1,155 @@
+"""Unit tests for simultaneous confidence bands (Euler-characteristic method)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.confidence_bands import (
+    band_z_value,
+    expected_euler_characteristic,
+    lipschitz_killing_curvatures,
+)
+from repro.exceptions import GPError
+from repro.gp.kernels import SquaredExponential
+from repro.gp.regression import GaussianProcess
+from repro.index.bounding_box import BoundingBox
+
+
+def unit_box(d: int, side: float = 1.0) -> BoundingBox:
+    return BoundingBox(np.zeros(d), np.full(d, side))
+
+
+class TestLipschitzKilling:
+    def test_one_dimensional_interval(self):
+        curvatures = lipschitz_killing_curvatures(unit_box(1, 3.0))
+        assert np.allclose(curvatures, [1.0, 3.0])
+
+    def test_rectangle(self):
+        box = BoundingBox(np.zeros(2), np.array([2.0, 3.0]))
+        curvatures = lipschitz_killing_curvatures(box)
+        assert np.allclose(curvatures, [1.0, 5.0, 6.0])
+
+    def test_cube(self):
+        curvatures = lipschitz_killing_curvatures(unit_box(3, 2.0))
+        assert np.allclose(curvatures, [1.0, 6.0, 12.0, 8.0])
+
+
+class TestExpectedEulerCharacteristic:
+    def test_reduces_to_gaussian_tail_for_tiny_domain(self):
+        box = unit_box(1, 1e-9)
+        value = expected_euler_characteristic(2.0, box, second_spectral_moment=1.0)
+        assert value == pytest.approx(stats.norm.sf(2.0), rel=1e-4)
+
+    def test_decreasing_in_z(self):
+        box = unit_box(2, 5.0)
+        values = [expected_euler_characteristic(z, box, 1.0) for z in (1.0, 2.0, 3.0, 4.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_increasing_in_domain_size(self):
+        small = expected_euler_characteristic(2.5, unit_box(1, 1.0), 1.0)
+        large = expected_euler_characteristic(2.5, unit_box(1, 10.0), 1.0)
+        assert large > small
+
+    def test_increasing_in_spectral_moment(self):
+        box = unit_box(1, 5.0)
+        smooth = expected_euler_characteristic(2.5, box, 0.1)
+        rough = expected_euler_characteristic(2.5, box, 10.0)
+        assert rough > smooth
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GPError):
+            expected_euler_characteristic(0.0, unit_box(1), 1.0)
+        with pytest.raises(GPError):
+            expected_euler_characteristic(2.0, unit_box(1), 0.0)
+
+
+class TestBandCalibration:
+    def test_euler_band_wider_than_pointwise(self):
+        kernel = SquaredExponential(signal_std=1.0, lengthscale=0.5)
+        box = unit_box(2, 10.0)
+        euler = band_z_value(kernel, box, alpha=0.05, method="euler")
+        pointwise = band_z_value(kernel, box, alpha=0.05, method="pointwise")
+        assert euler.z_value >= pointwise.z_value
+        assert pointwise.z_value == pytest.approx(1.96, abs=0.01)
+
+    def test_band_widens_for_rougher_kernels(self):
+        box = unit_box(2, 10.0)
+        smooth = band_z_value(SquaredExponential(lengthscale=3.0), box, method="euler")
+        rough = band_z_value(SquaredExponential(lengthscale=0.3), box, method="euler")
+        assert rough.z_value > smooth.z_value
+
+    def test_band_widens_as_alpha_shrinks(self):
+        kernel = SquaredExponential(lengthscale=1.0)
+        box = unit_box(1, 10.0)
+        loose = band_z_value(kernel, box, alpha=0.2, method="euler")
+        tight = band_z_value(kernel, box, alpha=0.01, method="euler")
+        assert tight.z_value > loose.z_value
+
+    def test_bonferroni_requires_points(self):
+        kernel = SquaredExponential()
+        with pytest.raises(GPError):
+            band_z_value(kernel, unit_box(1), method="bonferroni")
+        band = band_z_value(kernel, unit_box(1), method="bonferroni", n_points=1000)
+        assert band.z_value > 3.0
+
+    def test_invalid_alpha_and_method(self):
+        kernel = SquaredExponential()
+        with pytest.raises(GPError):
+            band_z_value(kernel, unit_box(1), alpha=0.0)
+        with pytest.raises(GPError):
+            band_z_value(kernel, unit_box(1), method="magic")
+
+    def test_envelope_construction(self):
+        band = band_z_value(SquaredExponential(), unit_box(1), method="pointwise")
+        means = np.array([0.0, 1.0])
+        stds = np.array([1.0, 2.0])
+        lower, upper = band.envelope(means, stds)
+        assert np.all(lower < means) and np.all(upper > means)
+        assert np.allclose(upper - means, band.z_value * stds)
+
+    def test_bonferroni_band_contains_posterior_samples(self):
+        # Empirical validation on the discrete evaluation grid: the union-bound
+        # band must contain posterior sample paths at least (1 - alpha) of the
+        # time, which is exactly what the error-bound machinery relies on.
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 10, size=(25, 1))
+        y = np.sin(X).ravel()
+        gp = GaussianProcess(kernel=SquaredExponential(signal_std=1.0, lengthscale=1.0))
+        gp.fit(X, y)
+        X_test = np.linspace(0, 10, 200).reshape(-1, 1)
+        mean, std = gp.predict(X_test)
+        band = band_z_value(
+            gp.kernel,
+            BoundingBox.from_points(X_test),
+            alpha=0.1,
+            method="bonferroni",
+            n_points=X_test.shape[0],
+        )
+        samples = gp.sample_posterior(X_test, n_samples=200, random_state=1)
+        # Ignore locations where the posterior std is at numerical-noise level
+        # (right on top of training points): there the z-score is dominated by
+        # the jitter used when factorising the posterior covariance.
+        informative = std > 1e-3
+        z_scores = np.abs(samples[:, informative] - mean[informative]) / std[informative]
+        violation_rate = np.mean(np.any(z_scores > band.z_value, axis=1))
+        assert violation_rate <= 0.1 + 0.05
+
+    def test_euler_band_coverage_is_reasonable(self):
+        # The Euler-characteristic band uses the *prior* spectral moment as an
+        # approximation for the standardised posterior process (the paper's
+        # approach); it should still contain most posterior sample paths.
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 10, size=(25, 1))
+        y = np.sin(X).ravel()
+        gp = GaussianProcess(kernel=SquaredExponential(signal_std=1.0, lengthscale=1.0))
+        gp.fit(X, y)
+        X_test = np.linspace(0, 10, 200).reshape(-1, 1)
+        mean, std = gp.predict(X_test)
+        band = band_z_value(gp.kernel, BoundingBox.from_points(X_test), alpha=0.1, method="euler")
+        samples = gp.sample_posterior(X_test, n_samples=200, random_state=3)
+        informative = std > 1e-3
+        z_scores = np.abs(samples[:, informative] - mean[informative]) / std[informative]
+        violation_rate = np.mean(np.any(z_scores > band.z_value, axis=1))
+        assert violation_rate <= 0.5

@@ -1,0 +1,73 @@
+"""Unit tests for the configuration defaults and RNG plumbing."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.rng import as_generator, derive_seed, spawn
+
+
+class TestPaperDefaults:
+    def test_values_match_section_6_1(self):
+        defaults = config.PaperDefaults()
+        assert defaults.epsilon == 0.1
+        assert defaults.delta == 0.05
+        assert defaults.lambda_fraction == 0.01
+        assert defaults.domain_low == 0.0 and defaults.domain_high == 10.0
+        assert defaults.input_std == 0.5
+        assert defaults.eval_time == pytest.approx(1e-3)
+        assert defaults.domain_range == 10.0
+
+    def test_immutable(self):
+        defaults = config.PaperDefaults()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            defaults.epsilon = 0.2  # type: ignore[misc]
+
+    def test_replace_creates_new_instance(self):
+        defaults = config.PaperDefaults()
+        tighter = dataclasses.replace(defaults, epsilon=0.02)
+        assert tighter.epsilon == 0.02
+        assert defaults.epsilon == 0.1
+
+    def test_budget_constants_are_fractions(self):
+        assert 0.0 < config.DEFAULT_MC_FRACTION < 1.0
+        assert 0.0 < config.DEFAULT_GAMMA_FRACTION < 1.0
+        assert 0.0 < config.DEFAULT_LAMBDA_FRACTION < 1.0
+
+
+class TestRng:
+    def test_as_generator_from_seed_is_reproducible(self):
+        a = as_generator(42).normal(size=5)
+        b = as_generator(42).normal(size=5)
+        assert np.allclose(a, b)
+
+    def test_as_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_as_generator_none_gives_fresh_entropy(self):
+        a = as_generator(None).normal(size=3)
+        b = as_generator(None).normal(size=3)
+        assert not np.allclose(a, b)
+
+    def test_spawn_produces_independent_streams(self):
+        rng = as_generator(7)
+        children = spawn(rng, 3)
+        assert len(children) == 3
+        draws = [child.normal(size=4) for child in children]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(0), -1)
+
+    def test_derive_seed_range(self):
+        rng = as_generator(3)
+        for _ in range(10):
+            seed = derive_seed(rng)
+            assert 0 <= seed < 2**63

@@ -1,0 +1,180 @@
+"""Unit tests for the continuous univariate distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions.continuous import (
+    Exponential,
+    Gamma,
+    Gaussian,
+    GaussianMixture1D,
+    TruncatedGaussian,
+    Uniform,
+)
+from repro.exceptions import DistributionError
+
+
+class TestGaussian:
+    def test_sample_shape(self, rng):
+        samples = Gaussian(0.0, 1.0).sample(100, random_state=rng)
+        assert samples.shape == (100, 1)
+
+    def test_sample_statistics(self, rng):
+        dist = Gaussian(3.0, 0.5)
+        samples = dist.sample(50000, random_state=rng)
+        assert np.mean(samples) == pytest.approx(3.0, abs=0.02)
+        assert np.std(samples) == pytest.approx(0.5, abs=0.02)
+
+    def test_pdf_integrates_to_one(self):
+        dist = Gaussian(1.0, 2.0)
+        grid = np.linspace(-20, 20, 4001)
+        assert np.trapezoid(dist.pdf(grid), grid) == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_monotone_and_bounded(self):
+        dist = Gaussian(0.0, 1.0)
+        grid = np.linspace(-5, 5, 101)
+        cdf = dist.cdf(grid)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[0] == pytest.approx(0.0, abs=1e-5)
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-5)
+
+    def test_ppf_inverts_cdf(self):
+        dist = Gaussian(2.0, 3.0)
+        for q in (0.1, 0.5, 0.9):
+            assert dist.cdf(dist.ppf(np.asarray(q))) == pytest.approx(q, abs=1e-9)
+
+    def test_mean_and_variance(self):
+        dist = Gaussian(-1.5, 0.7)
+        assert dist.mean()[0] == pytest.approx(-1.5)
+        assert dist.variance() == pytest.approx(0.49)
+
+    def test_interval_probability(self):
+        dist = Gaussian(0.0, 1.0)
+        assert dist.interval_probability(-1.0, 1.0) == pytest.approx(0.6827, abs=1e-3)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(DistributionError):
+            Gaussian(0.0, 0.0)
+        with pytest.raises(DistributionError):
+            Gaussian(0.0, -1.0)
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(ValueError):
+            Gaussian(0.0, 1.0).sample(0)
+
+    def test_support_box_covers_bulk(self):
+        lo, hi = Gaussian(5.0, 1.0).support_box(coverage=0.99)
+        assert lo[0] < 3.0 and hi[0] > 7.0
+
+
+class TestUniform:
+    def test_bounds_validation(self):
+        with pytest.raises(DistributionError):
+            Uniform(1.0, 1.0)
+
+    def test_samples_within_bounds(self, rng):
+        samples = Uniform(2.0, 5.0).sample(1000, random_state=rng)
+        assert samples.min() >= 2.0 and samples.max() <= 5.0
+
+    def test_moments(self):
+        dist = Uniform(0.0, 6.0)
+        assert dist.mean()[0] == pytest.approx(3.0)
+        assert dist.variance() == pytest.approx(3.0)
+
+    def test_cdf_is_linear(self):
+        dist = Uniform(0.0, 10.0)
+        assert dist.cdf(np.asarray(2.5)) == pytest.approx(0.25)
+        assert dist.ppf(np.asarray(0.75)) == pytest.approx(7.5)
+
+
+class TestExponential:
+    def test_rate_validation(self):
+        with pytest.raises(DistributionError):
+            Exponential(0.0)
+
+    def test_mean_includes_shift(self):
+        dist = Exponential(rate=2.0, shift=1.0)
+        assert dist.mean()[0] == pytest.approx(1.5)
+
+    def test_cdf_at_shift_is_zero(self):
+        dist = Exponential(rate=1.0, shift=2.0)
+        assert dist.cdf(np.asarray(2.0)) == pytest.approx(0.0)
+        assert dist.cdf(np.asarray(1.0)) == pytest.approx(0.0)
+
+    def test_sample_statistics(self, rng):
+        dist = Exponential(rate=0.5)
+        samples = dist.sample(50000, random_state=rng)
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_ppf_matches_cdf(self):
+        dist = Exponential(rate=1.5, shift=0.5)
+        x = dist.ppf(np.asarray(0.3))
+        assert dist.cdf(x) == pytest.approx(0.3, abs=1e-9)
+
+
+class TestGamma:
+    def test_parameter_validation(self):
+        with pytest.raises(DistributionError):
+            Gamma(shape=-1.0, scale=1.0)
+        with pytest.raises(DistributionError):
+            Gamma(shape=1.0, scale=0.0)
+
+    def test_moments(self):
+        dist = Gamma(shape=3.0, scale=2.0, shift=1.0)
+        assert dist.mean()[0] == pytest.approx(7.0)
+        assert dist.variance() == pytest.approx(12.0)
+
+    def test_sample_statistics(self, rng):
+        dist = Gamma(shape=2.0, scale=1.5)
+        samples = dist.sample(50000, random_state=rng)
+        assert np.mean(samples) == pytest.approx(3.0, rel=0.05)
+
+
+class TestTruncatedGaussian:
+    def test_samples_respect_bounds(self, rng):
+        dist = TruncatedGaussian(mu=0.0, sigma=2.0, low=-1.0, high=1.0)
+        samples = dist.sample(2000, random_state=rng)
+        assert samples.min() >= -1.0 and samples.max() <= 1.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(DistributionError):
+            TruncatedGaussian(0.0, 1.0, low=2.0, high=1.0)
+
+    def test_cdf_at_bounds(self):
+        dist = TruncatedGaussian(mu=0.5, sigma=1.0, low=0.0, high=1.0)
+        assert dist.cdf(np.asarray(0.0)) == pytest.approx(0.0, abs=1e-9)
+        assert dist.cdf(np.asarray(1.0)) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestGaussianMixture1D:
+    def test_weights_normalised(self):
+        dist = GaussianMixture1D([0.0, 5.0], [1.0, 1.0], weights=[2.0, 2.0])
+        assert np.allclose(dist.weights, [0.5, 0.5])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DistributionError):
+            GaussianMixture1D([0.0, 1.0], [1.0])
+
+    def test_mean_is_weighted_average(self):
+        dist = GaussianMixture1D([0.0, 10.0], [1.0, 1.0], weights=[0.25, 0.75])
+        assert dist.mean()[0] == pytest.approx(7.5)
+
+    def test_pdf_integrates_to_one(self):
+        dist = GaussianMixture1D([0.0, 4.0], [0.5, 1.0])
+        grid = np.linspace(-10, 15, 5001)
+        assert np.trapezoid(dist.pdf(grid), grid) == pytest.approx(1.0, abs=1e-5)
+
+    def test_bimodal_sampling(self, rng):
+        dist = GaussianMixture1D([0.0, 10.0], [0.5, 0.5])
+        samples = dist.sample(20000, random_state=rng).ravel()
+        near_zero = np.mean(np.abs(samples) < 2.0)
+        near_ten = np.mean(np.abs(samples - 10.0) < 2.0)
+        assert near_zero == pytest.approx(0.5, abs=0.03)
+        assert near_ten == pytest.approx(0.5, abs=0.03)
+
+    def test_ppf_monotone(self):
+        dist = GaussianMixture1D([0.0, 5.0], [1.0, 1.0])
+        values = dist.ppf(np.array([0.1, 0.5, 0.9]))
+        assert values[0] < values[1] < values[2]

@@ -1,0 +1,95 @@
+"""Unit tests for discrete distributions (categorical, Poisson, x-tuples)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions.discrete import Categorical, Poisson, TupleAlternatives
+from repro.exceptions import DistributionError
+
+
+class TestCategorical:
+    def test_probabilities_normalised(self):
+        dist = Categorical([1.0, 2.0], [2.0, 6.0])
+        assert np.allclose(dist.probabilities.sum(), 1.0)
+
+    def test_values_sorted_internally(self):
+        dist = Categorical([3.0, 1.0, 2.0], [0.2, 0.5, 0.3])
+        assert np.all(np.diff(dist.values) > 0)
+
+    def test_mean_and_variance(self):
+        dist = Categorical([0.0, 10.0], [0.5, 0.5])
+        assert dist.mean()[0] == pytest.approx(5.0)
+        assert dist.variance() == pytest.approx(25.0)
+
+    def test_cdf_step_function(self):
+        dist = Categorical([1.0, 2.0, 3.0], [0.2, 0.3, 0.5])
+        assert dist.cdf(np.asarray(0.5)) == pytest.approx(0.0)
+        assert dist.cdf(np.asarray(1.0)) == pytest.approx(0.2)
+        assert dist.cdf(np.asarray(2.5)) == pytest.approx(0.5)
+        assert dist.cdf(np.asarray(3.0)) == pytest.approx(1.0)
+
+    def test_ppf_selects_correct_value(self):
+        dist = Categorical([1.0, 2.0, 3.0], [0.2, 0.3, 0.5])
+        assert dist.ppf(np.asarray(0.1)) == pytest.approx(1.0)
+        assert dist.ppf(np.asarray(0.4)) == pytest.approx(2.0)
+        assert dist.ppf(np.asarray(0.99)) == pytest.approx(3.0)
+
+    def test_sampling_frequencies(self, rng):
+        dist = Categorical([0.0, 1.0], [0.3, 0.7])
+        samples = dist.sample(30000, random_state=rng)
+        assert np.mean(samples) == pytest.approx(0.7, abs=0.02)
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(DistributionError):
+            Categorical([1.0, 2.0], [-0.1, 1.1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            Categorical([1.0], [0.5, 0.5])
+
+
+class TestPoisson:
+    def test_invalid_rate(self):
+        with pytest.raises(DistributionError):
+            Poisson(0.0)
+
+    def test_mean_equals_variance(self):
+        dist = Poisson(4.5)
+        assert dist.mean()[0] == pytest.approx(4.5)
+        assert dist.variance() == pytest.approx(4.5)
+
+    def test_samples_are_non_negative_integers(self, rng):
+        samples = Poisson(3.0).sample(500, random_state=rng)
+        assert np.all(samples >= 0)
+        assert np.allclose(samples, np.round(samples))
+
+    def test_cdf_increases(self):
+        dist = Poisson(2.0)
+        grid = np.arange(0, 10, dtype=float)
+        assert np.all(np.diff(dist.cdf(grid)) >= 0)
+
+
+class TestTupleAlternatives:
+    def test_existence_probability(self):
+        dist = TupleAlternatives([[1.0, 2.0], [3.0, 4.0]], [0.3, 0.4])
+        assert dist.existence_probability == pytest.approx(0.7)
+
+    def test_probabilities_above_one_rejected(self):
+        with pytest.raises(DistributionError):
+            TupleAlternatives([[1.0], [2.0]], [0.7, 0.7])
+
+    def test_sampling_produces_nan_for_missing(self, rng):
+        dist = TupleAlternatives([[1.0]], [0.5])
+        samples = dist.sample(5000, random_state=rng)
+        missing_fraction = np.mean(np.isnan(samples[:, 0]))
+        assert missing_fraction == pytest.approx(0.5, abs=0.03)
+
+    def test_dimension_from_alternatives(self):
+        dist = TupleAlternatives([[1.0, 2.0, 3.0]], [1.0])
+        assert dist.dimension == 3
+
+    def test_mean_of_alternatives(self):
+        dist = TupleAlternatives([[0.0], [10.0]], [0.2, 0.2])
+        assert dist.mean()[0] == pytest.approx(5.0)

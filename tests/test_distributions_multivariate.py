@@ -1,0 +1,105 @@
+"""Unit tests for multivariate / composite distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions.continuous import Gaussian, Uniform
+from repro.distributions.multivariate import (
+    IndependentJoint,
+    MultivariateGaussian,
+    PointMass,
+    joint_from_marginals,
+)
+from repro.exceptions import DistributionError
+
+
+class TestMultivariateGaussian:
+    def test_dimension(self):
+        dist = MultivariateGaussian([0.0, 1.0], [[1.0, 0.0], [0.0, 2.0]])
+        assert dist.dimension == 2
+
+    def test_sample_covariance_recovered(self, rng):
+        cov = [[1.0, 0.6], [0.6, 2.0]]
+        dist = MultivariateGaussian([0.0, 0.0], cov)
+        samples = dist.sample(60000, random_state=rng)
+        empirical = np.cov(samples.T)
+        assert np.allclose(empirical, cov, atol=0.06)
+
+    def test_asymmetric_covariance_rejected(self):
+        with pytest.raises(DistributionError):
+            MultivariateGaussian([0.0, 0.0], [[1.0, 0.5], [0.4, 1.0]])
+
+    def test_non_psd_covariance_rejected(self):
+        with pytest.raises(DistributionError):
+            MultivariateGaussian([0.0, 0.0], [[1.0, 2.0], [2.0, 1.0]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            MultivariateGaussian([0.0, 0.0, 0.0], [[1.0, 0.0], [0.0, 1.0]])
+
+    def test_support_box_contains_mean(self):
+        dist = MultivariateGaussian([3.0, -2.0], [[1.0, 0.0], [0.0, 1.0]])
+        lo, hi = dist.support_box()
+        assert np.all(lo < dist.mean()) and np.all(hi > dist.mean())
+
+
+class TestIndependentJoint:
+    def test_dimension_is_sum_of_components(self):
+        joint = IndependentJoint([Gaussian(0, 1), Uniform(0, 1), Gaussian(5, 2)])
+        assert joint.dimension == 3
+
+    def test_requires_components(self):
+        with pytest.raises(DistributionError):
+            IndependentJoint([])
+
+    def test_sample_columns_match_marginals(self, rng):
+        joint = IndependentJoint([Gaussian(0.0, 1.0), Gaussian(10.0, 0.1)])
+        samples = joint.sample(20000, random_state=rng)
+        assert np.mean(samples[:, 0]) == pytest.approx(0.0, abs=0.05)
+        assert np.mean(samples[:, 1]) == pytest.approx(10.0, abs=0.01)
+
+    def test_components_are_independent(self, rng):
+        joint = IndependentJoint([Gaussian(0.0, 1.0), Gaussian(0.0, 1.0)])
+        samples = joint.sample(40000, random_state=rng)
+        correlation = np.corrcoef(samples.T)[0, 1]
+        assert abs(correlation) < 0.03
+
+    def test_mean_concatenates(self):
+        joint = joint_from_marginals([Gaussian(1.0, 1.0), Gaussian(2.0, 1.0)])
+        assert np.allclose(joint.mean(), [1.0, 2.0])
+
+    def test_support_box_concatenates(self):
+        joint = IndependentJoint([Uniform(0, 1), Uniform(5, 6)])
+        lo, hi = joint.support_box()
+        assert lo.shape == (2,) and hi.shape == (2,)
+        assert lo[1] >= 5.0 - 1e-6 and hi[1] <= 6.0 + 1e-6
+
+    def test_marginal_accessor(self):
+        g = Gaussian(0.0, 1.0)
+        joint = IndependentJoint([g, Uniform(0, 1)])
+        assert joint.marginal(0) is g
+
+    def test_nested_multivariate_component(self, rng):
+        inner = MultivariateGaussian([0.0, 0.0], [[1.0, 0.0], [0.0, 1.0]])
+        joint = IndependentJoint([inner, Gaussian(5.0, 1.0)])
+        assert joint.dimension == 3
+        assert joint.sample(10, random_state=rng).shape == (10, 3)
+
+
+class TestPointMass:
+    def test_scalar_value(self):
+        pm = PointMass(3.0)
+        assert pm.dimension == 1
+        samples = pm.sample(5)
+        assert np.all(samples == 3.0)
+
+    def test_vector_value(self):
+        pm = PointMass([1.0, 2.0])
+        assert pm.dimension == 2
+        assert np.allclose(pm.mean(), [1.0, 2.0])
+
+    def test_support_box_is_degenerate(self):
+        lo, hi = PointMass(7.0).support_box()
+        assert lo[0] == hi[0] == 7.0

@@ -1,0 +1,143 @@
+"""Unit tests for the query-engine schema, tuples and relations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions.continuous import Gaussian
+from repro.distributions.multivariate import IndependentJoint, PointMass
+from repro.engine.schema import Attribute, AttributeKind, Schema
+from repro.engine.tuples import Relation, UncertainTuple
+from repro.exceptions import SchemaError
+
+
+class TestAttribute:
+    def test_defaults(self):
+        attr = Attribute("objID")
+        assert not attr.is_uncertain
+        assert attr.dimension == 1
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+        with pytest.raises(SchemaError):
+            Attribute("x", dimension=0)
+
+
+class TestSchema:
+    def make(self):
+        return Schema.of(
+            [
+                Attribute("objID"),
+                Attribute("redshift", AttributeKind.UNCERTAIN),
+                Attribute("mag", AttributeKind.CERTAIN),
+            ]
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of([Attribute("a"), Attribute("a")])
+
+    def test_lookup_and_membership(self):
+        schema = self.make()
+        assert "redshift" in schema
+        assert "nope" not in schema
+        assert schema.attribute("redshift").is_uncertain
+        with pytest.raises(SchemaError):
+            schema.attribute("nope")
+
+    def test_names_and_uncertain_names(self):
+        schema = self.make()
+        assert schema.names() == ["objID", "redshift", "mag"]
+        assert schema.uncertain_names() == ["redshift"]
+
+    def test_with_attribute_and_project(self):
+        schema = self.make().with_attribute(Attribute("derived", AttributeKind.UNCERTAIN))
+        assert len(schema) == 4
+        projected = schema.project(["derived", "objID"])
+        assert projected.names() == ["derived", "objID"]
+
+    def test_prefixed(self):
+        prefixed = self.make().prefixed("G1")
+        assert prefixed.names() == ["G1.objID", "G1.redshift", "G1.mag"]
+        assert prefixed.attribute("G1.redshift").is_uncertain
+
+
+class TestUncertainTuple:
+    def make(self):
+        return UncertainTuple(
+            values={"objID": 7, "redshift": Gaussian(0.5, 0.05), "area": 0.1}
+        )
+
+    def test_getitem_and_contains(self):
+        row = self.make()
+        assert row["objID"] == 7
+        assert "redshift" in row
+        with pytest.raises(SchemaError):
+            _ = row["missing"]
+
+    def test_is_uncertain(self):
+        row = self.make()
+        assert row.is_uncertain("redshift")
+        assert not row.is_uncertain("objID")
+
+    def test_input_distribution_single(self):
+        row = self.make()
+        dist = row.input_distribution(["redshift"])
+        assert isinstance(dist, Gaussian)
+
+    def test_input_distribution_mixed(self):
+        row = self.make()
+        dist = row.input_distribution(["redshift", "area"])
+        assert isinstance(dist, IndependentJoint)
+        assert dist.dimension == 2
+        samples = dist.sample(10, random_state=0)
+        assert np.allclose(samples[:, 1], 0.1)  # the certain argument
+
+    def test_input_distribution_requires_names(self):
+        with pytest.raises(SchemaError):
+            self.make().input_distribution([])
+
+    def test_merged_with(self):
+        left = self.make()
+        right = UncertainTuple(values={"objID": 9}, existence_probability=0.5)
+        merged = left.merged_with(right, "G1", "G2")
+        assert merged["G1.objID"] == 7
+        assert merged["G2.objID"] == 9
+        assert merged.existence_probability == pytest.approx(0.5)
+
+    def test_with_value_copies(self):
+        row = self.make()
+        updated = row.with_value("new", PointMass(1.0))
+        assert "new" in updated
+        assert "new" not in row
+
+
+class TestRelation:
+    def schema(self):
+        return Schema.of([Attribute("objID"), Attribute("z", AttributeKind.UNCERTAIN)])
+
+    def test_insert_valid(self):
+        relation = Relation("R", self.schema())
+        relation.insert(UncertainTuple(values={"objID": 1, "z": Gaussian(0.3, 0.01)}))
+        assert len(relation) == 1
+
+    def test_missing_attribute_rejected(self):
+        relation = Relation("R", self.schema())
+        with pytest.raises(SchemaError):
+            relation.insert(UncertainTuple(values={"objID": 1}))
+
+    def test_certain_value_in_uncertain_column_rejected(self):
+        relation = Relation("R", self.schema())
+        with pytest.raises(SchemaError):
+            relation.insert(UncertainTuple(values={"objID": 1, "z": 0.5}))
+
+    def test_extend_and_iterate(self):
+        relation = Relation("R", self.schema())
+        rows = [
+            UncertainTuple(values={"objID": i, "z": Gaussian(0.1 * (i + 1), 0.01)})
+            for i in range(3)
+        ]
+        relation.extend(rows)
+        assert [row["objID"] for row in relation] == [0, 1, 2]

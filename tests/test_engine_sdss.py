@@ -1,0 +1,65 @@
+"""Unit tests for the synthetic SDSS-like Galaxy relation generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions.base import Distribution
+from repro.engine.sdss import galaxy_schema, generate_galaxy_relation
+from repro.udf.astro import REDSHIFT_RANGE
+
+
+class TestGalaxySchema:
+    def test_expected_attributes(self):
+        schema = galaxy_schema()
+        assert set(schema.names()) == {"objID", "redshift", "ra_offset", "dec_offset", "mag_r"}
+        assert set(schema.uncertain_names()) == {"redshift", "ra_offset", "dec_offset"}
+
+
+class TestGenerateGalaxyRelation:
+    def test_size_and_ids(self):
+        relation = generate_galaxy_relation(20, random_state=0)
+        assert len(relation) == 20
+        assert [row["objID"] for row in relation] == list(range(20))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_galaxy_relation(0)
+
+    def test_uncertain_attributes_are_distributions(self):
+        relation = generate_galaxy_relation(5, random_state=1)
+        for row in relation:
+            assert isinstance(row["redshift"], Distribution)
+            assert isinstance(row["ra_offset"], Distribution)
+            assert isinstance(row["dec_offset"], Distribution)
+            assert isinstance(row["mag_r"], float)
+
+    def test_redshift_means_in_survey_range(self):
+        relation = generate_galaxy_relation(100, random_state=2)
+        means = np.array([float(row["redshift"].mean()[0]) for row in relation])
+        assert means.min() >= REDSHIFT_RANGE[0]
+        assert means.max() <= REDSHIFT_RANGE[1] * 1.2
+
+    def test_fainter_objects_have_larger_redshift_errors(self):
+        relation = generate_galaxy_relation(300, random_state=3)
+        means = np.array([float(row["redshift"].mean()[0]) for row in relation])
+        stds = np.array([row["redshift"].std() for row in relation])
+        # Relative error grows with redshift by construction; check the trend.
+        low = stds[means < np.median(means)].mean()
+        high = stds[means >= np.median(means)].mean()
+        assert high > low
+
+    def test_reproducible_with_seed(self):
+        a = generate_galaxy_relation(5, random_state=42)
+        b = generate_galaxy_relation(5, random_state=42)
+        for row_a, row_b in zip(a, b):
+            assert float(row_a["redshift"].mean()[0]) == pytest.approx(
+                float(row_b["redshift"].mean()[0])
+            )
+
+    def test_redshift_samples_positive(self):
+        relation = generate_galaxy_relation(10, random_state=4)
+        for row in relation:
+            samples = row["redshift"].sample(200, random_state=0)
+            assert np.all(samples > 0)

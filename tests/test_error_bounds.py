@@ -1,0 +1,172 @@
+"""Unit tests for GP output-distribution error bounds (§4.2–4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.error_bounds import (
+    build_envelope_outputs,
+    combine_bounds,
+    gp_discrepancy_bound,
+    gp_discrepancy_bound_naive,
+    gp_ks_bound,
+    interval_probability_bounds,
+)
+from repro.core.metrics import ks_distance, lambda_discrepancy
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.exceptions import AccuracyError, GPError
+
+
+def random_envelope(seed=0, m=200, spread=0.3, z=2.0):
+    rng = np.random.default_rng(seed)
+    means = rng.normal(size=m)
+    stds = np.abs(rng.normal(scale=spread, size=m))
+    return build_envelope_outputs(means, stds, z)
+
+
+class TestEnvelopeConstruction:
+    def test_ordering_of_variables(self):
+        envelope = random_envelope()
+        grid = np.linspace(-5, 5, 101)
+        # Y_S = means - z*std  has the *largest* CDF, Y_L the smallest.
+        assert np.all(envelope.y_lower.cdf(grid) >= envelope.y_hat.cdf(grid) - 1e-12)
+        assert np.all(envelope.y_hat.cdf(grid) >= envelope.y_upper.cdf(grid) - 1e-12)
+
+    def test_zero_band_collapses_to_mean(self):
+        means = np.array([1.0, 2.0, 3.0])
+        envelope = build_envelope_outputs(means, np.zeros(3), 2.0)
+        assert ks_distance(envelope.y_hat, envelope.y_lower) == 0.0
+        assert ks_distance(envelope.y_hat, envelope.y_upper) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(GPError):
+            build_envelope_outputs(np.zeros(3), np.zeros(2), 1.0)
+        with pytest.raises(GPError):
+            build_envelope_outputs(np.zeros(3), -np.ones(3), 1.0)
+        with pytest.raises(GPError):
+            build_envelope_outputs(np.zeros(3), np.ones(3), -1.0)
+
+    def test_output_range(self):
+        envelope = build_envelope_outputs(np.array([0.0, 10.0]), np.zeros(2), 1.0)
+        assert envelope.output_range() == pytest.approx(10.0)
+        assert envelope.n_samples == 2
+
+
+class TestIntervalBounds:
+    def test_bracketing_property(self):
+        envelope = random_envelope(seed=1)
+        for a, b in [(-1.0, 0.0), (-2.0, 2.0), (0.5, 0.6)]:
+            rho_l, rho_hat, rho_u = interval_probability_bounds(envelope, a, b)
+            assert rho_l - 1e-12 <= rho_hat <= rho_u + 1e-12
+            assert 0.0 <= rho_l and rho_u <= 1.0
+
+    def test_invalid_interval(self):
+        envelope = random_envelope()
+        with pytest.raises(AccuracyError):
+            interval_probability_bounds(envelope, 1.0, 0.0)
+
+    def test_degenerate_envelope_gives_exact_probability(self):
+        means = np.linspace(0, 1, 100)
+        envelope = build_envelope_outputs(means, np.zeros(100), 2.0)
+        rho_l, rho_hat, rho_u = interval_probability_bounds(envelope, 0.25, 0.75)
+        assert rho_l == pytest.approx(rho_hat)
+        assert rho_u == pytest.approx(rho_hat)
+
+
+class TestDiscrepancyBound:
+    def test_efficient_matches_naive(self):
+        for seed in range(4):
+            envelope = random_envelope(seed=seed, m=60)
+            for lam in (0.0, 0.1, 0.5, 2.0):
+                fast = gp_discrepancy_bound(envelope, lam)
+                slow = gp_discrepancy_bound_naive(envelope, lam)
+                assert fast == pytest.approx(slow, abs=1e-12)
+
+    def test_zero_for_degenerate_envelope(self):
+        means = np.random.default_rng(2).normal(size=150)
+        envelope = build_envelope_outputs(means, np.zeros(150), 2.0)
+        assert gp_discrepancy_bound(envelope, 0.1) == pytest.approx(0.0, abs=1e-12)
+
+    def test_grows_with_band_width(self):
+        rng = np.random.default_rng(3)
+        means = rng.normal(size=150)
+        stds = np.abs(rng.normal(scale=0.2, size=150))
+        narrow = gp_discrepancy_bound(build_envelope_outputs(means, stds, 1.0), 0.1)
+        wide = gp_discrepancy_bound(build_envelope_outputs(means, stds, 3.0), 0.1)
+        assert wide >= narrow
+
+    def test_decreases_with_lambda(self):
+        envelope = random_envelope(seed=4)
+        values = [gp_discrepancy_bound(envelope, lam) for lam in (0.0, 0.2, 1.0, 3.0)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_one(self):
+        envelope = random_envelope(seed=5, spread=5.0, z=3.0)
+        assert gp_discrepancy_bound(envelope, 0.0) <= 1.0
+
+    def test_negative_lambda_rejected(self):
+        envelope = random_envelope()
+        with pytest.raises(AccuracyError):
+            gp_discrepancy_bound(envelope, -0.1)
+        with pytest.raises(AccuracyError):
+            gp_discrepancy_bound_naive(envelope, -0.1)
+
+    def test_bound_dominates_any_envelope_function_error(self):
+        """The bound must dominate the λ-discrepancy between the mean output
+        and the output of *any* function inside the envelope."""
+        rng = np.random.default_rng(6)
+        m = 300
+        means = rng.normal(size=m)
+        stds = np.abs(rng.normal(scale=0.4, size=m))
+        z = 2.0
+        envelope = build_envelope_outputs(means, stds, z)
+        lam = 0.2
+        bound = gp_discrepancy_bound(envelope, lam)
+        for _ in range(10):
+            # A random "sample function" output within the envelope bounds.
+            wiggle = rng.uniform(-1.0, 1.0, size=m)
+            y_tilde = EmpiricalDistribution(means + wiggle * z * stds)
+            actual = lambda_discrepancy(envelope.y_hat, y_tilde, lam)
+            assert actual <= bound + 1e-9
+
+
+class TestKSBound:
+    def test_is_max_of_two_ks_distances(self):
+        envelope = random_envelope(seed=7)
+        expected = max(
+            ks_distance(envelope.y_hat, envelope.y_lower),
+            ks_distance(envelope.y_hat, envelope.y_upper),
+        )
+        assert gp_ks_bound(envelope) == pytest.approx(expected)
+
+    def test_dominates_envelope_function_ks(self):
+        rng = np.random.default_rng(8)
+        m = 250
+        means = rng.normal(size=m)
+        stds = np.abs(rng.normal(scale=0.3, size=m))
+        envelope = build_envelope_outputs(means, stds, 2.0)
+        bound = gp_ks_bound(envelope)
+        for _ in range(10):
+            wiggle = rng.uniform(-1.0, 1.0, size=m)
+            y_tilde = EmpiricalDistribution(means + wiggle * 2.0 * stds)
+            assert ks_distance(envelope.y_hat, y_tilde) <= bound + 1e-9
+
+
+class TestCombinedBound:
+    def test_theorem_4_1_arithmetic(self):
+        bound = combine_bounds(0.03, 0.07, 0.02, 0.03)
+        assert bound.epsilon_total == pytest.approx(0.1)
+        assert bound.confidence == pytest.approx(0.98 * 0.97)
+
+    def test_satisfies(self):
+        bound = combine_bounds(0.02, 0.05, 0.01, 0.02)
+        assert bound.satisfies(0.1, 0.05)
+        assert not bound.satisfies(0.05, 0.05)
+        assert not bound.satisfies(0.1, 0.01)
+
+    def test_validation(self):
+        with pytest.raises(AccuracyError):
+            combine_bounds(-0.01, 0.05, 0.01, 0.01)
+        with pytest.raises(AccuracyError):
+            combine_bounds(0.01, 0.05, 1.0, 0.01)

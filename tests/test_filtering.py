@@ -1,0 +1,122 @@
+"""Unit tests for selection predicates and Hoeffding-based filtering."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import (
+    FilterDecision,
+    SelectionPredicate,
+    filtering_decision,
+    hoeffding_half_width,
+    upper_bound_decision,
+)
+from repro.exceptions import AccuracyError
+
+
+class TestSelectionPredicate:
+    def test_validation(self):
+        with pytest.raises(AccuracyError):
+            SelectionPredicate(low=2.0, high=1.0)
+        with pytest.raises(AccuracyError):
+            SelectionPredicate(low=0.0, high=1.0, threshold=1.5)
+
+    def test_indicator(self):
+        predicate = SelectionPredicate(low=0.0, high=1.0)
+        values = np.array([-0.5, 0.0, 0.5, 1.0, 1.5])
+        assert np.allclose(predicate.indicator(values), [0, 1, 1, 1, 0])
+
+    def test_selectivity(self):
+        predicate = SelectionPredicate(low=0.0, high=1.0)
+        assert predicate.selectivity(np.array([0.5, 2.0, 0.7, -1.0])) == pytest.approx(0.5)
+        assert predicate.selectivity(np.array([])) == 0.0
+
+
+class TestHoeffding:
+    def test_formula(self):
+        assert hoeffding_half_width(100, 0.05) == pytest.approx(
+            math.sqrt(math.log(2 / 0.05) / 200)
+        )
+
+    def test_shrinks_with_samples(self):
+        assert hoeffding_half_width(1000, 0.05) < hoeffding_half_width(100, 0.05)
+
+    def test_validation(self):
+        with pytest.raises(AccuracyError):
+            hoeffding_half_width(0, 0.05)
+        with pytest.raises(AccuracyError):
+            hoeffding_half_width(10, 0.0)
+
+    def test_coverage_empirically(self, rng):
+        # The (1 - delta) interval should contain the true Bernoulli mean in
+        # (well) over 1 - delta of repeated experiments.
+        true_p = 0.3
+        delta = 0.1
+        n = 200
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            samples = rng.binomial(1, true_p, size=n)
+            estimate = samples.mean()
+            half = hoeffding_half_width(n, delta)
+            covered += int(abs(estimate - true_p) <= half)
+        assert covered / trials > 1 - delta
+
+
+class TestFilteringDecision:
+    def setup_method(self):
+        self.predicate = SelectionPredicate(low=0.0, high=1.0, threshold=0.1)
+
+    def test_drop_when_clearly_below(self):
+        indicators = np.zeros(500)
+        decision = filtering_decision(indicators, self.predicate, delta=0.05)
+        assert decision.action == "drop"
+        assert decision.upper < 0.1
+
+    def test_keep_when_clearly_above(self):
+        indicators = np.ones(500)
+        decision = filtering_decision(indicators, self.predicate, delta=0.05)
+        assert decision.action == "keep"
+        assert decision.lower >= 0.1
+
+    def test_undecided_with_few_samples(self):
+        indicators = np.array([0.0, 1.0, 0.0])
+        decision = filtering_decision(indicators, self.predicate, delta=0.05)
+        assert decision.action == "undecided"
+
+    def test_empty_samples(self):
+        decision = filtering_decision(np.array([]), self.predicate, delta=0.05)
+        assert decision.action == "undecided"
+        assert decision.n_samples == 0
+
+    def test_interval_clipping(self):
+        decision = FilterDecision(action="keep", estimate=0.99, half_width=0.1, n_samples=10)
+        assert decision.upper == 1.0
+        decision = FilterDecision(action="drop", estimate=0.01, half_width=0.1, n_samples=10)
+        assert decision.lower == 0.0
+
+
+class TestUpperBoundDecision:
+    def test_drop_when_rho_upper_small(self):
+        predicate = SelectionPredicate(low=0.0, high=1.0, threshold=0.2)
+        decision = upper_bound_decision(
+            rho_upper=0.05, rho_estimate=0.02, predicate=predicate, n_samples=2000, delta=0.05
+        )
+        assert decision.action == "drop"
+
+    def test_keep_when_estimate_clearly_above(self):
+        predicate = SelectionPredicate(low=0.0, high=1.0, threshold=0.2)
+        decision = upper_bound_decision(
+            rho_upper=0.9, rho_estimate=0.8, predicate=predicate, n_samples=2000, delta=0.05
+        )
+        assert decision.action == "keep"
+
+    def test_undecided_in_between(self):
+        predicate = SelectionPredicate(low=0.0, high=1.0, threshold=0.2)
+        decision = upper_bound_decision(
+            rho_upper=0.3, rho_estimate=0.19, predicate=predicate, n_samples=50, delta=0.05
+        )
+        assert decision.action == "undecided"

@@ -1,0 +1,119 @@
+"""Unit tests for the GP linear-algebra helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GPError
+from repro.gp.linalg import (
+    block_inverse_update,
+    inverse_from_cholesky,
+    jittered_cholesky,
+    log_det_from_cholesky,
+    solve_cholesky,
+    symmetrize,
+)
+
+
+def random_spd(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(n, n))
+    return A @ A.T + n * np.eye(n)
+
+
+class TestJitteredCholesky:
+    def test_exact_for_spd(self):
+        M = random_spd(6)
+        L, jitter = jittered_cholesky(M)
+        assert jitter == 0.0
+        assert np.allclose(L @ L.T, M)
+
+    def test_adds_jitter_for_singular(self):
+        M = np.ones((4, 4))  # rank 1, not PD
+        L, jitter = jittered_cholesky(M)
+        assert jitter > 0.0
+        assert np.allclose(L @ L.T, M + jitter * np.eye(4), atol=1e-8)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GPError):
+            jittered_cholesky(np.ones((2, 3)))
+
+    def test_gives_up_on_hopeless_matrix(self):
+        M = -np.eye(3)
+        with pytest.raises(GPError):
+            jittered_cholesky(M, max_tries=2)
+
+
+class TestSolvers:
+    def test_solve_cholesky(self):
+        M = random_spd(5, seed=1)
+        L, _ = jittered_cholesky(M)
+        b = np.arange(5, dtype=float)
+        x = solve_cholesky(L, b)
+        assert np.allclose(M @ x, b)
+
+    def test_inverse_from_cholesky(self):
+        M = random_spd(4, seed=2)
+        L, _ = jittered_cholesky(M)
+        inv = inverse_from_cholesky(L)
+        assert np.allclose(M @ inv, np.eye(4), atol=1e-10)
+
+    def test_log_det(self):
+        M = random_spd(5, seed=3)
+        L, _ = jittered_cholesky(M)
+        sign, expected = np.linalg.slogdet(M)
+        assert sign > 0
+        assert log_det_from_cholesky(L) == pytest.approx(expected)
+
+
+class TestBlockInverseUpdate:
+    def test_matches_direct_inverse(self):
+        rng = np.random.default_rng(4)
+        n = 8
+        M = random_spd(n, seed=4)
+        K_inv = np.linalg.inv(M)
+        k_new = rng.normal(size=n)
+        k_self = float(n + rng.uniform(1.0, 2.0))
+        grown = np.block([[M, k_new[:, None]], [k_new[None, :], np.array([[k_self]])]])
+        expected = np.linalg.inv(grown)
+        updated = block_inverse_update(K_inv, k_new, k_self)
+        assert np.allclose(updated, expected, atol=1e-8)
+
+    def test_repeated_updates_stay_accurate(self):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 5, size=(12, 1))
+
+        def kernel(a, b):
+            return np.exp(-0.5 * (a - b.T) ** 2)
+
+        nugget = 1e-6
+        start = 4
+        M = kernel(points[:start], points[:start]) + nugget * np.eye(start)
+        K_inv = np.linalg.inv(M)
+        for i in range(start, points.shape[0]):
+            k_new = kernel(points[:i], points[i : i + 1]).ravel()
+            k_self = 1.0 + nugget
+            K_inv = block_inverse_update(K_inv, k_new, k_self)
+        full = kernel(points, points) + nugget * np.eye(points.shape[0])
+        # The kernel matrix is poorly conditioned (nearby points), so compare
+        # with a relative tolerance.
+        assert np.allclose(K_inv, np.linalg.inv(full), rtol=1e-3, atol=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GPError):
+            block_inverse_update(np.eye(3), np.zeros(2), 1.0)
+
+    def test_degenerate_point_rejected(self):
+        M = np.eye(2)
+        # New point identical to an existing one => zero Schur complement.
+        with pytest.raises(GPError):
+            block_inverse_update(np.linalg.inv(M), np.array([1.0, 0.0]), 1.0)
+
+
+class TestSymmetrize:
+    def test_result_is_symmetric(self):
+        A = np.array([[1.0, 2.0], [0.0, 1.0]])
+        S = symmetrize(A)
+        assert np.allclose(S, S.T)
+        assert np.allclose(S, [[1.0, 1.0], [1.0, 1.0]])

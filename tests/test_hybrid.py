@@ -1,0 +1,113 @@
+"""Unit tests for the hybrid GP / MC executor (§5.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracyRequirement
+from repro.core.hybrid import (
+    HybridExecutor,
+    rule_based_choice,
+)
+from repro.core.mc_baseline import MCResult
+from repro.core.olgapro import OnlineTupleResult
+from repro.distributions.continuous import Gaussian
+from repro.exceptions import GPError
+from repro.udf.base import UDF
+
+
+class TestRuleBasedChoice:
+    def test_fast_functions_use_mc(self):
+        assert rule_based_choice(dimension=1, eval_time=1e-6) == "mc"
+        assert rule_based_choice(dimension=10, eval_time=1e-6) == "mc"
+
+    def test_slow_low_dimensional_functions_use_gp(self):
+        assert rule_based_choice(dimension=1, eval_time=1e-2) == "gp"
+        assert rule_based_choice(dimension=2, eval_time=1e-3) == "gp"
+
+    def test_slow_high_dimensional_functions_use_gp(self):
+        assert rule_based_choice(dimension=10, eval_time=0.5) == "gp"
+
+    def test_moderate_high_dimensional_functions_use_mc(self):
+        assert rule_based_choice(dimension=8, eval_time=5e-4) == "mc"
+
+    def test_ambiguous_cases_measure(self):
+        assert rule_based_choice(dimension=2, eval_time=1e-4) == "measure"
+        assert rule_based_choice(dimension=5, eval_time=1e-2) == "measure"
+
+    def test_validation(self):
+        with pytest.raises(GPError):
+            rule_based_choice(dimension=0, eval_time=1e-3)
+        with pytest.raises(GPError):
+            rule_based_choice(dimension=1, eval_time=-1.0)
+
+
+class TestHybridExecutor:
+    def make_udf(self, simulated_eval_time):
+        return UDF(
+            lambda x: float(x[0]) ** 2 + 1.0,
+            dimension=1,
+            name="sq",
+            simulated_eval_time=simulated_eval_time,
+            domain=(np.array([-3.0]), np.array([3.0])),
+        )
+
+    def test_picks_mc_for_fast_udf(self):
+        executor = HybridExecutor(
+            self.make_udf(0.0),
+            AccuracyRequirement(epsilon=0.2, delta=0.1),
+            random_state=0,
+            initial_training_points=5,
+            n_samples=300,
+        )
+        decision = executor.decide(Gaussian(0.5, 0.2))
+        assert decision.method == "mc"
+        assert decision.source == "rule"
+        result = executor.process(Gaussian(0.5, 0.2))
+        assert isinstance(result, MCResult)
+
+    def test_picks_gp_for_slow_udf(self):
+        executor = HybridExecutor(
+            self.make_udf(5e-3),
+            AccuracyRequirement(epsilon=0.2, delta=0.1),
+            random_state=0,
+            initial_training_points=5,
+            n_samples=300,
+        )
+        decision = executor.decide(Gaussian(0.5, 0.2))
+        assert decision.method == "gp"
+        result = executor.process(Gaussian(0.5, 0.2))
+        assert isinstance(result, OnlineTupleResult)
+
+    def test_decision_is_cached(self):
+        executor = HybridExecutor(
+            self.make_udf(0.0),
+            AccuracyRequirement(epsilon=0.2, delta=0.1),
+            random_state=0,
+            initial_training_points=5,
+            n_samples=200,
+        )
+        first = executor.decide(Gaussian(0.0, 0.1))
+        second = executor.decide(Gaussian(1.0, 0.1))
+        assert first is second
+
+    def test_decision_none_before_first_tuple(self):
+        executor = HybridExecutor(self.make_udf(0.0), random_state=0)
+        assert executor.decision is None
+
+    def test_measured_decision_path(self):
+        # Pick an evaluation time in the "measure" band for a 1-D function and
+        # check that a concrete decision is reached by probing.
+        udf = self.make_udf(1e-4)
+        executor = HybridExecutor(
+            udf,
+            AccuracyRequirement(epsilon=0.2, delta=0.1),
+            probe_tuples=1,
+            random_state=0,
+            initial_training_points=5,
+            n_samples=200,
+        )
+        decision = executor.decide(Gaussian(0.5, 0.2))
+        assert decision.method in ("gp", "mc")
+        assert decision.source in ("rule", "measured")

@@ -1,0 +1,144 @@
+"""End-to-end integration tests across modules.
+
+These exercise the full pipelines the paper's evaluation uses: the GP online
+algorithm versus the MC baseline on the same workload (accuracy and UDF-call
+comparison), the experiment harness, and the astrophysics case-study path
+from the SDSS-like relation through the query engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments_astro import astro_case_study_table
+from repro.core.accuracy import AccuracyRequirement
+from repro.core.mc_baseline import monte_carlo_output
+from repro.core.metrics import ks_distance, lambda_discrepancy
+from repro.core.olgapro import OLGAPRO
+from repro.distributions.continuous import Gaussian
+from repro.distributions.multivariate import IndependentJoint
+from repro.udf.synthetic import reference_function
+from repro.workloads.generators import (
+    WorkloadSpec,
+    input_stream,
+    true_output_distribution,
+    workload_for_udf,
+)
+
+
+class TestGPvsMCOnSyntheticWorkload:
+    def test_both_approaches_agree_with_ground_truth(self):
+        udf = reference_function("F1")
+        requirement = AccuracyRequirement(epsilon=0.15, delta=0.05)
+        processor = OLGAPRO(
+            udf, requirement, initial_training_points=10, n_samples=600, random_state=0
+        )
+        spec = workload_for_udf(udf)
+        for dist in input_stream(spec, 4, random_state=1):
+            truth = true_output_distribution(udf, dist, 15000, random_state=2)
+            gp_result = processor.process(dist)
+            mc_result = monte_carlo_output(
+                udf.with_simulated_eval_time(0.0), dist, n_samples=600, random_state=3
+            )
+            lam = processor.lambda_value()
+            gp_error = lambda_discrepancy(gp_result.distribution, truth, lam)
+            mc_error = lambda_discrepancy(mc_result.distribution, truth, lam)
+            assert gp_error <= requirement.epsilon + 0.08
+            assert mc_error <= requirement.epsilon + 0.08
+
+    def test_gp_uses_far_fewer_udf_calls_once_warm(self):
+        udf = reference_function("F2")
+        requirement = AccuracyRequirement(epsilon=0.15, delta=0.05)
+        processor = OLGAPRO(
+            udf, requirement, initial_training_points=10, n_samples=500, random_state=0
+        )
+        spec = workload_for_udf(udf)
+        stream = list(input_stream(spec, 8, random_state=4))
+        gp_calls = []
+        for dist in stream:
+            gp_calls.append(processor.process(dist).udf_calls)
+        mc_calls_per_tuple = 500
+        # After warm-up, GP tuples should need well under 10% of MC's calls.
+        assert np.mean(gp_calls[-4:]) < 0.1 * mc_calls_per_tuple
+
+    def test_gp_charged_time_insensitive_to_eval_time_after_warmup(self):
+        requirement = AccuracyRequirement(epsilon=0.15, delta=0.05)
+        times = {}
+        for eval_time in (0.0, 0.05):
+            udf = reference_function("F1", simulated_eval_time=eval_time)
+            processor = OLGAPRO(
+                udf, requirement, initial_training_points=8, n_samples=400, random_state=0
+            )
+            spec = workload_for_udf(udf)
+            stream = list(input_stream(spec, 6, random_state=5))
+            charged = [processor.process(dist).charged_time for dist in stream]
+            times[eval_time] = np.mean(charged[-3:])
+        # Late-stream per-tuple cost should barely depend on the UDF cost
+        # (the paper's "GP is almost insensitive to function evaluation time"):
+        # the increase must be a small fraction of what MC would pay for the
+        # same evaluation time (400 calls x 0.05 s = 20 s per tuple).
+        mc_cost_per_tuple = 400 * 0.05
+        assert times[0.05] - times[0.0] < 0.1 * mc_cost_per_tuple
+
+
+class TestExperimentHarnessSmoke:
+    def test_astro_case_study_table_shape(self):
+        table = astro_case_study_table(n_probes=5)
+        assert {row["function"] for row in table.rows} == {"AngDist", "GalAge", "ComoveVol"}
+        assert all(row["eval_time_ms"] > 0 for row in table.rows)
+        text = table.to_text()
+        assert "GalAge" in text
+
+
+class TestNonGaussianInputs:
+    @pytest.mark.parametrize("family", ["exponential", "gamma"])
+    def test_olgapro_handles_other_input_families(self, family):
+        udf = reference_function("F1")
+        processor = OLGAPRO(
+            udf,
+            AccuracyRequirement(epsilon=0.2, delta=0.1),
+            initial_training_points=8,
+            n_samples=400,
+            random_state=0,
+        )
+        spec = WorkloadSpec(dimension=2, family=family)  # type: ignore[arg-type]
+        for dist in input_stream(spec, 2, random_state=6):
+            result = processor.process(dist)
+            assert result.distribution.size == 400
+
+    def test_correlated_gaussian_input(self):
+        from repro.distributions.multivariate import MultivariateGaussian
+
+        udf = reference_function("F1")
+        processor = OLGAPRO(
+            udf,
+            AccuracyRequirement(epsilon=0.2, delta=0.1),
+            initial_training_points=8,
+            n_samples=400,
+            random_state=0,
+        )
+        dist = MultivariateGaussian([4.0, 6.0], [[0.25, 0.2], [0.2, 0.25]])
+        result = processor.process(dist)
+        truth = true_output_distribution(udf, dist, 10000, random_state=7)
+        assert ks_distance(result.distribution, truth) < 0.15
+
+
+class TestOutputNonGaussianity:
+    def test_angdist_output_is_not_gaussian(self):
+        # Fig. 6(a): the output distribution of AngDist on uncertain positions
+        # is visibly non-Gaussian (it is a distance, bounded below by zero and
+        # right-skewed), which is why returning only mean/variance is not enough.
+        from scipy import stats
+
+        from repro.udf.astro import angdist_udf
+
+        udf = angdist_udf()
+        # Offsets centred at zero make the separation Rayleigh-like: bounded
+        # below by zero and strongly right-skewed.
+        input_dist = IndependentJoint([Gaussian(0.0, 0.05), Gaussian(0.0, 0.05)])
+        result = monte_carlo_output(udf, input_dist, n_samples=3000, random_state=0)
+        samples = result.distribution.samples
+        gaussian_fit = stats.norm(loc=samples.mean(), scale=samples.std())
+        assert ks_distance(result.distribution, gaussian_fit.cdf) > 0.03
+        assert stats.skew(samples) > 0.2

@@ -1,0 +1,148 @@
+"""Unit tests for local inference (§5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.local_inference import (
+    LocalInferenceEngine,
+    global_inference,
+    initial_search_radius,
+    kernel_at_distance,
+    omitted_weight_bound,
+)
+from repro.exceptions import GPError
+from repro.gp.kernels import SquaredExponential
+from repro.gp.regression import GaussianProcess
+from repro.index.bounding_box import BoundingBox
+from repro.index.rtree import RTree
+
+
+def build_model(n=120, seed=0, lengthscale=1.0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 10, size=(n, 2))
+    y = np.sin(X[:, 0]) + np.cos(X[:, 1])
+    gp = GaussianProcess(kernel=SquaredExponential(signal_std=1.0, lengthscale=lengthscale))
+    gp.fit(X, y)
+    index = RTree(dimension=2)
+    index.bulk_load(X)
+    return gp, index
+
+
+class TestKernelAtDistance:
+    def test_matches_direct_evaluation(self):
+        kernel = SquaredExponential(signal_std=2.0, lengthscale=1.5)
+        distances = np.array([0.0, 1.0, 3.0])
+        values = kernel_at_distance(kernel, distances)
+        expected = 4.0 * np.exp(-0.5 * (distances / 1.5) ** 2)
+        assert np.allclose(values, expected)
+
+    def test_monotone_decreasing(self):
+        kernel = SquaredExponential()
+        values = kernel_at_distance(kernel, np.array([0.0, 0.5, 1.0, 2.0, 4.0]))
+        assert np.all(np.diff(values) < 0)
+
+
+class TestOmittedWeightBound:
+    def test_zero_when_nothing_excluded(self):
+        kernel = SquaredExponential()
+        box = BoundingBox(np.zeros(2), np.ones(2))
+        assert omitted_weight_bound(kernel, np.empty((0, 2)), np.empty(0), box) == 0.0
+
+    def test_bound_dominates_true_omitted_weight(self, rng):
+        kernel = SquaredExponential(signal_std=1.0, lengthscale=1.0)
+        excluded = rng.uniform(-5, 15, size=(40, 2))
+        alpha = rng.normal(size=40)
+        box = BoundingBox(np.array([4.0, 4.0]), np.array([6.0, 6.0]))
+        bound = omitted_weight_bound(kernel, excluded, alpha, box, subdivisions=1)
+        # True omitted contribution at many points inside the box.
+        for _ in range(200):
+            x = rng.uniform(box.low, box.high)
+            k = kernel(x.reshape(1, -1), excluded).ravel()
+            assert abs(float(k @ alpha)) <= bound + 1e-9
+
+    def test_subdivision_tightens_bound(self, rng):
+        kernel = SquaredExponential(signal_std=1.0, lengthscale=1.0)
+        excluded = rng.uniform(-5, 15, size=(30, 2))
+        alpha = rng.normal(size=30)
+        box = BoundingBox(np.array([2.0, 2.0]), np.array([8.0, 8.0]))
+        coarse = omitted_weight_bound(kernel, excluded, alpha, box, subdivisions=1)
+        fine = omitted_weight_bound(kernel, excluded, alpha, box, subdivisions=3)
+        assert fine <= coarse + 1e-12
+
+    def test_mismatched_inputs_rejected(self):
+        kernel = SquaredExponential()
+        box = BoundingBox(np.zeros(2), np.ones(2))
+        with pytest.raises(GPError):
+            omitted_weight_bound(kernel, np.zeros((3, 2)), np.zeros(2), box)
+
+
+class TestInitialRadius:
+    def test_larger_threshold_means_smaller_radius(self):
+        kernel = SquaredExponential(signal_std=1.0, lengthscale=1.0)
+        alpha = np.ones(50)
+        tight = initial_search_radius(kernel, alpha, gamma_threshold=0.001)
+        loose = initial_search_radius(kernel, alpha, gamma_threshold=1.0)
+        assert tight > loose
+
+    def test_huge_threshold_returns_lengthscale(self):
+        kernel = SquaredExponential(lengthscale=2.0)
+        assert initial_search_radius(kernel, np.ones(3), gamma_threshold=100.0) == 2.0
+
+
+class TestLocalInferenceEngine:
+    def test_validation(self):
+        with pytest.raises(GPError):
+            LocalInferenceEngine(gamma_threshold=0.0)
+        with pytest.raises(GPError):
+            LocalInferenceEngine(gamma_threshold=0.1, expansion_factor=1.0)
+
+    def test_local_matches_global_mean_within_gamma(self, rng):
+        gp, index = build_model()
+        engine = LocalInferenceEngine(gamma_threshold=0.01)
+        samples = rng.normal(loc=[5.0, 5.0], scale=0.4, size=(200, 2))
+        local = engine.predict(gp, index, samples)
+        global_result = global_inference(gp, samples)
+        # The γ threshold bounds the mean-prediction difference.
+        assert np.max(np.abs(local.means - global_result.means)) <= 0.01 + 1e-6
+        assert local.n_selected <= gp.n_training
+
+    def test_selects_fewer_points_for_larger_gamma(self, rng):
+        gp, index = build_model(lengthscale=0.8)
+        samples = rng.normal(loc=[5.0, 5.0], scale=0.3, size=(100, 2))
+        tight = LocalInferenceEngine(gamma_threshold=1e-4).predict(gp, index, samples)
+        loose = LocalInferenceEngine(gamma_threshold=0.5).predict(gp, index, samples)
+        assert loose.n_selected <= tight.n_selected
+
+    def test_gamma_reported_below_threshold(self, rng):
+        gp, index = build_model()
+        engine = LocalInferenceEngine(gamma_threshold=0.05)
+        samples = rng.normal(loc=[3.0, 7.0], scale=0.3, size=(80, 2))
+        result = engine.predict(gp, index, samples)
+        assert result.gamma <= 0.05 + 1e-12
+
+    def test_stds_are_non_negative_and_finite(self, rng):
+        gp, index = build_model()
+        engine = LocalInferenceEngine(gamma_threshold=0.02)
+        samples = rng.normal(loc=[5.0, 5.0], scale=0.5, size=(60, 2))
+        result = engine.predict(gp, index, samples)
+        assert np.all(result.stds >= 0)
+        assert np.all(np.isfinite(result.stds))
+
+    def test_untrained_gp_rejected(self):
+        engine = LocalInferenceEngine(gamma_threshold=0.1)
+        with pytest.raises(GPError):
+            engine.select_points(GaussianProcess(), RTree(dimension=2), BoundingBox(np.zeros(2), np.ones(2)))
+
+
+class TestGlobalInference:
+    def test_uses_all_points(self, rng):
+        gp, _ = build_model(n=50)
+        samples = rng.uniform(0, 10, size=(20, 2))
+        result = global_inference(gp, samples)
+        assert result.n_selected == 50
+        assert result.gamma == 0.0
+        means, stds = gp.predict(samples)
+        assert np.allclose(result.means, means)
+        assert np.allclose(result.stds, stds)

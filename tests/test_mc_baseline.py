@@ -1,0 +1,124 @@
+"""Unit tests for the Monte-Carlo baseline (Algorithm 1 + Remark 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.accuracy import AccuracyRequirement
+from repro.core.filtering import SelectionPredicate
+from repro.core.mc_baseline import (
+    mc_sample_count,
+    monte_carlo_output,
+    monte_carlo_with_filter,
+)
+from repro.core.metrics import ks_distance
+from repro.distributions.continuous import Gaussian
+from repro.exceptions import AccuracyError
+from repro.udf.base import UDF
+
+
+class TestMonteCarloOutput:
+    def test_sample_count_matches_requirement(self, linear_udf, gaussian_1d_input):
+        requirement = AccuracyRequirement(epsilon=0.2, delta=0.1)
+        result = monte_carlo_output(
+            linear_udf.with_simulated_eval_time(0.0), gaussian_1d_input, requirement=requirement,
+            random_state=0,
+        )
+        assert result.n_samples == mc_sample_count(requirement)
+        assert result.udf_calls == result.n_samples
+
+    def test_explicit_sample_count(self, linear_udf, gaussian_1d_input):
+        result = monte_carlo_output(
+            linear_udf.with_simulated_eval_time(0.0), gaussian_1d_input, n_samples=123,
+            random_state=0,
+        )
+        assert result.n_samples == 123
+        assert result.distribution.size == 123
+
+    def test_exactly_one_budget_spec(self, linear_udf, gaussian_1d_input):
+        with pytest.raises(AccuracyError):
+            monte_carlo_output(linear_udf, gaussian_1d_input)
+        with pytest.raises(AccuracyError):
+            monte_carlo_output(
+                linear_udf, gaussian_1d_input,
+                requirement=AccuracyRequirement(), n_samples=10,
+            )
+
+    def test_linear_udf_output_matches_analytic(self, linear_udf):
+        # f(x) = 2x + 1 on N(2, 0.3^2) => output is N(5, 0.6^2).
+        udf = linear_udf.with_simulated_eval_time(0.0)
+        result = monte_carlo_output(udf, Gaussian(2.0, 0.3), n_samples=4000, random_state=1)
+        analytic = stats.norm(loc=5.0, scale=0.6).cdf
+        assert ks_distance(result.distribution, analytic) < 0.04
+
+    def test_ks_guarantee_holds_empirically(self, linear_udf):
+        # With the sample size dictated by (epsilon, delta) in the KS metric,
+        # the realised KS error against the analytic output should be below
+        # epsilon in (almost) every run.
+        udf = linear_udf.with_simulated_eval_time(0.0)
+        requirement = AccuracyRequirement(epsilon=0.1, delta=0.05, metric="ks")
+        analytic = stats.norm(loc=5.0, scale=0.6).cdf
+        failures = 0
+        for seed in range(10):
+            result = monte_carlo_output(udf, Gaussian(2.0, 0.3), requirement=requirement,
+                                        random_state=seed)
+            if ks_distance(result.distribution, analytic) > 0.1:
+                failures += 1
+        # The guarantee is probabilistic (delta = 5%); allow a single miss in
+        # ten repetitions rather than demanding zero.
+        assert failures <= 1
+
+    def test_charged_time_accounts_simulated_cost(self, gaussian_1d_input):
+        udf = UDF(lambda x: float(x[0]), dimension=1, simulated_eval_time=1e-3)
+        result = monte_carlo_output(udf, gaussian_1d_input, n_samples=200, random_state=0)
+        assert result.charged_time >= 0.2
+
+
+class TestMonteCarloWithFilter:
+    def make_udf(self):
+        return UDF(lambda x: float(x[0]), dimension=1, name="identity")
+
+    def test_drops_improbable_tuple_early(self):
+        udf = self.make_udf()
+        predicate = SelectionPredicate(low=100.0, high=200.0, threshold=0.1)
+        result = monte_carlo_with_filter(
+            udf, Gaussian(0.0, 1.0), predicate, n_samples=5000, batch_size=100, random_state=0
+        )
+        assert result.dropped
+        assert result.distribution is None
+        # Early dropping must have saved most of the budget.
+        assert result.n_samples < 1000
+
+    def test_keeps_probable_tuple(self):
+        udf = self.make_udf()
+        predicate = SelectionPredicate(low=-1.0, high=1.0, threshold=0.1)
+        result = monte_carlo_with_filter(
+            udf, Gaussian(0.0, 1.0), predicate, n_samples=1000, random_state=0
+        )
+        assert not result.dropped
+        assert result.distribution is not None
+        assert result.n_samples == 1000
+        assert result.decision.estimate == pytest.approx(0.68, abs=0.06)
+
+    def test_validation(self):
+        udf = self.make_udf()
+        predicate = SelectionPredicate(low=0.0, high=1.0)
+        with pytest.raises(AccuracyError):
+            monte_carlo_with_filter(udf, Gaussian(0, 1), predicate)
+        with pytest.raises(AccuracyError):
+            monte_carlo_with_filter(
+                udf, Gaussian(0, 1), predicate, n_samples=100, batch_size=0
+            )
+
+    def test_no_false_negative_for_clearly_selective_tuple(self):
+        # A tuple whose output is certainly inside the predicate interval
+        # must never be dropped.
+        udf = self.make_udf()
+        predicate = SelectionPredicate(low=-10.0, high=10.0, threshold=0.1)
+        for seed in range(5):
+            result = monte_carlo_with_filter(
+                udf, Gaussian(0.0, 1.0), predicate, n_samples=500, random_state=seed
+            )
+            assert not result.dropped

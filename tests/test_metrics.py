@@ -1,0 +1,150 @@
+"""Unit tests for the approximation metrics (discrepancy, KS, λ-discrepancy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.metrics import (
+    discrepancy,
+    discrepancy_against_cdf,
+    interval_probability_error,
+    ks_distance,
+    lambda_discrepancy,
+    lambda_discrepancy_naive,
+)
+from repro.distributions.empirical import EmpiricalDistribution
+
+
+def ecdf(values):
+    return EmpiricalDistribution(np.asarray(values, dtype=float))
+
+
+class TestKSDistance:
+    def test_identical_is_zero(self):
+        a = ecdf([1.0, 2.0, 3.0])
+        assert ks_distance(a, a) == 0.0
+
+    def test_disjoint_supports(self):
+        assert ks_distance(ecdf([0.0, 1.0]), ecdf([5.0, 6.0])) == pytest.approx(1.0)
+
+    def test_matches_scipy_two_sample_statistic(self, rng):
+        x = rng.normal(size=300)
+        y = rng.normal(loc=0.4, size=250)
+        ours = ks_distance(ecdf(x), ecdf(y))
+        theirs = stats.ks_2samp(x, y).statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_against_analytic_cdf(self, rng):
+        x = rng.normal(size=2000)
+        d = ks_distance(ecdf(x), stats.norm.cdf)
+        # DKW: with 2000 samples the KS distance should be small.
+        assert d < 0.05
+
+    def test_symmetry(self, rng):
+        a = ecdf(rng.normal(size=100))
+        b = ecdf(rng.normal(loc=1.0, size=120))
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+
+class TestDiscrepancy:
+    def test_identical_is_zero(self):
+        a = ecdf([1.0, 2.0, 3.0])
+        assert discrepancy(a, a) == 0.0
+
+    def test_bounded_by_twice_ks(self, rng):
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            a = ecdf(r.normal(size=150))
+            b = ecdf(r.normal(loc=0.5, scale=1.5, size=130))
+            d = discrepancy(a, b)
+            ks = ks_distance(a, b)
+            assert ks - 1e-12 <= d <= 2 * ks + 1e-12
+
+    def test_known_shift_example(self):
+        # Two interleaved uniform grids: the discrepancy of a half-step shift.
+        a = ecdf(np.arange(0, 10, 1.0))
+        b = ecdf(np.arange(0.5, 10.5, 1.0))
+        assert discrepancy(a, b) == pytest.approx(0.1)
+
+    def test_value_in_unit_interval(self, rng):
+        a = ecdf(rng.uniform(size=50))
+        b = ecdf(rng.uniform(1.0, 3.0, size=60))
+        assert 0.0 <= discrepancy(a, b) <= 1.0
+
+    def test_symmetry(self, rng):
+        a = ecdf(rng.normal(size=80))
+        b = ecdf(rng.exponential(size=90))
+        assert discrepancy(a, b) == pytest.approx(discrepancy(b, a))
+
+    def test_detects_middle_mass_difference(self):
+        # Same range, but b concentrates mass in the middle: a two-sided
+        # interval exposes the difference more than any one-sided one.
+        a = ecdf(np.linspace(0, 10, 101))
+        b = ecdf(np.concatenate([np.linspace(0, 10, 21), np.full(80, 5.0)]))
+        assert discrepancy(a, b) > 0.3
+
+
+class TestLambdaDiscrepancy:
+    def test_lambda_zero_equals_discrepancy(self, rng):
+        a = ecdf(rng.normal(size=100))
+        b = ecdf(rng.normal(loc=0.3, size=100))
+        assert lambda_discrepancy(a, b, 0.0) == pytest.approx(discrepancy(a, b))
+
+    def test_monotone_in_lambda(self, rng):
+        a = ecdf(rng.normal(size=120))
+        b = ecdf(rng.normal(loc=0.5, size=100))
+        values = [lambda_discrepancy(a, b, lam) for lam in (0.0, 0.5, 1.0, 2.0, 5.0)]
+        assert all(x >= y - 1e-12 for x, y in zip(values, values[1:]))
+
+    def test_matches_naive_enumeration(self, rng):
+        for seed in range(4):
+            r = np.random.default_rng(seed)
+            a = ecdf(r.normal(size=25))
+            b = ecdf(r.normal(loc=0.4, scale=1.3, size=20))
+            for lam in (0.0, 0.3, 1.0, 3.0):
+                fast = lambda_discrepancy(a, b, lam)
+                slow = lambda_discrepancy_naive(a, b, lam)
+                assert fast == pytest.approx(slow, abs=1e-12)
+
+    def test_negative_lambda_rejected(self):
+        a = ecdf([1.0])
+        with pytest.raises(ValueError):
+            lambda_discrepancy(a, a, -1.0)
+        with pytest.raises(ValueError):
+            lambda_discrepancy_naive(a, a, -0.5)
+
+    def test_huge_lambda_reduces_to_one_sided(self, rng):
+        # When lambda exceeds the support width, only intervals with an
+        # endpoint at +/- infinity remain, so the value equals the KS distance.
+        a = ecdf(rng.uniform(0, 1, size=60))
+        b = ecdf(rng.uniform(0.2, 1.2, size=60))
+        assert lambda_discrepancy(a, b, 100.0) == pytest.approx(ks_distance(a, b), abs=1e-12)
+
+
+class TestAgainstReferenceCDF:
+    def test_converges_with_sample_size(self):
+        rng = np.random.default_rng(7)
+        small = discrepancy_against_cdf(ecdf(rng.normal(size=100)), stats.norm.cdf)
+        large = discrepancy_against_cdf(ecdf(rng.normal(size=20000)), stats.norm.cdf)
+        assert large < small
+
+    def test_zero_for_matching_step_function(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        dist = ecdf(samples)
+        assert discrepancy_against_cdf(dist, dist.cdf) == 0.0
+
+
+class TestIntervalProbabilityError:
+    def test_explicit_intervals(self):
+        a = ecdf([1.0, 2.0, 3.0, 4.0])
+        b = ecdf([1.0, 2.0, 3.0, 100.0])
+        err = interval_probability_error(a, b, [(0.0, 2.5), (3.5, 5.0)])
+        assert err == pytest.approx(0.25)
+
+    def test_upper_bounded_by_discrepancy(self, rng):
+        a = ecdf(rng.normal(size=100))
+        b = ecdf(rng.normal(loc=0.3, size=100))
+        intervals = [(-1.0, 0.0), (0.0, 1.0), (-2.0, 2.0)]
+        assert interval_probability_error(a, b, intervals) <= discrepancy(a, b) + 1e-12

@@ -1,0 +1,109 @@
+"""Unit tests for the online-tuning point-selection strategies (§5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.online_tuning import (
+    LargestVarianceStrategy,
+    OptimalGreedyStrategy,
+    RandomStrategy,
+    make_strategy,
+)
+from repro.exceptions import GPError
+
+
+def candidates(m=20, seed=0):
+    rng = np.random.default_rng(seed)
+    samples = rng.uniform(0, 10, size=(m, 2))
+    means = rng.normal(size=m)
+    stds = rng.uniform(0.1, 2.0, size=m)
+    return samples, means, stds
+
+
+class TestLargestVariance:
+    def test_selects_argmax_std(self):
+        samples, means, stds = candidates()
+        stds[7] = 10.0
+        assert LargestVarianceStrategy().select(samples, means, stds) == 7
+
+    def test_validation(self):
+        strategy = LargestVarianceStrategy()
+        with pytest.raises(GPError):
+            strategy.select(np.empty((0, 2)), np.empty(0), np.empty(0))
+        with pytest.raises(GPError):
+            strategy.select(np.zeros((3, 2)), np.zeros(2), np.zeros(3))
+
+
+class TestRandom:
+    def test_returns_valid_index(self):
+        samples, means, stds = candidates()
+        for seed in range(10):
+            index = RandomStrategy().select(samples, means, stds, random_state=seed)
+            assert 0 <= index < samples.shape[0]
+
+    def test_deterministic_given_seed(self):
+        samples, means, stds = candidates()
+        a = RandomStrategy().select(samples, means, stds, random_state=3)
+        b = RandomStrategy().select(samples, means, stds, random_state=3)
+        assert a == b
+
+    def test_spreads_over_candidates(self):
+        samples, means, stds = candidates(m=10)
+        picks = {
+            RandomStrategy().select(samples, means, stds, random_state=seed)
+            for seed in range(40)
+        }
+        assert len(picks) > 3
+
+
+class TestOptimalGreedy:
+    def test_requires_evaluator(self):
+        samples, means, stds = candidates()
+        with pytest.raises(GPError):
+            OptimalGreedyStrategy().select(samples, means, stds)
+
+    def test_picks_candidate_minimising_error(self):
+        samples, means, stds = candidates(m=12)
+        # Synthetic evaluator: candidate 4 gives the lowest simulated error.
+        errors = {i: 1.0 for i in range(12)}
+        errors[4] = 0.01
+        strategy = OptimalGreedyStrategy()
+        chosen = strategy.select(samples, means, stds, error_evaluator=lambda i: errors[i])
+        assert chosen == 4
+
+    def test_max_candidates_limits_calls(self):
+        samples, means, stds = candidates(m=30)
+        calls = []
+
+        def evaluator(i):
+            calls.append(i)
+            return float(i)
+
+        OptimalGreedyStrategy(max_candidates=5).select(
+            samples, means, stds, error_evaluator=evaluator
+        )
+        assert len(calls) == 5
+
+    def test_candidates_tried_in_variance_order(self):
+        samples, means, stds = candidates(m=10)
+        order = []
+        OptimalGreedyStrategy(max_candidates=3).select(
+            samples, means, stds, error_evaluator=lambda i: order.append(i) or 1.0
+        )
+        expected = list(np.argsort(-stds)[:3])
+        assert order == expected
+
+
+class TestFactory:
+    def test_make_by_name(self):
+        assert isinstance(make_strategy("random"), RandomStrategy)
+        assert isinstance(make_strategy("largest_variance"), LargestVarianceStrategy)
+        greedy = make_strategy("optimal_greedy", max_candidates=7)
+        assert isinstance(greedy, OptimalGreedyStrategy)
+        assert greedy.max_candidates == 7
+
+    def test_unknown_name(self):
+        with pytest.raises(GPError):
+            make_strategy("entropy")

@@ -1,0 +1,113 @@
+"""Unit tests for the online retraining policies (§5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.retraining import (
+    EagerRetrain,
+    NeverRetrain,
+    ThresholdRetrain,
+    make_policy,
+)
+from repro.exceptions import GPError
+from repro.gp.kernels import SquaredExponential
+from repro.gp.regression import GaussianProcess
+from repro.gp.training import fit_hyperparameters
+
+
+def fitted_gp(n=30, seed=0, lengthscale=1.0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 10, size=(n, 1))
+    y = np.sin(X).ravel()
+    gp = GaussianProcess(kernel=SquaredExponential(signal_std=1.0, lengthscale=lengthscale))
+    gp.fit(X, y)
+    return gp
+
+
+class TestSimplePolicies:
+    def test_never_retrain(self):
+        policy = NeverRetrain()
+        assert not policy.decide(fitted_gp(), points_added=100).should_retrain
+
+    def test_eager_retrain_only_when_points_added(self):
+        policy = EagerRetrain()
+        gp = fitted_gp()
+        assert policy.decide(gp, points_added=1).should_retrain
+        assert not policy.decide(gp, points_added=0).should_retrain
+
+    def test_retrain_improves_likelihood(self):
+        gp = fitted_gp(lengthscale=0.05)  # badly mis-specified
+        before = gp.log_marginal_likelihood()
+        EagerRetrain().retrain(gp)
+        assert gp.log_marginal_likelihood() > before
+
+    def test_retrain_requires_data(self):
+        with pytest.raises(GPError):
+            EagerRetrain().retrain(GaussianProcess())
+
+
+class TestThresholdRetrain:
+    def test_validation(self):
+        with pytest.raises(GPError):
+            ThresholdRetrain(threshold=0.0)
+        with pytest.raises(GPError):
+            ThresholdRetrain(probe="bfgs")
+
+    def test_no_retrain_without_new_points(self):
+        policy = ThresholdRetrain(threshold=0.05)
+        decision = policy.decide(fitted_gp(), points_added=0)
+        assert not decision.should_retrain
+
+    def test_no_retrain_near_optimum(self):
+        gp = fitted_gp(n=40, seed=1)
+        fit_hyperparameters(gp)
+        policy = ThresholdRetrain(threshold=0.5)
+        decision = policy.decide(gp, points_added=3)
+        assert decision.step_norm < 0.5
+        assert not decision.should_retrain
+
+    def test_retrains_with_misfit_hyperparameters(self):
+        gp = fitted_gp(n=40, seed=2, lengthscale=0.02)  # far from the optimum
+        policy = ThresholdRetrain(threshold=0.05)
+        decision = policy.decide(gp, points_added=2)
+        assert decision.step_norm > 0.05
+        assert decision.should_retrain
+
+    def test_smaller_threshold_retrains_more(self):
+        gp = fitted_gp(n=40, seed=3, lengthscale=0.4)
+        decision = ThresholdRetrain(threshold=1e-6).decide(gp, points_added=1)
+        eager_like = decision.should_retrain
+        decision_large = ThresholdRetrain(threshold=100.0).decide(gp, points_added=1)
+        assert eager_like or decision.step_norm == 0.0
+        assert not decision_large.should_retrain
+
+    def test_gradient_probe_smaller_than_newton(self):
+        # The paper notes gradient descent "does not move far enough" in one
+        # step compared with Newton's method when hyperparameters are off.
+        gp = fitted_gp(n=40, seed=4, lengthscale=0.05)
+        newton = ThresholdRetrain(threshold=0.05, probe="newton").decide(gp, points_added=1)
+        gradient = ThresholdRetrain(threshold=0.05, probe="gradient", learning_rate=0.01).decide(
+            gp, points_added=1
+        )
+        assert newton.step_norm > gradient.step_norm
+
+    def test_decision_does_not_change_hyperparameters(self):
+        gp = fitted_gp(n=25, seed=5, lengthscale=0.3)
+        theta_before = gp.kernel.theta.copy()
+        ThresholdRetrain(threshold=0.05).decide(gp, points_added=1)
+        assert np.allclose(gp.kernel.theta, theta_before)
+
+
+class TestFactory:
+    def test_make_by_name(self):
+        assert isinstance(make_policy("never"), NeverRetrain)
+        assert isinstance(make_policy("eager"), EagerRetrain)
+        policy = make_policy("threshold", threshold=0.2)
+        assert isinstance(policy, ThresholdRetrain)
+        assert policy.threshold == 0.2
+
+    def test_unknown_name(self):
+        with pytest.raises(GPError):
+            make_policy("periodic")

@@ -1,0 +1,135 @@
+"""Unit tests for the from-scratch R-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IndexError_
+from repro.index.bounding_box import BoundingBox
+from repro.index.rtree import RTree
+
+
+def brute_force_within_distance(points: np.ndarray, box: BoundingBox, radius: float) -> set[int]:
+    """Reference implementation for search_within_distance."""
+    result = set()
+    for i, p in enumerate(points):
+        if box.min_distance_to(p) <= radius:
+            result.add(i)
+    return result
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = RTree(dimension=2)
+        assert len(tree) == 0
+        assert tree.all_payloads() == []
+        assert tree.nearest(np.array([0.0, 0.0])) == []
+
+    def test_insert_and_len(self, rng):
+        tree = RTree(dimension=2)
+        points = rng.uniform(0, 10, size=(50, 2))
+        tree.bulk_load(points)
+        assert len(tree) == 50
+        assert sorted(tree.all_payloads()) == list(range(50))
+
+    def test_wrong_dimension_rejected(self):
+        tree = RTree(dimension=2)
+        with pytest.raises(IndexError_):
+            tree.insert(np.array([1.0, 2.0, 3.0]), 0)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(IndexError_):
+            RTree(dimension=0)
+        with pytest.raises(IndexError_):
+            RTree(dimension=2, max_entries=3)
+        with pytest.raises(IndexError_):
+            RTree(dimension=2, max_entries=8, min_entries=5)
+
+    def test_height_grows_with_size(self, rng):
+        tree = RTree(dimension=2, max_entries=4)
+        assert tree.height() == 1
+        tree.bulk_load(rng.uniform(0, 10, size=(100, 2)))
+        assert tree.height() >= 3
+
+    def test_invariants_after_many_inserts(self, rng):
+        tree = RTree(dimension=3, max_entries=6)
+        tree.bulk_load(rng.uniform(-5, 5, size=(200, 3)))
+        tree.check_invariants()
+
+
+class TestSearch:
+    def test_box_search_matches_brute_force(self, rng):
+        points = rng.uniform(0, 10, size=(120, 2))
+        tree = RTree(dimension=2)
+        tree.bulk_load(points)
+        query = BoundingBox(np.array([2.0, 3.0]), np.array([6.0, 7.0]))
+        expected = {i for i, p in enumerate(points) if query.contains_point(p)}
+        assert set(tree.search_box(query)) == expected
+
+    def test_distance_search_matches_brute_force(self, rng):
+        points = rng.uniform(0, 10, size=(150, 2))
+        tree = RTree(dimension=2)
+        tree.bulk_load(points)
+        query = BoundingBox(np.array([4.0, 4.0]), np.array([5.0, 5.0]))
+        for radius in (0.0, 0.5, 2.0, 20.0):
+            expected = brute_force_within_distance(points, query, radius)
+            assert set(tree.search_within_distance(query, radius)) == expected
+
+    def test_distance_search_negative_radius_rejected(self):
+        tree = RTree(dimension=2)
+        tree.insert(np.array([0.0, 0.0]), 0)
+        with pytest.raises(IndexError_):
+            tree.search_within_distance(BoundingBox.from_point(np.zeros(2)), -1.0)
+
+    def test_search_with_radius_covering_everything(self, rng):
+        points = rng.uniform(0, 1, size=(30, 2))
+        tree = RTree(dimension=2)
+        tree.bulk_load(points)
+        box = BoundingBox.from_point(np.array([0.5, 0.5]))
+        assert sorted(tree.search_within_distance(box, 10.0)) == list(range(30))
+
+
+class TestNearest:
+    def test_nearest_single(self, rng):
+        points = rng.uniform(0, 10, size=(80, 2))
+        tree = RTree(dimension=2)
+        tree.bulk_load(points)
+        query = np.array([5.0, 5.0])
+        expected = int(np.argmin(np.linalg.norm(points - query, axis=1)))
+        assert tree.nearest(query, k=1) == [expected]
+
+    def test_nearest_k_ordering(self, rng):
+        points = rng.uniform(0, 10, size=(60, 2))
+        tree = RTree(dimension=2)
+        tree.bulk_load(points)
+        query = np.array([2.0, 8.0])
+        found = tree.nearest(query, k=5)
+        expected = list(np.argsort(np.linalg.norm(points - query, axis=1))[:5])
+        assert found == expected
+
+    def test_nearest_invalid_k(self):
+        tree = RTree(dimension=1)
+        tree.insert(np.array([0.0]), 0)
+        with pytest.raises(IndexError_):
+            tree.nearest(np.array([0.0]), k=0)
+
+    def test_nearest_k_larger_than_size(self, rng):
+        tree = RTree(dimension=1)
+        tree.bulk_load(rng.uniform(0, 1, size=(3, 1)))
+        assert len(tree.nearest(np.array([0.5]), k=10)) == 3
+
+
+class TestPayloads:
+    def test_custom_payloads(self):
+        tree = RTree(dimension=1)
+        tree.bulk_load(np.array([[0.0], [1.0], [2.0]]), payloads=[10, 20, 30])
+        box = BoundingBox(np.array([0.5]), np.array([2.5]))
+        assert sorted(tree.search_box(box)) == [20, 30]
+
+    def test_duplicate_points_allowed(self):
+        tree = RTree(dimension=2)
+        for i in range(10):
+            tree.insert(np.array([1.0, 1.0]), i)
+        box = BoundingBox.from_point(np.array([1.0, 1.0]))
+        assert sorted(tree.search_box(box)) == list(range(10))

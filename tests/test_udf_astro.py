@@ -1,0 +1,151 @@
+"""Unit tests for the astrophysics cosmology UDFs (§6.4 substitution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UDFError
+from repro.udf.astro import (
+    Cosmology,
+    angdist_udf,
+    angular_separation_deg,
+    case_study_udfs,
+    comove_vol_udf,
+    distance_modulus_udf,
+    galage_udf,
+    lookback_time_udf,
+    sky_distance_udf,
+)
+
+
+class TestCosmology:
+    def setup_method(self):
+        self.cosmo = Cosmology(h0=70.0, omega_m=0.3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(UDFError):
+            Cosmology(h0=-1.0)
+        with pytest.raises(UDFError):
+            Cosmology(omega_m=1.5)
+
+    def test_flatness(self):
+        assert self.cosmo.omega_m + self.cosmo.omega_lambda == pytest.approx(1.0)
+
+    def test_age_of_universe_today(self):
+        # Standard result for (70, 0.3): ~13.5 Gyr.
+        assert self.cosmo.galaxy_age_gyr(0.0) == pytest.approx(13.46, abs=0.2)
+
+    def test_age_decreases_with_redshift(self):
+        ages = [self.cosmo.galaxy_age_gyr(z) for z in (0.0, 0.5, 1.0, 2.0)]
+        assert all(a > b for a, b in zip(ages, ages[1:]))
+
+    def test_age_at_z1(self):
+        # Well-known value: the universe is roughly 5.9 Gyr old at z = 1.
+        assert self.cosmo.galaxy_age_gyr(1.0) == pytest.approx(5.9, abs=0.3)
+
+    def test_negative_redshift_rejected(self):
+        with pytest.raises(UDFError):
+            self.cosmo.galaxy_age_gyr(-0.1)
+        with pytest.raises(UDFError):
+            self.cosmo.comoving_distance_mpc(-0.1)
+
+    def test_comoving_distance_monotone(self):
+        distances = [self.cosmo.comoving_distance_mpc(z) for z in (0.1, 0.5, 1.0)]
+        assert distances[0] < distances[1] < distances[2]
+
+    def test_comoving_distance_at_z1(self):
+        # Standard result: ~3300 Mpc for (70, 0.3).
+        assert self.cosmo.comoving_distance_mpc(1.0) == pytest.approx(3300, rel=0.03)
+
+    def test_dense_distance_matches_quad(self):
+        for z in (0.2, 0.8, 1.4):
+            dense = self.cosmo.comoving_distance_mpc_dense(z)
+            quad = self.cosmo.comoving_distance_mpc(z)
+            assert dense == pytest.approx(quad, rel=1e-6)
+
+    def test_comoving_volume_symmetric_in_arguments(self):
+        v1 = self.cosmo.comoving_volume_mpc3(0.2, 0.6, 0.1)
+        v2 = self.cosmo.comoving_volume_mpc3(0.6, 0.2, 0.1)
+        assert v1 == pytest.approx(v2)
+        assert v1 > 0
+
+    def test_comoving_volume_zero_for_equal_redshifts(self):
+        assert self.cosmo.comoving_volume_mpc3(0.5, 0.5, 0.1) == pytest.approx(0.0)
+
+    def test_comoving_volume_requires_positive_area(self):
+        with pytest.raises(UDFError):
+            self.cosmo.comoving_volume_mpc3(0.1, 0.2, 0.0)
+
+    def test_luminosity_and_angular_distances(self):
+        z = 0.5
+        dc = self.cosmo.comoving_distance_mpc(z)
+        assert self.cosmo.luminosity_distance_mpc(z) == pytest.approx(1.5 * dc)
+        assert self.cosmo.angular_diameter_distance_mpc(z) == pytest.approx(dc / 1.5)
+
+    def test_distance_modulus_reasonable(self):
+        # z = 0.1 corresponds to a distance modulus of roughly 38.3 mag.
+        assert self.cosmo.distance_modulus(0.1) == pytest.approx(38.3, abs=0.3)
+
+    def test_lookback_plus_age_is_constant(self):
+        total = self.cosmo.galaxy_age_gyr(0.0)
+        for z in (0.3, 0.9):
+            assert self.cosmo.lookback_time_gyr(z) + self.cosmo.galaxy_age_gyr(z) == pytest.approx(total)
+
+
+class TestAngularSeparation:
+    def test_zero_for_identical_points(self):
+        assert angular_separation_deg(10.0, 20.0, 10.0, 20.0) == pytest.approx(0.0)
+
+    def test_small_angle_approximation(self):
+        # At dec = 0 a pure RA offset equals the separation.
+        assert angular_separation_deg(100.0, 0.0, 101.0, 0.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetric(self):
+        a = angular_separation_deg(10.0, 5.0, 12.0, 7.0)
+        b = angular_separation_deg(12.0, 7.0, 10.0, 5.0)
+        assert a == pytest.approx(b)
+
+    def test_quarter_circle(self):
+        assert angular_separation_deg(0.0, 0.0, 90.0, 0.0) == pytest.approx(90.0)
+
+
+class TestUDFWrappers:
+    def test_case_study_table_contents(self):
+        udfs = case_study_udfs()
+        assert set(udfs) == {"AngDist", "GalAge", "ComoveVol"}
+        assert udfs["GalAge"].dimension == 1
+        assert udfs["AngDist"].dimension == 2
+        assert udfs["ComoveVol"].dimension == 2
+
+    def test_galage_udf_evaluates(self):
+        udf = galage_udf()
+        age = udf(np.array([0.5]))
+        assert 7.0 < age < 10.0
+
+    def test_comove_vol_udf_evaluates(self):
+        udf = comove_vol_udf(area_sr=0.1)
+        volume = udf(np.array([0.2, 0.7]))
+        assert volume > 0
+
+    def test_angdist_udf_evaluates(self):
+        udf = angdist_udf()
+        separation = udf(np.array([1.0, 0.0]))
+        assert 0.0 < separation < 2.0
+
+    def test_sky_distance_udf(self):
+        udf = sky_distance_udf()
+        assert udf.dimension == 4
+        assert udf(np.array([10.0, 0.0, 11.0, 0.0])) == pytest.approx(1.0, abs=1e-6)
+
+    def test_additional_udfs(self):
+        assert lookback_time_udf()(np.array([0.5])) > 0
+        assert distance_modulus_udf()(np.array([0.5])) > 35.0
+
+    def test_evaluation_time_ordering(self):
+        # The substitution must preserve the case-study ordering:
+        # AngDist (trigonometry) is much faster than the integrating UDFs.
+        udfs = case_study_udfs()
+        times = {name: udf.measure_eval_time(n_probes=10, random_state=0) for name, udf in udfs.items()}
+        assert times["AngDist"] < times["GalAge"]
+        assert times["AngDist"] < times["ComoveVol"]

@@ -1,0 +1,122 @@
+"""Unit tests for the instrumented black-box UDF wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UDFError
+from repro.udf.base import UDF, as_udf
+
+
+class TestEvaluation:
+    def test_scalar_call(self):
+        udf = UDF(lambda x: float(x[0]) + 1.0, dimension=1)
+        assert udf(np.array([2.0])) == 3.0
+
+    def test_wrong_shape_rejected(self):
+        udf = UDF(lambda x: 0.0, dimension=2)
+        with pytest.raises(UDFError):
+            udf(np.array([1.0]))
+
+    def test_non_finite_output_rejected(self):
+        udf = UDF(lambda x: float("nan"), dimension=1)
+        with pytest.raises(UDFError):
+            udf(np.array([0.0]))
+
+    def test_exception_wrapped(self):
+        def broken(x):
+            raise RuntimeError("boom")
+
+        udf = UDF(broken, dimension=1, name="broken")
+        with pytest.raises(UDFError, match="broken"):
+            udf(np.array([0.0]))
+
+    def test_batch_non_vectorised(self):
+        udf = UDF(lambda x: float(x[0]) * 2.0, dimension=1)
+        values = udf.evaluate_batch(np.array([[1.0], [2.0], [3.0]]))
+        assert np.allclose(values, [2.0, 4.0, 6.0])
+
+    def test_batch_vectorised(self):
+        udf = UDF(lambda X: X[:, 0] ** 2, dimension=1, vectorized=True)
+        values = udf.evaluate_batch(np.array([[1.0], [3.0]]))
+        assert np.allclose(values, [1.0, 9.0])
+
+    def test_vectorised_wrong_length_rejected(self):
+        udf = UDF(lambda X: np.zeros(1), dimension=1, vectorized=True)
+        with pytest.raises(UDFError):
+            udf.evaluate_batch(np.zeros((3, 1)))
+
+    def test_batch_dimension_check(self):
+        udf = UDF(lambda x: 0.0, dimension=2)
+        with pytest.raises(UDFError):
+            udf.evaluate_batch(np.zeros((3, 1)))
+
+
+class TestInstrumentation:
+    def test_call_counting(self):
+        udf = UDF(lambda x: 1.0, dimension=1)
+        for _ in range(5):
+            udf(np.array([0.0]))
+        udf.evaluate_batch(np.zeros((3, 1)))
+        assert udf.call_count == 8
+
+    def test_reset_counters(self):
+        udf = UDF(lambda x: 1.0, dimension=1)
+        udf(np.array([0.0]))
+        udf.reset_counters()
+        assert udf.call_count == 0
+        assert udf.real_time == 0.0
+
+    def test_charged_time_includes_simulated_cost(self):
+        udf = UDF(lambda x: 1.0, dimension=1, simulated_eval_time=0.5)
+        udf(np.array([0.0]))
+        udf(np.array([0.0]))
+        assert udf.charged_time >= 1.0
+        assert udf.real_time < 0.5  # no actual sleeping happened
+
+    def test_with_simulated_eval_time_copies(self):
+        udf = UDF(lambda x: 1.0, dimension=1)
+        slow = udf.with_simulated_eval_time(0.1)
+        assert slow.simulated_eval_time == 0.1
+        assert udf.simulated_eval_time == 0.0
+        udf(np.array([0.0]))
+        assert slow.call_count == 0  # fresh counters
+
+    def test_measure_eval_time(self):
+        udf = UDF(lambda x: 1.0, dimension=1, simulated_eval_time=0.01,
+                  domain=(np.array([0.0]), np.array([1.0])))
+        measured = udf.measure_eval_time(n_probes=5, random_state=0)
+        assert measured >= 0.01
+
+    def test_negative_simulated_time_rejected(self):
+        with pytest.raises(UDFError):
+            UDF(lambda x: 1.0, dimension=1, simulated_eval_time=-1.0)
+
+
+class TestDomainAndFactory:
+    def test_domain_validation(self):
+        with pytest.raises(UDFError):
+            UDF(lambda x: 1.0, dimension=2, domain=(np.array([0.0]), np.array([1.0])))
+        with pytest.raises(UDFError):
+            UDF(lambda x: 1.0, dimension=1, domain=(np.array([1.0]), np.array([0.0])))
+
+    def test_invalid_dimension(self):
+        with pytest.raises(UDFError):
+            UDF(lambda x: 1.0, dimension=0)
+
+    def test_as_udf_passthrough(self):
+        udf = UDF(lambda x: 1.0, dimension=1)
+        assert as_udf(udf) is udf
+
+    def test_as_udf_wraps_callable(self):
+        def my_function(x):
+            return float(x[0])
+
+        udf = as_udf(my_function, dimension=1)
+        assert udf.name == "my_function"
+        assert udf(np.array([4.0])) == 4.0
+
+    def test_as_udf_requires_dimension(self):
+        with pytest.raises(UDFError):
+            as_udf(lambda x: 1.0)

@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic Gaussian-mixture UDFs (§6.1A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UDFError
+from repro.udf.synthetic import (
+    GaussianMixtureFunction,
+    MixtureSpec,
+    high_dimensional_function,
+    make_mixture_udf,
+    reference_function,
+    reference_suite,
+)
+
+
+class TestGaussianMixtureFunction:
+    def test_single_point_and_batch_agree(self):
+        f = GaussianMixtureFunction(
+            centers=np.array([[1.0, 1.0]]), stds=np.array([1.0]), amplitudes=np.array([2.0])
+        )
+        single = f(np.array([0.5, 0.5]))
+        batch = f(np.array([[0.5, 0.5]]))
+        assert single == pytest.approx(batch[0])
+
+    def test_peak_at_center(self):
+        f = GaussianMixtureFunction(
+            centers=np.array([[2.0]]), stds=np.array([0.5]), amplitudes=np.array([3.0]),
+            baseline=0.5,
+        )
+        assert f(np.array([2.0])) == pytest.approx(3.5)
+        assert f(np.array([10.0])) == pytest.approx(0.5, abs=1e-6)
+
+    def test_strictly_positive(self):
+        f = GaussianMixtureFunction(
+            centers=np.array([[0.0, 0.0]]), stds=np.array([1.0]), amplitudes=np.array([1.0])
+        )
+        rng = np.random.default_rng(0)
+        values = f(rng.uniform(-10, 10, size=(200, 2)))
+        assert np.all(values > 0)
+
+    def test_mismatched_parameters_rejected(self):
+        with pytest.raises(UDFError):
+            GaussianMixtureFunction(np.zeros((2, 1)), np.array([1.0]), np.array([1.0, 1.0]))
+
+    def test_value_range_spans_baseline_to_peak(self):
+        f = GaussianMixtureFunction(
+            centers=np.array([[5.0, 5.0]]), stds=np.array([0.5]), amplitudes=np.array([2.0]),
+            baseline=0.5, domain=(np.zeros(2), 10 * np.ones(2)),
+        )
+        lo, hi = f.value_range()
+        assert lo == pytest.approx(0.5, abs=0.01)
+        assert hi == pytest.approx(2.5, abs=0.05)
+
+
+class TestFactories:
+    def test_make_mixture_udf_dimension(self):
+        spec = MixtureSpec(dimension=3, n_components=4, component_std=1.0)
+        udf = make_mixture_udf(spec, random_state=0)
+        assert udf.dimension == 3
+        assert udf.domain is not None
+        value = udf(np.array([5.0, 5.0, 5.0]))
+        assert np.isfinite(value)
+
+    def test_reproducible_with_seed(self):
+        spec = MixtureSpec(dimension=2, n_components=2, component_std=1.0)
+        a = make_mixture_udf(spec, random_state=42)
+        b = make_mixture_udf(spec, random_state=42)
+        x = np.array([3.0, 7.0])
+        assert a(x) == pytest.approx(b(x))
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(UDFError):
+            make_mixture_udf(MixtureSpec(dimension=0, n_components=1, component_std=1.0))
+        with pytest.raises(UDFError):
+            make_mixture_udf(MixtureSpec(dimension=1, n_components=0, component_std=1.0))
+
+    def test_simulated_eval_time_propagates(self):
+        spec = MixtureSpec(dimension=1, n_components=1, component_std=1.0)
+        udf = make_mixture_udf(spec, simulated_eval_time=0.25)
+        assert udf.simulated_eval_time == 0.25
+
+
+class TestReferenceFunctions:
+    def test_all_four_exist(self):
+        suite = reference_suite()
+        assert set(suite) == {"F1", "F2", "F3", "F4"}
+        for udf in suite.values():
+            assert udf.dimension == 2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(UDFError):
+            reference_function("F9")
+
+    def test_f1_is_smoother_than_f4(self):
+        # F1 (one broad peak) should vary far less over the domain than F4
+        # (five narrow peaks); compare total variation over a full grid.
+        f1 = reference_function("F1")
+        f4 = reference_function("F4")
+        axis = np.linspace(0.0, 10.0, 60)
+        xx, yy = np.meshgrid(axis, axis)
+        grid = np.stack([xx.ravel(), yy.ravel()], axis=1)
+        v1 = f1.evaluate_batch(grid).reshape(60, 60)
+        v4 = f4.evaluate_batch(grid).reshape(60, 60)
+
+        def total_variation(values: np.ndarray) -> float:
+            return float(
+                np.abs(np.diff(values, axis=0)).sum() + np.abs(np.diff(values, axis=1)).sum()
+            )
+
+        assert total_variation(v4) > total_variation(v1)
+
+    def test_case_insensitive(self):
+        assert reference_function("f2").name == "F2"
+
+    def test_deterministic_across_calls(self):
+        a = reference_function("F3")
+        b = reference_function("F3")
+        x = np.array([4.2, 6.9])
+        assert a(x) == pytest.approx(b(x))
+
+
+class TestHighDimensionalFunction:
+    @pytest.mark.parametrize("dimension", [1, 2, 5, 10])
+    def test_dimensions(self, dimension):
+        udf = high_dimensional_function(dimension)
+        assert udf.dimension == dimension
+        x = np.full(dimension, 5.0)
+        assert np.isfinite(udf(x))
+
+    def test_domain_is_default_box(self):
+        udf = high_dimensional_function(3)
+        low, high = udf.domain
+        assert np.allclose(low, 0.0) and np.allclose(high, 10.0)

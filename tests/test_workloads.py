@@ -1,0 +1,112 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import SelectionPredicate
+from repro.distributions.multivariate import IndependentJoint
+from repro.exceptions import DistributionError
+from repro.udf.synthetic import reference_function
+from repro.workloads.generators import (
+    WorkloadSpec,
+    input_distribution,
+    input_stream,
+    selectivity_predicate,
+    true_output_distribution,
+    workload_for_udf,
+)
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            WorkloadSpec(dimension=0)
+        with pytest.raises(DistributionError):
+            WorkloadSpec(dimension=1, domain_low=5.0, domain_high=1.0)
+        with pytest.raises(DistributionError):
+            WorkloadSpec(dimension=1, input_std=0.0)
+
+    def test_defaults_match_paper(self):
+        spec = WorkloadSpec(dimension=2)
+        assert spec.domain_low == 0.0
+        assert spec.domain_high == 10.0
+        assert spec.input_std == 0.5
+        assert spec.family == "gaussian"
+
+
+class TestInputGeneration:
+    @pytest.mark.parametrize("family", ["gaussian", "exponential", "gamma"])
+    def test_families_produce_correct_dimension(self, family, rng):
+        spec = WorkloadSpec(dimension=3, family=family)
+        dist = input_distribution(spec, rng)
+        samples = dist.sample(50, random_state=rng)
+        assert samples.shape == (50, 3)
+
+    def test_unknown_family_rejected(self, rng):
+        spec = WorkloadSpec(dimension=1)
+        object.__setattr__(spec, "family", "cauchy")
+        with pytest.raises(DistributionError):
+            input_distribution(spec, rng)
+
+    def test_means_inside_domain(self, rng):
+        spec = WorkloadSpec(dimension=2)
+        for _ in range(20):
+            dist = input_distribution(spec, rng)
+            mean = dist.mean()
+            assert np.all(mean >= spec.domain_low) and np.all(mean <= spec.domain_high)
+
+    def test_stream_length_and_variety(self):
+        spec = WorkloadSpec(dimension=1)
+        stream = list(input_stream(spec, 10, random_state=0))
+        assert len(stream) == 10
+        means = [float(d.mean()[0]) for d in stream]
+        assert len(set(np.round(means, 6))) > 1
+
+    def test_stream_requires_positive_count(self):
+        with pytest.raises(DistributionError):
+            list(input_stream(WorkloadSpec(dimension=1), 0))
+
+    def test_single_dimension_returns_marginal(self, rng):
+        spec = WorkloadSpec(dimension=1)
+        dist = input_distribution(spec, rng)
+        assert not isinstance(dist, IndependentJoint)
+
+
+class TestWorkloadForUDF:
+    def test_uses_udf_domain(self, f1_udf):
+        spec = workload_for_udf(f1_udf)
+        assert spec.dimension == 2
+        assert spec.domain_low == 0.0 and spec.domain_high == 10.0
+        assert spec.input_std == pytest.approx(0.5)
+
+    def test_scales_sigma_to_domain(self):
+        from repro.udf.astro import galage_udf
+
+        spec = workload_for_udf(galage_udf())
+        # The redshift domain is ~[0.01, 1.5]; sigma_I scales accordingly.
+        assert spec.input_std < 0.1
+
+
+class TestTruthAndPredicates:
+    def test_true_output_distribution_does_not_touch_counters(self, f1_udf, gaussian_2d_input):
+        calls_before = f1_udf.call_count
+        truth = true_output_distribution(f1_udf, gaussian_2d_input, n_samples=500, random_state=0)
+        assert f1_udf.call_count == calls_before
+        assert truth.size == 500
+
+    def test_selectivity_predicate_orders_filter_rates(self):
+        udf = reference_function("F1")
+        spec = workload_for_udf(udf)
+        low_rate = selectivity_predicate(udf, spec, 0.2, random_state=0, n_probe_tuples=15)
+        high_rate = selectivity_predicate(udf, spec, 0.9, random_state=0, n_probe_tuples=15)
+        assert isinstance(low_rate, SelectionPredicate)
+        # A higher target filter rate means a more demanding (higher) cut.
+        assert high_rate.low > low_rate.low
+
+    def test_selectivity_predicate_validation(self):
+        udf = reference_function("F1")
+        spec = workload_for_udf(udf)
+        with pytest.raises(DistributionError):
+            selectivity_predicate(udf, spec, 0.0)

@@ -1,0 +1,35 @@
+"""Batched execution pipeline versus per-tuple execution (CI smoke workload)."""
+
+from __future__ import annotations
+
+from repro.bench import batch_pipeline_speedup, smoke_report
+
+
+def test_batch_pipeline_speedup(once):
+    table = once(
+        lambda: batch_pipeline_speedup(
+            n_tuples=48,
+            warmup_tuples=24,
+            batch_size=32,
+            trials=1,
+            random_state=11,
+        )
+    )
+    print()
+    print(table.to_text())
+
+    report = smoke_report(table)
+    # Shape check 1: both strategies produced a per-tuple and a batched row.
+    assert set(report["speedup"]) == {"gp", "mc"}
+
+    # Shape check 2: the batched pipeline never pathologically regresses.
+    # (The quantitative >= 2x gp target is tracked by the CI smoke artifact
+    # at full scale; this scaled-down wrapper only guards the trend, with
+    # slack for noisy shared runners.)
+    assert report["speedup"]["gp"] > 1.0
+    assert report["speedup"]["mc"] > 0.5
+
+    # Shape check 3: the batched rows carry the per-phase attribution.
+    batched = table.filtered(mode="batched", strategy="gp").rows[0]
+    assert batched["sampling_ms"] > 0.0
+    assert batched["inference_ms"] > 0.0

@@ -1,0 +1,9 @@
+"""Setuptools shim: metadata lives in pyproject.toml.
+
+Kept so `pip install -e .` works through the legacy editable route on
+environments whose setuptools cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -10,6 +10,7 @@ from repro.bench.experiments_astro import (
     astro_gp_vs_mc,
     astro_output_density,
 )
+from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
 from repro.bench.experiments_profiles import (
     all_profiles,
     profile1_function_fitting,
@@ -25,12 +26,15 @@ from repro.bench.experiments_synthetic import (
     expt6_filtering,
     expt7_dimensionality,
 )
-from repro.bench.harness import ExperimentTable, print_tables, summarize
+from repro.bench.harness import ExperimentTable, PhaseTimings, print_tables, summarize
 
 __all__ = [
     "ExperimentTable",
+    "PhaseTimings",
     "print_tables",
     "summarize",
+    "batch_pipeline_speedup",
+    "smoke_report",
     "profile1_function_fitting",
     "profile2_error_bound",
     "profile3_error_allocation",

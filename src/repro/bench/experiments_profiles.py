@@ -26,9 +26,8 @@ from repro.gp.regression import GaussianProcess
 from repro.gp.training import fit_hyperparameters, initial_hyperparameters
 from repro.index.bounding_box import BoundingBox
 from repro.rng import as_generator
-from repro.udf.synthetic import reference_function, reference_suite
+from repro.udf.synthetic import reference_function
 from repro.workloads.generators import (
-    WorkloadSpec,
     input_stream,
     true_output_distribution,
     workload_for_udf,

@@ -12,6 +12,9 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from repro.exceptions import ReproError
+from repro.timing import PhaseTimings
+
+__all__ = ["ExperimentTable", "PhaseTimings", "print_tables", "summarize"]
 
 
 @dataclass

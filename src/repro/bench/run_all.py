@@ -6,6 +6,8 @@ Usage::
     python -m repro.bench.run_all --full       # full-scale (hours)
     python -m repro.bench.run_all --only expt5_eval_time astro_gp_vs_mc
     python -m repro.bench.run_all --output results.txt
+    python -m repro.bench.run_all --smoke      # CI smoke: batched-vs-per-tuple
+                                               # wall-clock -> BENCH_smoke.json
 
 Each experiment prints an :class:`~repro.bench.harness.ExperimentTable`; the
 ``--output`` option additionally writes the combined report to a file so it
@@ -15,6 +17,7 @@ can be diffed against EXPERIMENTS.md after code changes.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable
@@ -34,6 +37,7 @@ from repro.bench import (
     profile2_error_bound,
     profile3_error_allocation,
 )
+from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
 from repro.bench.harness import ExperimentTable
 
 #: Scaled-down parameter overrides, mirroring the pytest-benchmark wrappers.
@@ -63,7 +67,12 @@ _SCALED_OVERRIDES: dict[str, dict] = {
     "astro_output_density": {"n_samples": 3000, "bins": 30},
     "astro_gp_vs_mc": {"epsilons": (0.1, 0.2), "udf_names": ("GalAge", "ComoveVol"),
                        "n_tuples": 4},
+    "batch_pipeline": {"n_tuples": 48, "warmup_tuples": 24, "trials": 1},
 }
+
+#: Parameters of the CI smoke invocation (`--smoke`): large enough that the
+#: steady-state batching speedup is measurable, small enough for a CI job.
+_SMOKE_KWARGS = {"n_tuples": 96, "warmup_tuples": 48, "batch_size": 32, "trials": 2}
 
 #: Every experiment, in presentation order.
 EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
@@ -80,7 +89,30 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "astro_case_study_table": astro_case_study_table,
     "astro_output_density": astro_output_density,
     "astro_gp_vs_mc": astro_gp_vs_mc,
+    "batch_pipeline": batch_pipeline_speedup,
 }
+
+
+def run_smoke(output_path: str) -> int:
+    """Run the batched-vs-per-tuple smoke benchmark and write its JSON artifact."""
+    import os
+
+    parent = os.path.dirname(os.path.abspath(output_path))
+    if not os.path.isdir(parent):
+        print(f"error: cannot write {output_path}: directory {parent} does not exist",
+              file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    table = batch_pipeline_speedup(**_SMOKE_KWARGS)
+    elapsed = time.perf_counter() - started
+    report = smoke_report(table)
+    print(table.to_text())
+    print(f"(ran batch_pipeline smoke in {elapsed:.1f} s)")
+    print(f"min speedup across strategies: {report['min_speedup']:.2f}x")
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {output_path}")
+    return 0
 
 
 def run(names: list[str], full_scale: bool) -> list[tuple[str, ExperimentTable, float]]:
@@ -105,7 +137,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="run only the named experiments")
     parser.add_argument("--output", metavar="PATH",
                         help="also write the combined report to this file")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the fast batched-vs-per-tuple smoke benchmark "
+                             "and write a JSON artifact")
+    parser.add_argument("--smoke-output", metavar="PATH", default="BENCH_smoke.json",
+                        help="where --smoke writes its JSON artifact")
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke(args.smoke_output)
 
     names = args.only if args.only else list(EXPERIMENTS)
     results = run(names, full_scale=args.full)

@@ -33,7 +33,7 @@ from itertools import combinations
 from typing import Literal
 
 import numpy as np
-from scipy import optimize, stats
+from scipy import optimize, special
 
 from repro.config import DEFAULT_BAND_ALPHA
 from repro.exceptions import GPError
@@ -44,6 +44,19 @@ BandMethod = Literal["euler", "bonferroni", "pointwise"]
 
 #: Search interval for the band multiplier z.
 _Z_MIN, _Z_MAX = 0.1, 15.0
+
+#: Point-wise Gaussian quantiles ``z = Phi^{-1}(1 - alpha/2)`` per alpha.
+#: alpha is fixed per processor, so this is computed once per process.
+_POINTWISE_Z: dict[float, float] = {}
+
+
+def _pointwise_z(alpha: float) -> float:
+    """Cached two-sided point-wise quantile (identical to ``stats.norm.ppf``)."""
+    z = _POINTWISE_Z.get(alpha)
+    if z is None:
+        z = float(special.ndtri(1.0 - alpha / 2.0))
+        _POINTWISE_Z[alpha] = z
+    return z
 
 
 @dataclass(frozen=True)
@@ -88,16 +101,29 @@ def lipschitz_killing_curvatures(box: BoundingBox) -> np.ndarray:
 
 
 def expected_euler_characteristic(
-    z: float, box: BoundingBox, second_spectral_moment: float
+    z: float,
+    box: BoundingBox,
+    second_spectral_moment: float,
+    curvatures: np.ndarray | None = None,
 ) -> float:
-    """One-sided ``E[φ(A_z)]`` for a standardised field on ``box``."""
+    """One-sided ``E[φ(A_z)]`` for a standardised field on ``box``.
+
+    ``curvatures`` may carry the box's precomputed Lipschitz–Killing
+    curvatures — the band calibration evaluates this function many times per
+    root-finding solve on a fixed box, and the curvatures only depend on the
+    box.  ``special.ndtr`` is used directly (bitwise identical to
+    ``stats.norm.sf``) because this sits on the per-tuple hot path and the
+    distribution-infrastructure wrapper costs ~100x the actual tail
+    computation.
+    """
     if z <= 0:
         raise GPError("z must be positive")
     if second_spectral_moment <= 0:
         raise GPError("second spectral moment must be positive")
-    curvatures = lipschitz_killing_curvatures(box)
+    if curvatures is None:
+        curvatures = lipschitz_killing_curvatures(box)
     lam = second_spectral_moment
-    total = curvatures[0] * float(stats.norm.sf(z))
+    total = curvatures[0] * float(special.ndtr(-z))
     gaussian_tail = math.exp(-0.5 * z**2)
     for j in range(1, curvatures.size):
         density = (
@@ -138,22 +164,22 @@ def band_z_value(
     if not (0.0 < alpha < 1.0):
         raise GPError(f"alpha must be in (0, 1), got {alpha}")
     if method == "pointwise":
-        z = float(stats.norm.ppf(1.0 - alpha / 2.0))
-        return SimultaneousBand(z_value=z, alpha=alpha, method=method)
+        return SimultaneousBand(z_value=_pointwise_z(alpha), alpha=alpha, method=method)
     if method == "bonferroni":
         if n_points is None or n_points <= 0:
             raise GPError("bonferroni band requires a positive n_points")
-        z = float(stats.norm.ppf(1.0 - alpha / (2.0 * n_points)))
+        z = float(special.ndtri(1.0 - alpha / (2.0 * n_points)))
         return SimultaneousBand(z_value=z, alpha=alpha, method=method)
     if method != "euler":
         raise GPError(f"unknown band method {method!r}")
 
     lam = kernel.second_spectral_moment()
+    curvatures = lipschitz_killing_curvatures(box)
 
     def objective(z: float) -> float:
         # Two-sided band: the excursion sets above +z and below -z are
         # disjoint and symmetric, doubling the expected Euler characteristic.
-        return 2.0 * expected_euler_characteristic(z, box, lam) - alpha
+        return 2.0 * expected_euler_characteristic(z, box, lam, curvatures=curvatures) - alpha
 
     low, high = _Z_MIN, _Z_MAX
     f_low = objective(low)
@@ -161,8 +187,7 @@ def band_z_value(
     if f_low < 0.0:
         # Even the smallest z already satisfies the target (tiny box or very
         # smooth kernel): fall back to the point-wise quantile as a floor.
-        z = float(stats.norm.ppf(1.0 - alpha / 2.0))
-        return SimultaneousBand(z_value=z, alpha=alpha, method=method)
+        return SimultaneousBand(z_value=_pointwise_z(alpha), alpha=alpha, method=method)
     if f_high > 0.0:
         raise GPError(
             "could not calibrate the confidence band: the expected Euler "
@@ -171,5 +196,5 @@ def band_z_value(
         )
     z = float(optimize.brentq(objective, low, high, xtol=1e-6))
     # Never report a simultaneous band narrower than the point-wise one.
-    z = max(z, float(stats.norm.ppf(1.0 - alpha / 2.0)))
+    z = max(z, _pointwise_z(alpha))
     return SimultaneousBand(z_value=z, alpha=alpha, method="euler")

@@ -72,6 +72,27 @@ class GPEmulator:
         self.index.insert(x, self.gp.n_training - 1)
         return y
 
+    def add_training_points(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the UDF at every row of ``X`` and absorb them in one step.
+
+        Uses the blocked incremental-inverse update (``O(n^2 k)`` for ``k``
+        new points) instead of ``k`` rank-1 updates, and keeps the spatial
+        index in sync.  Returns the UDF values observed.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.udf.dimension:
+            raise UDFError(
+                f"training points have {X.shape[1]} columns, expected {self.udf.dimension}"
+            )
+        if X.shape[0] == 0:
+            return np.empty(0)
+        y = self.udf.evaluate_batch(X)
+        first_row = self.gp.n_training
+        self.gp.add_points(X, y)
+        for offset, row in enumerate(X):
+            self.index.insert(row, first_row + offset)
+        return y
+
     def train_initial(
         self,
         n_points: int,

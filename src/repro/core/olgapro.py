@@ -47,7 +47,12 @@ from repro.core.error_bounds import (
     interval_probability_bounds,
 )
 from repro.core.filtering import FilterDecision, SelectionPredicate, upper_bound_decision
-from repro.core.local_inference import LocalInferenceEngine, global_inference
+from repro.core.local_inference import (
+    BatchKernelCache,
+    LocalInferenceEngine,
+    global_inference,
+    global_inference_cached,
+)
 from repro.core.online_tuning import LargestVarianceStrategy, TuningStrategy
 from repro.core.retraining import RetrainingPolicy, ThresholdRetrain
 from repro.distributions.base import Distribution
@@ -237,6 +242,117 @@ class OLGAPRO:
             retrained=retrained,
         )
 
+    def process_batch(
+        self,
+        input_distributions,
+        random_state: RandomState = None,
+        timings=None,
+    ) -> list[OnlineTupleResult]:
+        """Process a chunk of uncertain tuples through the batched pipeline.
+
+        Semantics match calling :meth:`process` once per tuple, in order —
+        with a deterministic tuning strategy (the default) the results are
+        numerically identical under the same seed, because Monte-Carlo
+        sampling is the only consumer of the random stream and the samples
+        are drawn in the same tuple order.  The speedup comes from sharing
+        the kernel algebra across the chunk through a
+        :class:`~repro.core.local_inference.BatchKernelCache` (one stacked
+        cross-covariance evaluation, vectorised R-tree-equivalent retrieval,
+        cached local factorisations); only tuples whose error bound misses
+        the GP budget fall back to the per-tuple refinement loop, and even
+        that loop re-infers through the cache, which absorbs new training
+        points as appended kernel columns.
+
+        ``timings``, when given, must expose ``add(phase, seconds)`` and
+        receives per-phase wall-clock spent in ``"sampling"``,
+        ``"inference"`` and ``"refinement"``.
+        """
+        distributions = list(input_distributions)
+        if not distributions:
+            return []
+        rng = as_generator(random_state) if random_state is not None else self._rng
+
+        # Initialisation cost is charged to the first tuple, exactly as the
+        # per-tuple path would (it initialises inside the first process()).
+        init_calls_before = self.udf.call_count
+        init_charged_before = self.udf.charged_time
+        init_started = time.perf_counter()
+        self._ensure_initialized(distributions[0], rng)
+        init_calls = self.udf.call_count - init_calls_before
+        init_charged = self.udf.charged_time - init_charged_before
+        init_elapsed = time.perf_counter() - init_started
+        m = self.mc_samples()
+        # Per-tuple sampling durations are kept so each tuple's elapsed /
+        # charged time covers its own draw, as the per-tuple path's does.
+        sample_sets = []
+        sample_seconds = []
+        for dist in distributions:
+            draw_started = time.perf_counter()
+            sample_sets.append(dist.sample(m, random_state=rng))
+            sample_seconds.append(time.perf_counter() - draw_started)
+        boxes = [BoundingBox.from_points(samples) for samples in sample_sets]
+        if timings is not None:
+            timings.add("sampling", float(sum(sample_seconds)))
+
+        phase_started = time.perf_counter()
+        cache = BatchKernelCache(self.emulator.gp, sample_sets, boxes)
+        cache_share = (time.perf_counter() - phase_started) / len(sample_sets)
+        if timings is not None:
+            timings.add("inference", cache_share * len(sample_sets))
+
+        results: list[OnlineTupleResult] = []
+        for i, samples in enumerate(sample_sets):
+            started = time.perf_counter()
+            calls_before = self.udf.call_count
+            charged_before = self.udf.charged_time
+            infer = self._make_cached_infer(cache, i)
+            phase_started = time.perf_counter()
+            envelope, bound = self._infer_and_bound(samples, boxes[i], infer=infer)
+            if timings is not None:
+                timings.add("inference", time.perf_counter() - phase_started)
+            points_added = 0
+            converged = True
+            if bound > self.budget.epsilon_gp:
+                refine_started = time.perf_counter()
+                envelope, bound, points_added, converged = self._tune_until_bounded(
+                    samples, boxes[i], rng, initial=(envelope, bound)
+                )
+                if timings is not None:
+                    timings.add("refinement", time.perf_counter() - refine_started)
+            retrained = self._maybe_retrain(points_added)
+            if retrained:
+                envelope, bound = self._infer_and_bound(samples, boxes[i], infer=infer)
+            # Cover this tuple's share of the up-front work: its own sample
+            # draw plus an even share of the chunk's cache construction (and,
+            # for the first tuple, model initialisation — matching where the
+            # per-tuple path charges it).
+            elapsed = time.perf_counter() - started + sample_seconds[i] + cache_share
+            if i == 0:
+                elapsed += init_elapsed
+            self._tuples_processed += 1
+            results.append(
+                OnlineTupleResult(
+                    distribution=envelope.y_hat,
+                    envelope=envelope,
+                    error_bound=combine_bounds(
+                        epsilon_gp=bound,
+                        epsilon_mc=self.budget.epsilon_mc,
+                        delta_gp=self.budget.delta_gp,
+                        delta_mc=self.budget.delta_mc,
+                    ),
+                    converged=converged,
+                    points_added=points_added,
+                    n_training=self.emulator.n_training,
+                    n_samples=m,
+                    udf_calls=self.udf.call_count - calls_before + (init_calls if i == 0 else 0),
+                    charged_time=self.udf.charged_time - charged_before + elapsed
+                    + (init_charged if i == 0 else 0.0),
+                    elapsed_time=elapsed,
+                    retrained=retrained,
+                )
+            )
+        return results
+
     def process_with_filter(
         self,
         input_distribution: Distribution,
@@ -327,16 +443,42 @@ class OLGAPRO:
             return engine.predict(self.emulator.gp, self.emulator.index, samples, sample_box=box)
         return global_inference(self.emulator.gp, samples)
 
+    def _make_cached_infer(self, cache: BatchKernelCache, i: int):
+        """Per-tuple inference closure backed by the shared batch cache.
+
+        Mirrors the :meth:`_infer` strategy branch at every call — the
+        refinement loop re-infers after each added training point, and the
+        cache absorbs those additions as appended kernel columns instead of
+        fresh per-tuple kernel evaluations.
+        """
+
+        def infer(samples: np.ndarray, box: BoundingBox):
+            del samples, box  # identified by the tuple's slot in the cache
+            if self.use_local_inference and self.emulator.n_training > 3:
+                engine = LocalInferenceEngine(
+                    gamma_threshold=self.gamma_threshold(), subdivisions=self.subdivisions
+                )
+                return engine.predict_cached(self.emulator.gp, cache, i)
+            return global_inference_cached(self.emulator.gp, cache, i)
+
+        return infer
+
     def _infer_and_bound(
-        self, samples: np.ndarray, box: BoundingBox
+        self, samples: np.ndarray, box: BoundingBox, infer=None
     ) -> tuple[EnvelopeOutputs, float]:
-        inference = self._infer(samples, box)
+        inference = (infer or self._infer)(samples, box)
+        return self._bound_from_inference(inference, box, samples.shape[0])
+
+    def _bound_from_inference(
+        self, inference, box: BoundingBox, n_points: int
+    ) -> tuple[EnvelopeOutputs, float]:
+        """Envelope and GP error bound for one tuple's inference results."""
         band = band_z_value(
             self.emulator.gp.kernel,
             box,
             alpha=self.band_alpha,
             method=self.band_method,
-            n_points=samples.shape[0],
+            n_points=n_points,
         )
         envelope = build_envelope_outputs(inference.means, inference.stds, band.z_value)
         if self.requirement.metric == "ks":
@@ -346,11 +488,28 @@ class OLGAPRO:
         return envelope, bound
 
     def _tune_until_bounded(
-        self, samples: np.ndarray, box: BoundingBox, rng: np.random.Generator
+        self,
+        samples: np.ndarray,
+        box: BoundingBox,
+        rng: np.random.Generator,
+        initial: tuple[EnvelopeOutputs, float] | None = None,
     ) -> tuple[EnvelopeOutputs, float, int, bool]:
-        """Steps 3–7 of Algorithm 5: add training points until the bound fits."""
+        """Steps 3–7 of Algorithm 5: add training points until the bound fits.
+
+        ``initial`` lets the batched pipeline seed the loop with an envelope
+        and bound it already computed from the shared batch inference.  The
+        loop body itself always uses the stock per-tuple inference: the
+        tuning strategy's argmax over predictive variances would amplify the
+        last-ulp differences between cached and fresh kernel algebra into a
+        different training-point selection, so bitwise-reproducible inference
+        here is what keeps batched and per-tuple refinement trajectories
+        identical.
+        """
         points_added = 0
-        envelope, bound = self._infer_and_bound(samples, box)
+        if initial is None:
+            envelope, bound = self._infer_and_bound(samples, box)
+        else:
+            envelope, bound = initial
         while bound > self.budget.epsilon_gp:
             if points_added >= self.max_points_per_tuple:
                 return envelope, bound, points_added, False

@@ -15,7 +15,6 @@ results against ground truth.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 

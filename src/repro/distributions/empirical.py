@@ -29,7 +29,11 @@ class EmpiricalDistribution(UnivariateDistribution):
 
     def __init__(self, samples: np.ndarray):
         arr = np.asarray(samples, dtype=float).ravel()
-        arr = arr[np.isfinite(arr)]
+        # The finite-filter copy is skipped when nothing needs dropping —
+        # this constructor runs three times per tuple on the envelope path.
+        finite = np.isfinite(arr)
+        if not finite.all():
+            arr = arr[finite]
         if arr.size == 0:
             raise EmptySampleError("cannot build an empirical CDF from zero samples")
         self._sorted = np.sort(arr)

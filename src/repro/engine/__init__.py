@@ -5,6 +5,7 @@ SDSS-like Galaxy generator; the UDF execution engine with MC / GP / hybrid
 strategies; iterator-style physical operators; and the fluent query builder.
 """
 
+from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
 from repro.engine.executor import ComputedOutput, Strategy, UDFExecutionEngine
 from repro.engine.operators import (
     ApplyUDF,
@@ -32,6 +33,9 @@ __all__ = [
     "UDFExecutionEngine",
     "ComputedOutput",
     "Strategy",
+    "BatchExecutor",
+    "DEFAULT_BATCH_SIZE",
+    "iter_batches",
     "Operator",
     "Scan",
     "Project",

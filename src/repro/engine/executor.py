@@ -86,6 +86,23 @@ class UDFExecutionEngine:
                 )
         return self._processors[key]
 
+    # -- batched evaluation -------------------------------------------------------------
+    def compute_batch(
+        self, udf: UDF, input_distributions, batch_size: int | None = None
+    ) -> list[ComputedOutput]:
+        """Evaluate ``udf`` on many tuples through the batched pipeline.
+
+        Convenience wrapper over :class:`~repro.engine.batch.BatchExecutor`;
+        under the same seed and a deterministic tuning strategy the results
+        match calling :meth:`compute` once per tuple, in order.
+        """
+        from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor
+
+        executor = BatchExecutor(
+            self, batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
+        )
+        return executor.compute_batch(udf, list(input_distributions))
+
     # -- evaluation without a predicate ------------------------------------------------
     def compute(self, udf: UDF, input_distribution: Distribution) -> ComputedOutput:
         """Full output distribution of ``udf`` on one tuple's input vector."""

@@ -21,6 +21,7 @@ import abc
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.filtering import SelectionPredicate
+from repro.engine.batch import BatchExecutor, iter_batches
 from repro.engine.executor import UDFExecutionEngine
 from repro.engine.schema import Attribute, AttributeKind, Schema
 from repro.engine.tuples import Relation, UncertainTuple
@@ -146,6 +147,11 @@ class ApplyUDF(Operator):
     The derived attribute stores the empirical output distribution; the
     claimed error bound is recorded in ``annotations[alias + "_error_bound"]``
     and the UDF cost in ``annotations[alias + "_udf_calls"]``.
+
+    When ``batch_size`` is set, the input stream is consumed in chunks of
+    that many tuples and each chunk is evaluated through the batched
+    pipeline (:class:`~repro.engine.batch.BatchExecutor`) instead of one
+    engine call per tuple.
     """
 
     def __init__(
@@ -155,6 +161,7 @@ class ApplyUDF(Operator):
         argument_names: Sequence[str],
         alias: str,
         engine: UDFExecutionEngine,
+        batch_size: int | None = None,
     ):
         if not argument_names:
             raise QueryError("a UDF call needs at least one argument attribute")
@@ -168,6 +175,8 @@ class ApplyUDF(Operator):
         self.argument_names = list(argument_names)
         self.alias = alias
         self.engine = engine
+        self.batch_size = batch_size
+        self._batch = BatchExecutor(engine, batch_size) if batch_size is not None else None
 
     def schema(self) -> Schema:
         derived = Attribute(
@@ -177,15 +186,25 @@ class ApplyUDF(Operator):
         )
         return self.child.schema().with_attribute(derived)
 
+    def _annotated(self, row: UncertainTuple, output) -> UncertainTuple:
+        out = row.with_value(self.alias, output.distribution)
+        out.annotations[f"{self.alias}_error_bound"] = output.error_bound
+        out.annotations[f"{self.alias}_udf_calls"] = output.udf_calls
+        out.annotations[f"{self.alias}_charged_time"] = output.charged_time
+        return out
+
     def __iter__(self) -> Iterator[UncertainTuple]:
-        for row in self.child:
-            input_distribution = row.input_distribution(self.argument_names)
-            output = self.engine.compute(self.udf, input_distribution)
-            out = row.with_value(self.alias, output.distribution)
-            out.annotations[f"{self.alias}_error_bound"] = output.error_bound
-            out.annotations[f"{self.alias}_udf_calls"] = output.udf_calls
-            out.annotations[f"{self.alias}_charged_time"] = output.charged_time
-            yield out
+        if self._batch is None:
+            for row in self.child:
+                input_distribution = row.input_distribution(self.argument_names)
+                output = self.engine.compute(self.udf, input_distribution)
+                yield self._annotated(row, output)
+            return
+        for rows in iter_batches(self.child, self._batch.batch_size):
+            distributions = [row.input_distribution(self.argument_names) for row in rows]
+            outputs = self._batch.compute_batch(self.udf, distributions)
+            for row, output in zip(rows, outputs):
+                yield self._annotated(row, output)
 
 
 class SelectUDF(Operator):
@@ -206,6 +225,7 @@ class SelectUDF(Operator):
         alias: str,
         predicate: SelectionPredicate,
         engine: UDFExecutionEngine,
+        batch_size: int | None = None,
     ):
         for name in argument_names:
             if name not in child.schema():
@@ -218,6 +238,8 @@ class SelectUDF(Operator):
         self.alias = alias
         self.predicate = predicate
         self.engine = engine
+        self.batch_size = batch_size
+        self._batch = BatchExecutor(engine, batch_size) if batch_size is not None else None
 
     def schema(self) -> Schema:
         derived = Attribute(
@@ -230,24 +252,40 @@ class SelectUDF(Operator):
         )
         return self.child.schema().with_attribute(derived)
 
+    def _filtered(self, row: UncertainTuple, output) -> UncertainTuple | None:
+        if output.dropped or output.distribution is None:
+            return None
+        truncation = output.distribution.truncate(self.predicate.low, self.predicate.high)
+        existence = row.existence_probability * truncation.existence_probability
+        if truncation.distribution is None or existence < self.predicate.threshold:
+            return None
+        out = row.with_value(self.alias, truncation.distribution)
+        out.existence_probability = existence
+        out.annotations[f"{self.alias}_error_bound"] = output.error_bound
+        out.annotations[f"{self.alias}_udf_calls"] = output.udf_calls
+        out.annotations[f"{self.alias}_charged_time"] = output.charged_time
+        return out
+
     def __iter__(self) -> Iterator[UncertainTuple]:
-        for row in self.child:
-            input_distribution = row.input_distribution(self.argument_names)
-            output = self.engine.compute_with_predicate(
-                self.udf, input_distribution, self.predicate
+        if self._batch is None:
+            for row in self.child:
+                input_distribution = row.input_distribution(self.argument_names)
+                output = self.engine.compute_with_predicate(
+                    self.udf, input_distribution, self.predicate
+                )
+                survivor = self._filtered(row, output)
+                if survivor is not None:
+                    yield survivor
+            return
+        for rows in iter_batches(self.child, self._batch.batch_size):
+            distributions = [row.input_distribution(self.argument_names) for row in rows]
+            outputs = self._batch.compute_batch_with_predicate(
+                self.udf, distributions, self.predicate
             )
-            if output.dropped or output.distribution is None:
-                continue
-            truncation = output.distribution.truncate(self.predicate.low, self.predicate.high)
-            existence = row.existence_probability * truncation.existence_probability
-            if truncation.distribution is None or existence < self.predicate.threshold:
-                continue
-            out = row.with_value(self.alias, truncation.distribution)
-            out.existence_probability = existence
-            out.annotations[f"{self.alias}_error_bound"] = output.error_bound
-            out.annotations[f"{self.alias}_udf_calls"] = output.udf_calls
-            out.annotations[f"{self.alias}_charged_time"] = output.charged_time
-            yield out
+            for row, output in zip(rows, outputs):
+                survivor = self._filtered(row, output)
+                if survivor is not None:
+                    yield survivor
 
 
 def materialize(rows: Iterable[UncertainTuple], schema: Schema, name: str = "result") -> Relation:

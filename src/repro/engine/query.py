@@ -92,11 +92,22 @@ class Query:
         self._steps.append(build)
         return self
 
-    def apply_udf(self, udf: UDF, arguments: Sequence[str], alias: str) -> "Query":
-        """Evaluate a UDF on each tuple and keep its output distribution."""
+    def apply_udf(
+        self,
+        udf: UDF,
+        arguments: Sequence[str],
+        alias: str,
+        batch_size: int | None = None,
+    ) -> "Query":
+        """Evaluate a UDF on each tuple and keep its output distribution.
+
+        ``batch_size`` streams the input in chunks of that many tuples
+        through the batched execution pipeline; ``None`` keeps the classic
+        one-engine-call-per-tuple path.
+        """
 
         def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
-            return ApplyUDF(child, udf, arguments, alias, engine)
+            return ApplyUDF(child, udf, arguments, alias, engine, batch_size=batch_size)
 
         self._steps.append(build)
         return self
@@ -109,12 +120,13 @@ class Query:
         low: float,
         high: float,
         threshold: float = 0.1,
+        batch_size: int | None = None,
     ) -> "Query":
         """Evaluate a UDF under a range predicate and drop improbable tuples."""
         predicate = SelectionPredicate(low=low, high=high, threshold=threshold)
 
         def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
-            return SelectUDF(child, udf, arguments, alias, predicate, engine)
+            return SelectUDF(child, udf, arguments, alias, predicate, engine, batch_size=batch_size)
 
         self._steps.append(build)
         return self

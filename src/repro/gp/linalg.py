@@ -6,7 +6,9 @@ Two concerns are centralised here:
   smallest jitter that makes the matrix positive definite), and
 * the incremental block-matrix inverse update of Section 5.2 — when online
   tuning adds one training point, the inverse covariance matrix is updated
-  in ``O(n^2)`` instead of being recomputed from scratch in ``O(n^3)``.
+  in ``O(n^2)`` instead of being recomputed from scratch in ``O(n^3)``; the
+  blocked variant absorbs ``k`` new points at once in ``O(n^2 k)``, which is
+  what batched execution uses when several training points arrive together.
 """
 
 from __future__ import annotations
@@ -32,13 +34,16 @@ def jittered_cholesky(matrix: np.ndarray, initial_jitter: float = 1e-10, max_tri
         pass
     jitter = initial_jitter * max(1.0, float(np.mean(np.diag(matrix))))
     identity = np.eye(matrix.shape[0])
+    last_tried = jitter
     for _ in range(max_tries):
         try:
             return np.linalg.cholesky(matrix + jitter * identity), jitter
         except np.linalg.LinAlgError:
+            last_tried = jitter
             jitter *= 10.0
     raise GPError(
-        f"matrix is not positive definite even with jitter {jitter:g}; "
+        f"matrix of shape {matrix.shape} is not positive definite even with "
+        f"final jitter {last_tried:g} (escalated over {max_tries} tries); "
         "check for duplicate training points or a degenerate kernel"
     )
 
@@ -98,6 +103,52 @@ def block_inverse_update(K_inv: np.ndarray, k_new: np.ndarray, k_self: float) ->
     top_right = (-v / schur).reshape(n, 1)
     bottom = np.array([[1.0 / schur]])
     return np.block([[top_left, top_right], [top_right.T, bottom]])
+
+
+def block_inverse_update_multi(
+    K_inv: np.ndarray, K_cross: np.ndarray, K_block: np.ndarray
+) -> np.ndarray:
+    """Grow an inverse covariance matrix by ``k`` rows/columns at once.
+
+    Given ``K_inv = K^{-1}`` for the current ``n`` training points, the
+    cross-covariance ``K_cross`` (shape ``(n, k)``) between the existing and
+    the ``k`` new points, and the new points' own covariance block
+    ``K_block`` (shape ``(k, k)``, including any noise/jitter on its
+    diagonal), return the inverse of the ``(n+k) x (n+k)`` matrix
+
+    ``[[K, K_cross], [K_cross^T, K_block]]``
+
+    via the block (Schur-complement) identity.  Cost is ``O(n^2 k)`` — the
+    blocked generalisation of :func:`block_inverse_update` used when batched
+    execution absorbs several training points in one step.
+
+    Raises :class:`~repro.exceptions.GPError` when the Schur complement is
+    not positive definite, i.e. the new points are (numerically) linearly
+    dependent on each other or on the existing training set.
+    """
+    K_inv = np.asarray(K_inv, dtype=float)
+    K_cross = np.asarray(K_cross, dtype=float)
+    K_block = np.asarray(K_block, dtype=float)
+    n = K_inv.shape[0]
+    if K_cross.ndim != 2 or K_cross.shape[0] != n:
+        raise GPError(f"K_cross has shape {K_cross.shape}, expected ({n}, k)")
+    k = K_cross.shape[1]
+    if K_block.shape != (k, k):
+        raise GPError(f"K_block has shape {K_block.shape}, expected ({k}, {k})")
+    V = K_inv @ K_cross
+    schur = symmetrize(K_block - K_cross.T @ V)
+    try:
+        L = np.linalg.cholesky(schur)
+    except np.linalg.LinAlgError as exc:
+        raise GPError(
+            "Schur complement block is not positive definite; the new training "
+            "points are rank-deficient against the existing training set "
+            "(duplicate or linearly dependent points)"
+        ) from exc
+    schur_inv = inverse_from_cholesky(L)
+    W = V @ schur_inv
+    top_left = K_inv + W @ V.T
+    return np.block([[top_left, -W], [-W.T, schur_inv]])
 
 
 def symmetrize(matrix: np.ndarray) -> np.ndarray:

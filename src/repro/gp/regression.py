@@ -21,6 +21,7 @@ from repro.exceptions import GPError, NotTrainedError
 from repro.gp.kernels import Kernel, SquaredExponential
 from repro.gp.linalg import (
     block_inverse_update,
+    block_inverse_update_multi,
     inverse_from_cholesky,
     jittered_cholesky,
     log_det_from_cholesky,
@@ -165,6 +166,51 @@ class GaussianProcess:
         self._alpha = self._K_inv @ (self._y - self._offset)
         self._log_det = None  # recomputed lazily when the likelihood is needed
         self._adds_since_refresh += 1
+        if self._adds_since_refresh >= self.refresh_every:
+            self._recompute()
+
+    def add_points(self, X_new: np.ndarray, y_new: np.ndarray) -> None:
+        """Add ``k`` training points in one blocked ``O(n^2 k)`` update.
+
+        Generalises :meth:`add_point`: the inverse covariance matrix absorbs
+        the whole block at once via the Schur-complement identity instead of
+        ``k`` successive rank-1 updates.  A rank-deficient block (duplicate
+        or linearly dependent points) falls back to a full refit, which
+        applies escalating jitter.
+        """
+        X_new = np.atleast_2d(np.asarray(X_new, dtype=float))
+        y_new = np.asarray(y_new, dtype=float).ravel()
+        if X_new.shape[0] != y_new.shape[0]:
+            raise GPError(
+                f"X_new has {X_new.shape[0]} rows but y_new has {y_new.shape[0]} values"
+            )
+        if X_new.shape[0] == 0:
+            return
+        if self._X is None:
+            self.fit(X_new, y_new)
+            return
+        if X_new.shape[1] != self._X.shape[1]:
+            raise GPError(
+                f"points have {X_new.shape[1]} columns, expected {self._X.shape[1]}"
+            )
+        if X_new.shape[0] == 1:
+            self.add_point(X_new[0], float(y_new[0]))
+            return
+        K_cross = self.kernel(self._X, X_new)
+        K_block = self.kernel(X_new, X_new) + self.effective_noise() * np.eye(X_new.shape[0])
+        try:
+            new_inv = block_inverse_update_multi(self._K_inv, K_cross, K_block)
+        except GPError:
+            self._X = np.vstack([self._X, X_new])
+            self._y = np.append(self._y, y_new)
+            self._recompute()
+            return
+        self._X = np.vstack([self._X, X_new])
+        self._y = np.append(self._y, y_new)
+        self._K_inv = symmetrize(new_inv)
+        self._alpha = self._K_inv @ (self._y - self._offset)
+        self._log_det = None
+        self._adds_since_refresh += X_new.shape[0]
         if self._adds_since_refresh >= self.refresh_every:
             self._recompute()
 

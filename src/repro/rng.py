@@ -8,7 +8,7 @@ independent when child generators are spawned.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -1,0 +1,62 @@
+"""Per-phase wall-clock accounting shared by every layer.
+
+Deliberately free of engine and bench imports: the batched execution
+pipeline (engine layer) records into a :class:`PhaseTimings`, and the
+benchmark harness (bench layer) reports from one, without either layer
+depending on the other.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.exceptions import ReproError
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock accumulator keyed by pipeline phase.
+
+    The batched execution pipeline records how long it spends in its
+    ``sampling`` / ``inference`` / ``refinement`` phases so benchmark tables
+    can attribute the speedup.  Any phase name is accepted — the object is a
+    plain accumulator, deliberately free of engine imports so every layer
+    can use it.
+    """
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, elapsed: float) -> None:
+        """Accumulate ``elapsed`` wall-clock seconds under ``phase``."""
+        if elapsed < 0:
+            raise ReproError(f"elapsed time must be non-negative, got {elapsed}")
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + float(elapsed)
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        """Context manager charging the enclosed block to ``phase``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(phase, time.perf_counter() - started)
+
+    def get(self, phase: str) -> float:
+        """Seconds accumulated under ``phase`` (0 when never recorded)."""
+        return self.seconds.get(phase, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over all phases."""
+        return float(sum(self.seconds.values()))
+
+    def reset(self) -> None:
+        """Drop all accumulated timings."""
+        self.seconds.clear()
+
+    def as_row(self, prefix: str = "", scale: float = 1000.0) -> dict[str, float]:
+        """Flatten into ``{prefix + phase: seconds * scale}`` (ms by default)."""
+        return {f"{prefix}{phase}": value * scale for phase, value in sorted(self.seconds.items())}

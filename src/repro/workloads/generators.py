@@ -10,7 +10,7 @@ those streams for any dimensionality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Literal
+from typing import Iterator, Literal
 
 import numpy as np
 

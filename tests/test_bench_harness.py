@@ -58,3 +58,35 @@ class TestSummarize:
     def test_empty_rejected(self):
         with pytest.raises(ReproError):
             summarize([])
+
+
+class TestPhaseTimings:
+    def test_accumulates_and_totals(self):
+        from repro.bench.harness import PhaseTimings
+
+        timings = PhaseTimings()
+        timings.add("sampling", 0.5)
+        timings.add("sampling", 0.25)
+        timings.add("inference", 1.0)
+        assert timings.get("sampling") == pytest.approx(0.75)
+        assert timings.get("refinement") == 0.0
+        assert timings.total == pytest.approx(1.75)
+
+    def test_measure_context_manager(self):
+        from repro.bench.harness import PhaseTimings
+
+        timings = PhaseTimings()
+        with timings.measure("inference"):
+            pass
+        assert timings.get("inference") > 0.0
+
+    def test_rejects_negative_and_resets(self):
+        from repro.bench.harness import PhaseTimings
+
+        timings = PhaseTimings()
+        with pytest.raises(ReproError):
+            timings.add("sampling", -1.0)
+        timings.add("sampling", 2.0)
+        assert timings.as_row(prefix="t_") == {"t_sampling": 2000.0}
+        timings.reset()
+        assert timings.total == 0.0

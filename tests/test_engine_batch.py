@@ -1,0 +1,249 @@
+"""Batched execution pipeline: equivalence with the per-tuple path.
+
+The central contract of :class:`repro.engine.batch.BatchExecutor` is that —
+under the same seed and the default (deterministic) tuning strategy — it
+produces exactly the same output distributions and error bounds as calling
+the engine once per tuple, for every strategy and including tuples that go
+through the refinement loop or carry a selection predicate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracyRequirement
+from repro.core.filtering import SelectionPredicate
+from repro.core.local_inference import BatchKernelCache, LocalInferenceEngine
+from repro.core.olgapro import OLGAPRO
+from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
+from repro.engine.executor import UDFExecutionEngine
+from repro.engine.query import Query
+from repro.engine.sdss import generate_galaxy_relation
+from repro.exceptions import QueryError
+from repro.udf.synthetic import reference_function
+from repro.workloads.generators import input_stream, workload_for_udf
+
+RTOL = 1e-8
+
+REQUIREMENT = AccuracyRequirement(epsilon=0.15, delta=0.05)
+
+
+def _paired_runs(strategy, function_name="F1", n_tuples=7, seed=77, stream_seed=3,
+                 requirement=REQUIREMENT, batch_size=4, **engine_kwargs):
+    """Run the same stream per-tuple and batched on independent twin engines."""
+    outputs = {}
+    for mode in ("per_tuple", "batched"):
+        udf = reference_function(function_name, simulated_eval_time=1e-3)
+        engine = UDFExecutionEngine(
+            strategy=strategy, requirement=requirement, random_state=seed, **engine_kwargs
+        )
+        dists = list(
+            input_stream(workload_for_udf(udf), n_tuples,
+                         random_state=np.random.default_rng(stream_seed))
+        )
+        if mode == "per_tuple":
+            outputs[mode] = [engine.compute(udf, d) for d in dists]
+        else:
+            outputs[mode] = engine.compute_batch(udf, dists, batch_size=batch_size)
+        outputs[mode + "_udf"] = udf
+    return outputs
+
+
+def _assert_outputs_match(per_tuple, batched):
+    assert len(per_tuple) == len(batched)
+    for i, (a, b) in enumerate(zip(per_tuple, batched)):
+        assert np.allclose(a.distribution.samples, b.distribution.samples, rtol=RTOL), i
+        assert np.isclose(a.error_bound, b.error_bound, rtol=RTOL), i
+        assert a.udf_calls == b.udf_calls, i
+        assert a.existence_probability == b.existence_probability, i
+        assert a.dropped == b.dropped, i
+
+
+# ---------------------------------------------------------------------------
+# BatchExecutor equivalence, per strategy
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("strategy", ["mc", "gp", "hybrid"])
+def test_batch_matches_per_tuple(strategy):
+    runs = _paired_runs(strategy)
+    _assert_outputs_match(runs["per_tuple"], runs["batched"])
+    # Identical UDF cost in both modes: no extra or saved UDF calls.
+    assert runs["per_tuple_udf"].call_count == runs["batched_udf"].call_count
+
+
+def test_batch_matches_per_tuple_under_refinement():
+    """A bumpy UDF forces the refinement loop; trajectories must coincide."""
+    runs = _paired_runs(
+        "gp",
+        function_name="F4",
+        n_tuples=4,
+        n_samples=200,
+        max_points_per_tuple=6,
+        batch_size=2,
+    )
+    _assert_outputs_match(runs["per_tuple"], runs["batched"])
+    # The workload must actually have exercised refinement for this test to
+    # mean anything.
+    assert runs["batched_udf"].call_count > 5
+
+
+def test_batch_matches_across_chunk_boundaries():
+    """Equivalence must hold when the stream spans several chunks."""
+    runs = _paired_runs("gp", n_tuples=9, batch_size=4)
+    _assert_outputs_match(runs["per_tuple"], runs["batched"])
+
+
+def test_process_batch_empty_and_single():
+    udf = reference_function("F1")
+    processor = OLGAPRO(udf, requirement=REQUIREMENT, random_state=1, n_samples=150)
+    assert processor.process_batch([]) == []
+    dist = next(iter(input_stream(workload_for_udf(udf), 1, random_state=5)))
+    [result] = processor.process_batch([dist])
+    assert result.n_samples == 150
+    assert result.distribution.size == 150
+
+
+# ---------------------------------------------------------------------------
+# Filtered (predicate) path
+# ---------------------------------------------------------------------------
+
+def test_batch_with_predicate_matches_per_tuple():
+    predicate = SelectionPredicate(low=0.0, high=1.0, threshold=0.1)
+    outputs = {}
+    for mode in ("per_tuple", "batched"):
+        udf = reference_function("F1", simulated_eval_time=1e-3)
+        engine = UDFExecutionEngine(strategy="gp", requirement=REQUIREMENT,
+                                    random_state=7, n_samples=200)
+        dists = list(input_stream(workload_for_udf(udf), 6,
+                                  random_state=np.random.default_rng(9)))
+        if mode == "per_tuple":
+            outputs[mode] = [
+                engine.compute_with_predicate(udf, d, predicate) for d in dists
+            ]
+        else:
+            executor = BatchExecutor(engine, batch_size=3)
+            outputs[mode] = executor.compute_batch_with_predicate(udf, dists, predicate)
+    for a, b in zip(outputs["per_tuple"], outputs["batched"]):
+        assert a.dropped == b.dropped
+        assert np.isclose(a.existence_probability, b.existence_probability, rtol=RTOL)
+        if not a.dropped and a.distribution is not None:
+            assert np.allclose(a.distribution.samples, b.distribution.samples, rtol=RTOL)
+
+
+# ---------------------------------------------------------------------------
+# Operator / query integration
+# ---------------------------------------------------------------------------
+
+def _galage_query_result(batch_size):
+    relation = generate_galaxy_relation(8, random_state=21)
+    udf = reference_function("F1", simulated_eval_time=1e-4)
+    engine = UDFExecutionEngine(strategy="gp", requirement=REQUIREMENT,
+                                random_state=13, n_samples=150)
+    query = Query(relation).apply_udf(
+        udf, ["ra_offset", "dec_offset"], alias="f", batch_size=batch_size
+    )
+    return query.run(engine)
+
+
+def test_query_batch_size_matches_default_path():
+    plain = _galage_query_result(None)
+    batched = _galage_query_result(3)
+    assert len(plain) == len(batched)
+    for a, b in zip(plain, batched):
+        assert np.allclose(a["f"].samples, b["f"].samples, rtol=RTOL)
+        assert np.isclose(
+            a.annotations["f_error_bound"], b.annotations["f_error_bound"], rtol=RTOL
+        )
+
+
+def test_where_udf_batch_size_matches_default_path():
+    results = {}
+    for batch_size in (None, 4):
+        relation = generate_galaxy_relation(8, random_state=22)
+        udf = reference_function("F1", simulated_eval_time=1e-4)
+        engine = UDFExecutionEngine(strategy="gp", requirement=REQUIREMENT,
+                                    random_state=5, n_samples=200)
+        results[batch_size] = (
+            Query(relation)
+            .where_udf(udf, ["ra_offset", "dec_offset"], alias="f",
+                       low=0.0, high=1.5, threshold=0.05, batch_size=batch_size)
+            .run(engine)
+        )
+    plain, batched = results[None], results[4]
+    assert len(plain) == len(batched)
+    for a, b in zip(plain, batched):
+        assert np.isclose(a.existence_probability, b.existence_probability, rtol=RTOL)
+        assert np.allclose(a["f"].samples, b["f"].samples, rtol=RTOL)
+
+
+# ---------------------------------------------------------------------------
+# Batch plumbing
+# ---------------------------------------------------------------------------
+
+def test_iter_batches_chunks_and_validates():
+    assert list(iter_batches(range(7), 3)) == [[0, 1, 2], [3, 4, 5], [6]]
+    assert list(iter_batches([], 4)) == []
+    with pytest.raises(QueryError):
+        list(iter_batches(range(3), 0))
+
+
+def test_batch_executor_validates_batch_size():
+    engine = UDFExecutionEngine(strategy="mc", requirement=REQUIREMENT, random_state=0)
+    with pytest.raises(QueryError):
+        BatchExecutor(engine, batch_size=0)
+    assert BatchExecutor(engine).batch_size == DEFAULT_BATCH_SIZE
+
+
+def test_batch_executor_records_phase_timings():
+    udf = reference_function("F1", simulated_eval_time=1e-4)
+    engine = UDFExecutionEngine(strategy="gp", requirement=REQUIREMENT,
+                                random_state=3, n_samples=150)
+    executor = BatchExecutor(engine, batch_size=4)
+    dists = list(input_stream(workload_for_udf(udf), 4,
+                              random_state=np.random.default_rng(2)))
+    executor.compute_batch(udf, dists)
+    assert executor.timings.get("sampling") > 0.0
+    assert executor.timings.get("inference") > 0.0
+    assert executor.timings.total >= executor.timings.get("inference")
+
+
+def test_predict_multi_matches_predict(trained_f1_emulator):
+    """The multi-query local-inference path reproduces per-tuple inference."""
+    emulator = trained_f1_emulator
+    rng = np.random.default_rng(17)
+    sample_sets = [
+        rng.uniform(3, 7, size=(100, 2)) + rng.normal(0, 0.2, size=(1, 2))
+        for _ in range(5)
+    ]
+    engine = LocalInferenceEngine(
+        gamma_threshold=0.05 * float(np.ptp(emulator.gp.y_train))
+    )
+    per = [engine.predict(emulator.gp, emulator.index, s) for s in sample_sets]
+    multi = engine.predict_multi(emulator.gp, emulator.index, sample_sets)
+    for a, b in zip(per, multi):
+        assert np.array_equal(a.selected_indices, b.selected_indices)
+        assert np.allclose(a.means, b.means, rtol=RTOL)
+        assert np.allclose(a.stds, b.stds, rtol=RTOL, atol=1e-12)
+
+
+def test_batch_kernel_cache_tracks_model_growth(trained_f1_emulator):
+    """Appending training points keeps cached blocks equal to fresh kernels."""
+    from repro.gp.regression import GaussianProcess
+
+    source = trained_f1_emulator.gp
+    gp = GaussianProcess(kernel=source.kernel.clone(),
+                         noise_variance=source.noise_variance)
+    gp.fit(source.X_train[:40], source.y_train[:40])
+    rng = np.random.default_rng(8)
+    samples = rng.uniform(3, 7, size=(50, 2))
+    cache = BatchKernelCache(gp, [samples])
+    before = cache.rows(gp, 0)
+    assert before.shape == (50, 40)
+    gp.add_point(source.X_train[40], float(source.y_train[40]))
+    after = cache.rows(gp, 0)
+    assert after.shape == (50, 41)
+    fresh = gp.kernel(samples, gp.X_train)
+    assert np.allclose(after, fresh, rtol=1e-12)
+    assert cache.K_train.shape == (41, 41)
+    assert np.allclose(cache.K_train, gp.kernel(gp.X_train, gp.X_train), rtol=1e-12)

@@ -8,6 +8,7 @@ import pytest
 from repro.exceptions import GPError
 from repro.gp.linalg import (
     block_inverse_update,
+    block_inverse_update_multi,
     inverse_from_cholesky,
     jittered_cholesky,
     log_det_from_cholesky,
@@ -117,3 +118,119 @@ class TestSymmetrize:
         S = symmetrize(A)
         assert np.allclose(S, S.T)
         assert np.allclose(S, [[1.0, 1.0], [1.0, 1.0]])
+
+
+class TestJitterFailureMessage:
+    def test_reports_final_jitter_tried(self):
+        # -I never becomes PD for jitters far below 1; with the default
+        # initial jitter of 1e-10 and 8 escalations the final attempt uses
+        # 1e-3, and the error message must say so.
+        with pytest.raises(GPError, match=r"final jitter 0\.001\b"):
+            jittered_cholesky(-np.eye(3), initial_jitter=1e-10, max_tries=8)
+
+
+class TestBlockInverseUpdateMulti:
+    def assemble(self, K, K_cross, K_block):
+        return np.block([[K, K_cross], [K_cross.T, K_block]])
+
+    def test_matches_direct_inverse(self):
+        full = random_spd(9, seed=5)
+        K, K_cross, K_block = full[:6, :6], full[:6, 6:], full[6:, 6:]
+        updated = block_inverse_update_multi(np.linalg.inv(K), K_cross, K_block)
+        assert np.allclose(updated, np.linalg.inv(self.assemble(K, K_cross, K_block)),
+                           atol=1e-8)
+
+    def test_matches_sequence_of_rank_one_updates(self):
+        full = random_spd(7, seed=6)
+        K = full[:4, :4]
+        blocked = block_inverse_update_multi(
+            np.linalg.inv(K), full[:4, 4:], full[4:, 4:]
+        )
+        sequential = np.linalg.inv(K)
+        for j in range(4, 7):
+            sequential = block_inverse_update(
+                sequential, full[:j, j], float(full[j, j])
+            )
+        assert np.allclose(blocked, sequential, atol=1e-8)
+
+    def test_single_column_matches_rank_one(self):
+        full = random_spd(5, seed=7)
+        K = full[:4, :4]
+        blocked = block_inverse_update_multi(
+            np.linalg.inv(K), full[:4, 4:5], full[4:5, 4:5]
+        )
+        rank_one = block_inverse_update(np.linalg.inv(K), full[:4, 4], float(full[4, 4]))
+        assert np.allclose(blocked, rank_one, atol=1e-10)
+
+    def test_rank_deficient_block_raises_typed_error(self):
+        K = random_spd(4, seed=8)
+        K_inv = np.linalg.inv(K)
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=4)
+        # Two identical new points: the Schur complement is singular.
+        K_cross = np.column_stack([x, x])
+        K_block = np.full((2, 2), 2.0)
+        with pytest.raises(GPError, match="rank-deficient"):
+            block_inverse_update_multi(K_inv, K_cross, K_block)
+
+    def test_validates_shapes(self):
+        K_inv = np.eye(3)
+        with pytest.raises(GPError):
+            block_inverse_update_multi(K_inv, np.ones((2, 2)), np.eye(2))
+        with pytest.raises(GPError):
+            block_inverse_update_multi(K_inv, np.ones((3, 2)), np.eye(3))
+
+
+class TestGaussianProcessAddPoints:
+    def test_add_points_matches_full_refit(self):
+        from repro.gp.kernels import SquaredExponential
+        from repro.gp.regression import GaussianProcess
+
+        rng = np.random.default_rng(12)
+        X = rng.uniform(0, 10, size=(12, 2))
+        y = np.sin(X[:, 0]) + X[:, 1] * 0.1
+        # center_targets=False: the incremental path keeps its mean offset
+        # until the next full recompute, so only the uncentred model admits
+        # an exact comparison against a from-scratch refit.
+        incremental = GaussianProcess(
+            kernel=SquaredExponential(1.0, 2.0), center_targets=False
+        ).fit(X[:8], y[:8])
+        incremental.add_points(X[8:], y[8:])
+        refit = GaussianProcess(
+            kernel=SquaredExponential(1.0, 2.0), center_targets=False
+        ).fit(X, y)
+        probe = rng.uniform(0, 10, size=(5, 2))
+        m1, s1 = incremental.predict(probe)
+        m2, s2 = refit.predict(probe)
+        assert np.allclose(m1, m2, atol=1e-7)
+        assert np.allclose(s1, s2, atol=1e-6)
+
+    def test_add_points_duplicate_block_falls_back_to_refit(self):
+        from repro.gp.kernels import SquaredExponential
+        from repro.gp.regression import GaussianProcess
+
+        rng = np.random.default_rng(13)
+        X = rng.uniform(0, 10, size=(6, 1))
+        y = np.cos(X[:, 0])
+        gp = GaussianProcess(kernel=SquaredExponential(1.0, 2.0)).fit(X, y)
+        duplicate = np.vstack([X[0], X[0]])
+        # Rank-deficient against the training set: must not raise, and the
+        # model must keep answering (jittered full refit under the hood).
+        gp.add_points(duplicate, np.array([y[0], y[0]]))
+        assert gp.n_training == 8
+        mean, std = gp.predict(X[:2])
+        assert np.all(np.isfinite(mean)) and np.all(np.isfinite(std))
+
+    def test_emulator_add_training_points_updates_index(self):
+        from repro.core.emulator import GPEmulator
+        from repro.udf.base import UDF
+
+        udf = UDF(lambda x: float(x[0]) ** 2, dimension=1, name="sq",
+                  domain=(np.array([-2.0]), np.array([2.0])))
+        emulator = GPEmulator(udf)
+        emulator.train_initial(5, design="random", random_state=3,
+                               optimize_hyperparameters=False)
+        values = emulator.add_training_points(np.array([[0.5], [-1.5], [1.1]]))
+        assert values.shape == (3,)
+        assert emulator.n_training == 8
+        assert len(emulator.index) == 8

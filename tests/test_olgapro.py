@@ -13,7 +13,6 @@ from repro.core.online_tuning import RandomStrategy
 from repro.core.retraining import EagerRetrain, NeverRetrain
 from repro.distributions.continuous import Gaussian
 from repro.exceptions import GPError
-from repro.udf.synthetic import reference_function
 from repro.workloads.generators import true_output_distribution
 
 

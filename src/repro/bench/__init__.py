@@ -11,6 +11,7 @@ from repro.bench.experiments_astro import (
     astro_output_density,
 )
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
+from repro.bench.experiments_parallel import parallel_report, parallel_scaling
 from repro.bench.experiments_profiles import (
     all_profiles,
     profile1_function_fitting,
@@ -35,6 +36,8 @@ __all__ = [
     "summarize",
     "batch_pipeline_speedup",
     "smoke_report",
+    "parallel_scaling",
+    "parallel_report",
     "profile1_function_fitting",
     "profile2_error_bound",
     "profile3_error_allocation",

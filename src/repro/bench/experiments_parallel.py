@@ -1,0 +1,146 @@
+"""Process-pool scaling benchmark: workers sweep over sharded execution.
+
+Measures the wall-clock effect of :class:`~repro.engine.parallel.ParallelExecutor`
+on the synthetic eval-time workload.  Unlike the paper's Expt 5 — whose
+per-call cost is *simulated* (charged to an accounting clock, invisible to
+wall-clock) — the UDF here carries a **real** per-call cost
+(:class:`~repro.udf.synthetic.RealCostFunction`): an expensive black box
+whose evaluations occupy wall-clock that worker processes overlap.  That is
+the regime process-pool sharding targets; a purely CPU-bound GP workload
+scales with physical cores instead.
+
+Protocol: the same tuple stream (identical seeds) is pushed through the
+serial :class:`~repro.engine.batch.BatchExecutor` and through
+``ParallelExecutor`` at each worker count, under the ``"discard"`` merge
+policy so every worker count computes from the same model snapshot.  The
+table reports wall-clock, UDF calls and the speedup versus the serial
+batched run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import ExperimentTable
+from repro.core.accuracy import AccuracyRequirement
+from repro.engine.batch import BatchExecutor
+from repro.engine.executor import UDFExecutionEngine
+from repro.engine.parallel import ParallelExecutor
+from repro.rng import as_generator
+from repro.udf.synthetic import reference_function
+from repro.workloads.generators import input_stream, workload_for_udf
+
+
+def parallel_scaling(
+    function_name: str = "F4",
+    strategies: tuple[str, ...] = ("gp", "mc"),
+    workers_list: tuple[int, ...] = (1, 2, 4, 8),
+    n_tuples: int = 32,
+    batch_size: int = 8,
+    real_eval_time: float = 2e-3,
+    epsilon: float = 0.15,
+    n_samples: int | None = 300,
+    merge: str = "discard",
+    trials: int = 1,
+    random_state=11,
+    stream_seed: int = 2,
+    shard_seed: int = 42,
+) -> ExperimentTable:
+    """Speedup-versus-workers table for sharded execution.
+
+    ``workers=1`` rows exercise the executor's serial fast path (numerically
+    identical to the baseline run, so its speedup ≈ 1 by construction).
+    ``trials`` repeats each timed run and keeps the fastest — the usual
+    guard against scheduler noise.
+    """
+    table = ExperimentTable(
+        experiment_id="parallel_scaling",
+        paper_artifact="process-pool sharded execution (beyond the paper)",
+        description=(
+            "Serial batched vs process-pool sharded wall-clock on the synthetic "
+            f"eval-time workload ({function_name}, real {real_eval_time * 1e3:g} ms/call, "
+            f"batch_size={batch_size}, merge={merge!r})"
+        ),
+    )
+    requirement = AccuracyRequirement(epsilon=epsilon, delta=0.05)
+
+    def timed_run(strategy: str, workers: int | None) -> tuple[float, int]:
+        """One full run; ``workers=None`` is the serial BatchExecutor baseline."""
+        best = float("inf")
+        calls = 0
+        for _ in range(max(1, trials)):
+            udf = reference_function(function_name, real_eval_time=real_eval_time)
+            kwargs = {"n_samples": n_samples} if strategy == "gp" and n_samples else {}
+            engine = UDFExecutionEngine(
+                strategy=strategy, requirement=requirement, random_state=random_state,
+                **kwargs,
+            )
+            dists = list(
+                input_stream(
+                    workload_for_udf(udf), n_tuples, random_state=as_generator(stream_seed)
+                )
+            )
+            started = time.perf_counter()
+            if workers is None:
+                BatchExecutor(engine, batch_size).compute_batch(udf, dists)
+            else:
+                ParallelExecutor(
+                    engine,
+                    workers=workers,
+                    batch_size=batch_size,
+                    merge=merge,  # type: ignore[arg-type]
+                    seed=shard_seed,
+                ).compute_batch(udf, dists)
+            best = min(best, time.perf_counter() - started)
+            calls = udf.call_count
+        return best, calls
+
+    for strategy in strategies:
+        serial_wall, serial_calls = timed_run(strategy, None)
+        table.add_row(
+            strategy=strategy,
+            mode="serial",
+            workers=1,
+            n_tuples=n_tuples,
+            wall_ms=float(serial_wall * 1000.0),
+            udf_calls=serial_calls,
+            speedup=1.0,
+        )
+        for workers in workers_list:
+            wall, calls = timed_run(strategy, workers)
+            table.add_row(
+                strategy=strategy,
+                mode="parallel",
+                workers=workers,
+                n_tuples=n_tuples,
+                wall_ms=float(wall * 1000.0),
+                udf_calls=calls,
+                speedup=float(serial_wall / max(wall, 1e-12)),
+            )
+    return table
+
+
+def parallel_report(table: ExperimentTable) -> dict:
+    """JSON-ready summary of a :func:`parallel_scaling` run.
+
+    ``speedup`` maps ``strategy -> {workers -> speedup}``;
+    ``speedup_at_4`` pulls out the headline workers=4 number tracked by the
+    CI smoke artifact (falling back to the largest measured worker count
+    when 4 was not part of the sweep).
+    """
+    speedups: dict[str, dict[int, float]] = {}
+    for row in table.rows:
+        if row["mode"] != "parallel":
+            continue
+        speedups.setdefault(row["strategy"], {})[int(row["workers"])] = float(row["speedup"])
+    headline = {}
+    for strategy, by_workers in speedups.items():
+        target = 4 if 4 in by_workers else max(by_workers)
+        headline[strategy] = {"workers": target, "speedup": by_workers[target]}
+    return {
+        "experiment_id": table.experiment_id,
+        "description": table.description,
+        "rows": list(table.rows),
+        "speedup": {s: {str(w): v for w, v in by.items()} for s, by in speedups.items()},
+        "speedup_at_4": headline,
+    }

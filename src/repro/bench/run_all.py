@@ -6,18 +6,32 @@ Usage::
     python -m repro.bench.run_all --full       # full-scale (hours)
     python -m repro.bench.run_all --only expt5_eval_time astro_gp_vs_mc
     python -m repro.bench.run_all --output results.txt
-    python -m repro.bench.run_all --smoke      # CI smoke: batched-vs-per-tuple
+    python -m repro.bench.run_all --smoke      # CI smoke: batched + parallel
                                                # wall-clock -> BENCH_smoke.json
 
 Each experiment prints an :class:`~repro.bench.harness.ExperimentTable`; the
 ``--output`` option additionally writes the combined report to a file so it
 can be diffed against EXPERIMENTS.md after code changes.
+
+CI performance gate
+-------------------
+``--smoke`` also diffs the run against a committed baseline artifact
+(``--baseline``, default ``BENCH_baseline.json`` when present): if the gp
+strategy's batched-vs-per-tuple *speedup ratio* regressed by more than
+``--max-regression`` (default 25%), the command exits non-zero and fails
+the CI job.  The ratio — not absolute wall-clock — is compared so the gate
+is robust to runner hardware differences.  To land an intentional
+regression, apply the ``perf-regression-ok`` label to the pull request
+(the workflow maps it to ``REPRO_PERF_OVERRIDE=1``, which records the
+regression in the artifact but lets the job pass), and refresh
+``BENCH_baseline.json`` in the same change.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Callable
@@ -38,6 +52,7 @@ from repro.bench import (
     profile3_error_allocation,
 )
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
+from repro.bench.experiments_parallel import parallel_report, parallel_scaling
 from repro.bench.harness import ExperimentTable
 
 #: Scaled-down parameter overrides, mirroring the pytest-benchmark wrappers.
@@ -68,11 +83,31 @@ _SCALED_OVERRIDES: dict[str, dict] = {
     "astro_gp_vs_mc": {"epsilons": (0.1, 0.2), "udf_names": ("GalAge", "ComoveVol"),
                        "n_tuples": 4},
     "batch_pipeline": {"n_tuples": 48, "warmup_tuples": 24, "trials": 1},
+    "parallel_scaling": {"workers_list": (1, 2, 4), "n_tuples": 12, "batch_size": 4,
+                         "real_eval_time": 1e-3, "n_samples": 200,
+                         "strategies": ("gp",)},
 }
 
 #: Parameters of the CI smoke invocation (`--smoke`): large enough that the
 #: steady-state batching speedup is measurable, small enough for a CI job.
 _SMOKE_KWARGS = {"n_tuples": 96, "warmup_tuples": 48, "batch_size": 32, "trials": 2}
+
+#: Parallel-scaling configurations for the smoke artifact — one per strategy,
+#: because the two are bound by different resources.  Both use a *real*
+#: per-call UDF cost, so worker processes overlap it and workers=4 clears 2x
+#: even on a single-core runner: the mc strategy is UDF-bound outright, and
+#: the gp strategy combines overlapped refinement calls with the smaller
+#: per-shard models of the "discard" policy (each shard's kernel algebra
+#: stays local-sized instead of growing with the whole stream).
+_SMOKE_PARALLEL_KWARGS = (
+    {"strategies": ("gp",), "workers_list": (4,), "n_tuples": 32, "batch_size": 8,
+     "real_eval_time": 2e-3, "epsilon": 0.15, "n_samples": 300},
+    {"strategies": ("mc",), "workers_list": (4,), "n_tuples": 16, "batch_size": 4,
+     "real_eval_time": 1e-3, "epsilon": 0.15},
+)
+
+#: Relative drop of the gp batched speedup that fails the CI gate.
+DEFAULT_MAX_REGRESSION = 0.25
 
 #: Every experiment, in presentation order.
 EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
@@ -90,29 +125,110 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "astro_output_density": astro_output_density,
     "astro_gp_vs_mc": astro_gp_vs_mc,
     "batch_pipeline": batch_pipeline_speedup,
+    "parallel_scaling": parallel_scaling,
 }
 
 
-def run_smoke(output_path: str) -> int:
-    """Run the batched-vs-per-tuple smoke benchmark and write its JSON artifact."""
-    import os
+def check_regression(
+    report: dict, baseline: dict, max_regression: float
+) -> dict:
+    """Compare a smoke report against the committed baseline artifact.
 
+    The gated metric is the gp strategy's batched-vs-per-tuple speedup — a
+    wall-clock-derived but hardware-normalised ratio (both runs execute on
+    the same machine), so the gate transfers between the committed-baseline
+    machine and CI runners.  Returns the gate verdict as a JSON-ready dict.
+    """
+    current = report.get("batch_pipeline", {}).get("speedup", {}).get("gp")
+    reference = baseline.get("batch_pipeline", {}).get("speedup", {}).get("gp")
+    verdict = {
+        "metric": "batch_pipeline gp speedup",
+        "current": current,
+        "baseline": reference,
+        "max_regression": max_regression,
+        "regressed": False,
+        "overridden": False,
+    }
+    if current is None or reference is None or reference <= 0:
+        verdict["skipped"] = "metric missing from report or baseline"
+        return verdict
+    verdict["relative_change"] = (current - reference) / reference
+    if current < (1.0 - max_regression) * reference:
+        verdict["regressed"] = True
+        if os.environ.get("REPRO_PERF_OVERRIDE") == "1":
+            verdict["overridden"] = True
+    return verdict
+
+
+def run_smoke(output_path: str, baseline_path: str, max_regression: float) -> int:
+    """Run the CI smoke benchmarks, write the JSON artifact, apply the gate."""
     parent = os.path.dirname(os.path.abspath(output_path))
     if not os.path.isdir(parent):
         print(f"error: cannot write {output_path}: directory {parent} does not exist",
               file=sys.stderr)
         return 2
     started = time.perf_counter()
-    table = batch_pipeline_speedup(**_SMOKE_KWARGS)
-    elapsed = time.perf_counter() - started
-    report = smoke_report(table)
-    print(table.to_text())
-    print(f"(ran batch_pipeline smoke in {elapsed:.1f} s)")
-    print(f"min speedup across strategies: {report['min_speedup']:.2f}x")
+    batch_table = batch_pipeline_speedup(**_SMOKE_KWARGS)
+    batch_elapsed = time.perf_counter() - started
+    batch = smoke_report(batch_table)
+    print(batch_table.to_text())
+    print(f"(ran batch_pipeline smoke in {batch_elapsed:.1f} s)")
+    print(f"min speedup across strategies: {batch['min_speedup']:.2f}x")
+
+    # One parallel-scaling run per strategy config, merged into one report.
+    parallel: dict = {"experiment_id": "parallel_scaling", "rows": [],
+                      "speedup": {}, "speedup_at_4": {}}
+    for kwargs in _SMOKE_PARALLEL_KWARGS:
+        started = time.perf_counter()
+        parallel_table = parallel_scaling(**kwargs)
+        parallel_elapsed = time.perf_counter() - started
+        partial = parallel_report(parallel_table)
+        parallel["rows"].extend(partial["rows"])
+        parallel["speedup"].update(partial["speedup"])
+        parallel["speedup_at_4"].update(partial["speedup_at_4"])
+        print()
+        print(parallel_table.to_text())
+        print(f"(ran parallel_scaling smoke in {parallel_elapsed:.1f} s)")
+    for strategy, headline in parallel["speedup_at_4"].items():
+        print(f"parallel speedup [{strategy}] at workers={headline['workers']}: "
+              f"{headline['speedup']:.2f}x")
+    report = {"batch_pipeline": batch, "parallel_scaling": parallel}
+
+    exit_code = 0
+    if os.path.isfile(baseline_path):
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        verdict = check_regression(report, baseline, max_regression)
+        report["gate"] = verdict
+        if verdict["regressed"]:
+            change = verdict.get("relative_change", 0.0)
+            message = (f"gp batched speedup regressed {-change * 100.0:.0f}% vs baseline "
+                       f"({verdict['current']:.2f}x vs {verdict['baseline']:.2f}x, "
+                       f"limit {max_regression * 100.0:.0f}%)")
+            if verdict["overridden"]:
+                print(f"PERF GATE: {message} — overridden via REPRO_PERF_OVERRIDE "
+                      "(perf-regression-ok label)")
+            else:
+                print(f"PERF GATE FAILED: {message}", file=sys.stderr)
+                print("(apply the perf-regression-ok PR label to override, and refresh "
+                      "BENCH_baseline.json)", file=sys.stderr)
+                exit_code = 1
+        elif "skipped" in verdict:
+            # A silently disabled gate would report OK forever; make the
+            # schema mismatch loud (but non-fatal, so baseline-format
+            # migrations stay landable).
+            print(f"PERF GATE SKIPPED: {verdict['skipped']} — the gp speedup was NOT "
+                  f"checked against {baseline_path}", file=sys.stderr)
+        else:
+            print(f"perf gate OK vs {baseline_path}")
+    else:
+        report["gate"] = {"skipped": f"no baseline at {baseline_path}"}
+        print(f"(no baseline at {baseline_path}; perf gate skipped)")
+
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
     print(f"wrote {output_path}")
-    return 0
+    return exit_code
 
 
 def run(names: list[str], full_scale: bool) -> list[tuple[str, ExperimentTable, float]]:
@@ -138,14 +254,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", metavar="PATH",
                         help="also write the combined report to this file")
     parser.add_argument("--smoke", action="store_true",
-                        help="run only the fast batched-vs-per-tuple smoke benchmark "
-                             "and write a JSON artifact")
+                        help="run only the fast smoke benchmarks (batched pipeline + "
+                             "parallel scaling) and write a JSON artifact")
     parser.add_argument("--smoke-output", metavar="PATH", default="BENCH_smoke.json",
                         help="where --smoke writes its JSON artifact")
+    parser.add_argument("--baseline", metavar="PATH", default="BENCH_baseline.json",
+                        help="committed baseline artifact the smoke run is diffed "
+                             "against (skipped when the file does not exist)")
+    parser.add_argument("--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+                        help="relative gp-speedup drop that fails the perf gate "
+                             "(default 0.25 = 25%%)")
     args = parser.parse_args(argv)
 
     if args.smoke:
-        return run_smoke(args.smoke_output)
+        return run_smoke(args.smoke_output, args.baseline, args.max_regression)
 
     names = args.only if args.only else list(EXPERIMENTS)
     results = run(names, full_scale=args.full)

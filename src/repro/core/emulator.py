@@ -22,7 +22,7 @@ from repro.distributions.base import Distribution
 from repro.distributions.empirical import EmpiricalDistribution
 from repro.exceptions import GPError, UDFError
 from repro.gp.kernels import Kernel, SquaredExponential
-from repro.gp.regression import GaussianProcess
+from repro.gp.regression import GaussianProcess, GPStateSnapshot
 from repro.gp.training import fit_hyperparameters, initial_hyperparameters
 from repro.index.bounding_box import BoundingBox
 from repro.index.rtree import RTree
@@ -30,6 +30,20 @@ from repro.rng import RandomState, as_generator
 from repro.udf.base import UDF
 
 Design = Literal["random", "grid", "halton"]
+
+
+@dataclass(frozen=True)
+class EmulatorSnapshot:
+    """Emulator-level rollback state: the GP state plus emulator flags.
+
+    The hyperparameter-trained flag lives on the emulator, not the GP, so a
+    :meth:`GPEmulator.restore` that reverts kernel values must revert the
+    flag with them — otherwise retraining logic would run against restored
+    hyperparameters while believing a retrain already happened.
+    """
+
+    gp_state: GPStateSnapshot
+    trained_hyperparameters: bool
 
 
 class GPEmulator:
@@ -80,18 +94,63 @@ class GPEmulator:
         index in sync.  Returns the UDF values observed.
         """
         X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[0] == 0:
+            return np.empty(0)
         if X.shape[1] != self.udf.dimension:
             raise UDFError(
                 f"training points have {X.shape[1]} columns, expected {self.udf.dimension}"
             )
-        if X.shape[0] == 0:
-            return np.empty(0)
         y = self.udf.evaluate_batch(X)
+        self.absorb_observations(X, y)
+        return y
+
+    def absorb_observations(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Absorb already-evaluated ``(x, y)`` pairs without calling the UDF.
+
+        This is how training points obtained *elsewhere* enter the model: a
+        parallel worker merging its shard's additions back into the parent
+        emulator, or the speculative tuning loop re-committing observations
+        it already paid for before a rollback.  Uses the blocked incremental
+        update and keeps the spatial index in sync, exactly like
+        :meth:`add_training_points` — minus the UDF evaluations.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] == 0:
+            return
+        if X.shape[1] != self.udf.dimension:
+            raise UDFError(
+                f"observations have {X.shape[1]} columns, expected {self.udf.dimension}"
+            )
+        if X.shape[0] != y.shape[0]:
+            raise UDFError(f"X has {X.shape[0]} rows but y has {y.shape[0]} values")
         first_row = self.gp.n_training
         self.gp.add_points(X, y)
         for offset, row in enumerate(X):
             self.index.insert(row, first_row + offset)
-        return y
+
+    def snapshot(self) -> "EmulatorSnapshot":
+        """Capture the model state for a later :meth:`restore` (rollback)."""
+        return EmulatorSnapshot(
+            gp_state=self.gp.snapshot(),
+            trained_hyperparameters=self._trained_hyperparameters,
+        )
+
+    def restore(self, state: "EmulatorSnapshot") -> None:
+        """Roll the model (and its spatial index) back to a snapshot.
+
+        The GP restore itself is free of factorization work; the R-tree does
+        not support deletion, so the index is rebuilt from the surviving
+        training inputs — O(n log n) inserts, acceptable because rollbacks
+        are the rare path of the speculative tuning loop.
+        """
+        self.gp.restore(state.gp_state)
+        self._trained_hyperparameters = state.trained_hyperparameters
+        index = RTree(dimension=self.udf.dimension)
+        if self.gp.n_training:
+            for row_index, row in enumerate(self.gp.X_train):
+                index.insert(row, row_index)
+        self.index = index
 
     def train_initial(
         self,

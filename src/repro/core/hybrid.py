@@ -93,6 +93,11 @@ class HybridExecutor:
         """The decision made so far (``None`` until the first tuple)."""
         return self._decision
 
+    def reseed(self, rng) -> None:
+        """Point this executor and its inner OLGAPRO at a new stream."""
+        self._rng = rng
+        self._olgapro.reseed(rng)
+
     def decide(self, input_distribution: Distribution) -> HybridDecision:
         """Pick GP or MC for this UDF, measuring if the static rule is unsure."""
         if self._decision is not None:

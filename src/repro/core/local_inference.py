@@ -385,6 +385,21 @@ class BatchKernelCache:
             return
         if gp.n_training == self._n_train:
             return
+        if gp.n_training < self._n_train:
+            # The model shrank — a speculative multi-point addition was rolled
+            # back.  Cached blocks are row/column-aligned with the training
+            # set, so truncate them back to the surviving prefix (rollback
+            # always restores a prefix state) and drop subset inverses that
+            # may reference evicted rows.
+            n = gp.n_training
+            self.K_train = self.K_train[:n, :n]
+            self.box_distances = self.box_distances[:n]
+            if self._row_block is not None and self._row_n_train > n:
+                self._row_block = self._row_block[:, :n]
+                self._row_n_train = n
+            self._n_train = n
+            self._inverse_cache.clear()
+            return
         X = gp.X_train
         X_new = X[self._n_train :]
         cross = gp.kernel(X[: self._n_train], X_new)

@@ -7,6 +7,12 @@ strategies; iterator-style physical operators; and the fluent query builder.
 
 from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
 from repro.engine.executor import ComputedOutput, Strategy, UDFExecutionEngine
+from repro.engine.parallel import (
+    DEFAULT_REFIT_THRESHOLD,
+    MERGE_POLICIES,
+    MergePolicy,
+    ParallelExecutor,
+)
 from repro.engine.operators import (
     ApplyUDF,
     CrossJoin,
@@ -36,6 +42,10 @@ __all__ = [
     "BatchExecutor",
     "DEFAULT_BATCH_SIZE",
     "iter_batches",
+    "ParallelExecutor",
+    "MergePolicy",
+    "MERGE_POLICIES",
+    "DEFAULT_REFIT_THRESHOLD",
     "Operator",
     "Scan",
     "Project",

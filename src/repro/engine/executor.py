@@ -67,6 +67,21 @@ class UDFExecutionEngine:
         self._processor_kwargs = processor_kwargs
         self._processors: dict[str, OLGAPRO | HybridExecutor] = {}
 
+    def reseed(self, random_state: RandomState) -> None:
+        """Point the engine *and every existing processor* at a new stream.
+
+        The per-UDF processors capture the engine's generator at construction
+        time, so simply replacing ``self._rng`` would leave them consuming
+        the old stream.  The parallel execution layer calls this inside each
+        worker to switch an unpickled engine copy onto its shard's
+        :func:`~repro.rng.spawn_keyed` stream.  Each processor reseeds its
+        own consumers via its ``reseed`` method.
+        """
+        rng = as_generator(random_state)
+        self._rng = rng
+        for processor in self._processors.values():
+            processor.reseed(rng)
+
     def _processor_for(self, udf: UDF) -> OLGAPRO | HybridExecutor:
         key = udf.name
         if key not in self._processors:
@@ -100,6 +115,34 @@ class UDFExecutionEngine:
 
         executor = BatchExecutor(
             self, batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
+        )
+        return executor.compute_batch(udf, list(input_distributions))
+
+    def compute_parallel(
+        self,
+        udf: UDF,
+        input_distributions,
+        workers: int | None = None,
+        batch_size: int | None = None,
+        merge: str = "union",
+        seed: int | None = None,
+    ) -> list[ComputedOutput]:
+        """Evaluate ``udf`` on many tuples sharded across a process pool.
+
+        Convenience wrapper over
+        :class:`~repro.engine.parallel.ParallelExecutor`; see that class for
+        the merge policies and the determinism contract (``workers=1`` is
+        numerically identical to :meth:`compute_batch`).
+        """
+        from repro.engine.batch import DEFAULT_BATCH_SIZE
+        from repro.engine.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(
+            self,
+            workers=workers,
+            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+            merge=merge,  # type: ignore[arg-type]
+            seed=seed,
         )
         return executor.compute_batch(udf, list(input_distributions))
 

@@ -21,12 +21,41 @@ import abc
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.filtering import SelectionPredicate
-from repro.engine.batch import BatchExecutor, iter_batches
+from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
 from repro.engine.executor import UDFExecutionEngine
+from repro.engine.parallel import MergePolicy, ParallelExecutor
 from repro.engine.schema import Attribute, AttributeKind, Schema
 from repro.engine.tuples import Relation, UncertainTuple
 from repro.exceptions import QueryError
 from repro.udf.base import UDF
+
+
+def _make_udf_executor(
+    engine: UDFExecutionEngine,
+    batch_size: int | None,
+    workers: int | None,
+    merge: MergePolicy,
+    parallel_seed: int | None,
+) -> tuple[ParallelExecutor | None, BatchExecutor | None]:
+    """Executor-selection policy shared by :class:`ApplyUDF` and :class:`SelectUDF`.
+
+    ``workers`` set → a :class:`ParallelExecutor` (``batch_size`` defaulting
+    to :data:`DEFAULT_BATCH_SIZE`); otherwise ``batch_size`` set → a
+    :class:`BatchExecutor`; otherwise the classic per-tuple path (both
+    ``None``).
+    """
+    if workers is not None:
+        parallel = ParallelExecutor(
+            engine,
+            workers=workers,
+            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+            merge=merge,
+            seed=parallel_seed,
+        )
+        return parallel, None
+    if batch_size is not None:
+        return None, BatchExecutor(engine, batch_size)
+    return None, None
 
 
 class Operator(abc.ABC):
@@ -151,7 +180,11 @@ class ApplyUDF(Operator):
     When ``batch_size`` is set, the input stream is consumed in chunks of
     that many tuples and each chunk is evaluated through the batched
     pipeline (:class:`~repro.engine.batch.BatchExecutor`) instead of one
-    engine call per tuple.
+    engine call per tuple.  When ``workers`` is set, the input is
+    additionally sharded across a process pool
+    (:class:`~repro.engine.parallel.ParallelExecutor`); ``merge`` and
+    ``parallel_seed`` configure that executor's merge policy and per-shard
+    random streams.
     """
 
     def __init__(
@@ -162,6 +195,9 @@ class ApplyUDF(Operator):
         alias: str,
         engine: UDFExecutionEngine,
         batch_size: int | None = None,
+        workers: int | None = None,
+        merge: MergePolicy = "union",
+        parallel_seed: int | None = None,
     ):
         if not argument_names:
             raise QueryError("a UDF call needs at least one argument attribute")
@@ -176,7 +212,10 @@ class ApplyUDF(Operator):
         self.alias = alias
         self.engine = engine
         self.batch_size = batch_size
-        self._batch = BatchExecutor(engine, batch_size) if batch_size is not None else None
+        self.workers = workers
+        self._parallel, self._batch = _make_udf_executor(
+            engine, batch_size, workers, merge, parallel_seed
+        )
 
     def schema(self) -> Schema:
         derived = Attribute(
@@ -194,6 +233,14 @@ class ApplyUDF(Operator):
         return out
 
     def __iter__(self) -> Iterator[UncertainTuple]:
+        if self._parallel is not None:
+            # Sharding needs the whole input: materialise, fan out, re-attach.
+            rows = list(self.child)
+            distributions = [row.input_distribution(self.argument_names) for row in rows]
+            outputs = self._parallel.compute_batch(self.udf, distributions)
+            for row, output in zip(rows, outputs):
+                yield self._annotated(row, output)
+            return
         if self._batch is None:
             for row in self.child:
                 input_distribution = row.input_distribution(self.argument_names)
@@ -226,6 +273,9 @@ class SelectUDF(Operator):
         predicate: SelectionPredicate,
         engine: UDFExecutionEngine,
         batch_size: int | None = None,
+        workers: int | None = None,
+        merge: MergePolicy = "union",
+        parallel_seed: int | None = None,
     ):
         for name in argument_names:
             if name not in child.schema():
@@ -239,7 +289,10 @@ class SelectUDF(Operator):
         self.predicate = predicate
         self.engine = engine
         self.batch_size = batch_size
-        self._batch = BatchExecutor(engine, batch_size) if batch_size is not None else None
+        self.workers = workers
+        self._parallel, self._batch = _make_udf_executor(
+            engine, batch_size, workers, merge, parallel_seed
+        )
 
     def schema(self) -> Schema:
         derived = Attribute(
@@ -267,6 +320,17 @@ class SelectUDF(Operator):
         return out
 
     def __iter__(self) -> Iterator[UncertainTuple]:
+        if self._parallel is not None:
+            rows = list(self.child)
+            distributions = [row.input_distribution(self.argument_names) for row in rows]
+            outputs = self._parallel.compute_batch_with_predicate(
+                self.udf, distributions, self.predicate
+            )
+            for row, output in zip(rows, outputs):
+                survivor = self._filtered(row, output)
+                if survivor is not None:
+                    yield survivor
+            return
         if self._batch is None:
             for row in self.child:
                 input_distribution = row.input_distribution(self.argument_names)

@@ -1,0 +1,398 @@
+"""Process-pool sharded execution of UDF queries over uncertain relations.
+
+The batched pipeline (:mod:`repro.engine.batch`) made the engine
+set-at-a-time, but every chunk still runs on one core.  Chunks are
+independent given a model snapshot — the succinct per-tuple state argument
+of Antova et al. (arXiv:0707.1644) applied to this engine: once a tuple's
+state is a compact input distribution plus a shared emulator, the relation
+shards trivially.  :class:`ParallelExecutor` therefore
+
+1. splits the input stream into fixed-size *shards* (``shard_size`` tuples,
+   default ``batch_size`` — deliberately independent of the worker count so
+   shard outputs do not depend on pool size),
+2. pickles the execution engine once — per-UDF processors, GP emulator,
+   kernel hyperparameters and R-tree included — as the model snapshot every
+   worker starts from,
+3. runs one :class:`~repro.engine.batch.BatchExecutor` per shard inside a
+   :class:`concurrent.futures.ProcessPoolExecutor`, each shard drawing from
+   its own :func:`~repro.rng.spawn_keyed` random stream, and
+4. merges shard outputs (always in shard order) and the training points the
+   workers added (according to the *merge policy*) back into the parent.
+
+Merge policies
+--------------
+``"discard"``
+    Worker-added training points are thrown away.  With ``workers >= 2``
+    the parent process never computes, so its model is byte-for-byte
+    untouched; with ``workers = 1`` the in-process run is rolled back via a
+    model snapshot (training data, factorization, kernel hyperparameters,
+    index, hyperparameter-trained flag), while pure *accounting* state —
+    UDF call counters, GP operation counts, ``tuples_processed`` — keeps
+    the work it genuinely performed.  Shard outputs depend only on
+    ``(seed, shard_size, batch_size)`` — invariant to the worker count.
+``"union"`` (default)
+    Every worker's new ``(x, f(x))`` observations are absorbed into the
+    parent emulator through the blocked incremental update (exact duplicates
+    are dropped first).  The UDF values were already paid for in the
+    workers, so the parent model warms up without further UDF calls.
+``"refit-threshold"``
+    ``"union"``, plus a full hyperparameter retrain when at least
+    ``refit_threshold`` merged points arrived — the cross-shard analogue of
+    the §5.3 retraining policy.
+
+Determinism contract
+--------------------
+``workers=1`` bypasses the pool and the shard streams entirely and runs the
+serial batched path on the parent engine — numerically identical, same
+random stream, same model evolution.  ``workers >= 2`` uses the keyed shard
+streams; see :mod:`repro.rng` for the full contract.  Worker failures —
+a UDF raising inside the black box, an unpicklable engine, or a crashed
+pool process — surface as :class:`~repro.exceptions.QueryError`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.core.filtering import SelectionPredicate
+from repro.core.hybrid import HybridExecutor
+from repro.distributions.base import Distribution
+from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
+from repro.engine.executor import ComputedOutput, UDFExecutionEngine
+from repro.exceptions import QueryError
+from repro.rng import derive_seed, spawn_keyed
+from repro.timing import PhaseTimings
+from repro.udf.base import UDF
+
+MergePolicy = Literal["discard", "union", "refit-threshold"]
+
+MERGE_POLICIES: tuple[str, ...] = ("discard", "union", "refit-threshold")
+
+#: Default number of merged training points that triggers a hyperparameter
+#: retrain under the ``"refit-threshold"`` policy.
+DEFAULT_REFIT_THRESHOLD = 16
+
+
+@dataclass
+class ShardResult:
+    """What one pool worker sends back for its shard (picklable)."""
+
+    shard_index: int
+    outputs: list[ComputedOutput]
+    #: Training inputs/targets the worker added beyond the snapshot
+    #: (``None`` when the strategy has no model or nothing was added).
+    new_X: Optional[np.ndarray]
+    new_y: Optional[np.ndarray]
+    #: The worker's per-phase wall-clock, merged into the parent's report.
+    timings: dict[str, float]
+    #: UDF cost deltas, credited back to the parent UDF's accounting.
+    udf_calls: int
+    udf_real_time: float
+
+
+def _emulator_of(engine: UDFExecutionEngine, udf: UDF):
+    """The GP emulator behind ``udf``'s processor, or ``None`` (mc / cold)."""
+    processor = engine._processors.get(udf.name)
+    if processor is None:
+        return None
+    if isinstance(processor, HybridExecutor):
+        return processor._olgapro.emulator
+    return processor.emulator
+
+
+def _run_shard(
+    payload: bytes,
+    shard_index: int,
+    distributions: Sequence[Distribution],
+    batch_size: int,
+    base_seed: int,
+    predicate: Optional[SelectionPredicate],
+) -> ShardResult:
+    """Pool-worker entry point: one shard through the batched pipeline.
+
+    Unpickles a private copy of the engine snapshot, switches it onto the
+    shard's keyed random stream, and runs :class:`BatchExecutor` exactly as
+    the serial path would.  Runs in a separate process — everything touched
+    here is a copy, and everything returned is picked up by the parent's
+    merge step.
+    """
+    engine, udf = pickle.loads(payload)
+    engine.reseed(spawn_keyed(base_seed, shard_index))
+    n_before = 0
+    emulator = _emulator_of(engine, udf)
+    if emulator is not None:
+        n_before = emulator.n_training
+    calls_before = udf.call_count
+    real_before = udf.real_time
+
+    executor = BatchExecutor(engine, batch_size)
+    if predicate is None:
+        outputs = executor.compute_batch(udf, list(distributions))
+    else:
+        outputs = executor.compute_batch_with_predicate(udf, list(distributions), predicate)
+
+    new_X = new_y = None
+    emulator = _emulator_of(engine, udf)  # may have been created during the run
+    if emulator is not None and emulator.n_training > n_before:
+        gp = emulator.gp
+        new_X = gp.X_train[n_before:]
+        new_y = gp.y_train[n_before:]
+    return ShardResult(
+        shard_index=shard_index,
+        outputs=outputs,
+        new_X=new_X,
+        new_y=new_y,
+        timings=dict(executor.timings.seconds),
+        udf_calls=udf.call_count - calls_before,
+        udf_real_time=udf.real_time - real_before,
+    )
+
+
+class ParallelExecutor:
+    """Shards a tuple stream across a process pool of batched executors.
+
+    Parameters
+    ----------
+    engine:
+        The parent execution engine.  Its current per-UDF model state is the
+        snapshot every worker starts from; merge policies decide what flows
+        back into it.
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.  ``workers=1`` runs the
+        serial batched path in-process (see the module docstring).
+    batch_size:
+        Chunk size of the per-shard :class:`BatchExecutor`.
+    shard_size:
+        Tuples per shard; defaults to ``batch_size``.  Kept independent of
+        ``workers`` so shard outputs are invariant to the pool size.
+    merge:
+        Merge policy for worker-added training points (module docstring).
+    refit_threshold:
+        Minimum merged points that trigger a retrain under
+        ``"refit-threshold"``.
+    seed:
+        Base seed for the per-shard :func:`~repro.rng.spawn_keyed` streams.
+        ``None`` derives one from the engine's stream (reproducible given
+        the engine seed, but advancing it — pass an explicit seed for
+        run-to-run stability of repeated calls).
+    """
+
+    def __init__(
+        self,
+        engine: UDFExecutionEngine,
+        workers: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        shard_size: Optional[int] = None,
+        merge: MergePolicy = "union",
+        refit_threshold: int = DEFAULT_REFIT_THRESHOLD,
+        seed: Optional[int] = None,
+    ):
+        if workers is not None and workers < 1:
+            raise QueryError(f"workers must be positive, got {workers}")
+        if batch_size < 1:
+            raise QueryError(f"batch_size must be positive, got {batch_size}")
+        if shard_size is not None and shard_size < 1:
+            raise QueryError(f"shard_size must be positive, got {shard_size}")
+        if merge not in MERGE_POLICIES:
+            raise QueryError(f"unknown merge policy {merge!r}; choose from {MERGE_POLICIES}")
+        if refit_threshold < 1:
+            raise QueryError(f"refit_threshold must be positive, got {refit_threshold}")
+        self.engine = engine
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        self.batch_size = int(batch_size)
+        self.shard_size = int(shard_size) if shard_size is not None else self.batch_size
+        self.merge: MergePolicy = merge
+        self.refit_threshold = int(refit_threshold)
+        self.seed = seed
+        #: Aggregate of per-worker phase timings (total work, not wall-clock —
+        #: worker phases overlap in time).
+        self.timings = PhaseTimings()
+        #: Training points merged into the parent model by the last call.
+        self.last_merged_points = 0
+        #: Worker points that did not fit under the processor's
+        #: ``max_training_points`` cap in the last merge.
+        self.last_dropped_points = 0
+
+    # -- public API ---------------------------------------------------------------
+    def compute_batch(
+        self, udf: UDF, input_distributions: Sequence[Distribution]
+    ) -> list[ComputedOutput]:
+        """Evaluate ``udf`` on every tuple, sharded across the pool."""
+        return self._run(udf, list(input_distributions), predicate=None)
+
+    def compute_batch_with_predicate(
+        self,
+        udf: UDF,
+        input_distributions: Sequence[Distribution],
+        predicate: SelectionPredicate,
+    ) -> list[ComputedOutput]:
+        """Predicate (online-filtering) evaluation, sharded across the pool."""
+        return self._run(udf, list(input_distributions), predicate=predicate)
+
+    # -- serial fast path ---------------------------------------------------------
+    def _run_serial(
+        self, udf: UDF, distributions: list[Distribution], predicate
+    ) -> list[ComputedOutput]:
+        """``workers=1``: the plain batched path on the parent engine.
+
+        Numerically identical to :class:`BatchExecutor` under the same
+        engine seed.  Merge policies still apply: ``"discard"`` rolls the
+        model back afterwards, ``"refit-threshold"`` may retrain.
+        """
+        emulator = _emulator_of(self.engine, udf)
+        had_processor = udf.name in self.engine._processors
+        state = emulator.snapshot() if emulator is not None else None
+        n_before = emulator.n_training if emulator is not None else 0
+
+        executor = BatchExecutor(self.engine, self.batch_size)
+        if predicate is None:
+            outputs = executor.compute_batch(udf, distributions)
+        else:
+            outputs = executor.compute_batch_with_predicate(udf, distributions, predicate)
+        self.timings.merge(executor.timings)
+
+        emulator = _emulator_of(self.engine, udf)
+        added = (emulator.n_training - n_before) if emulator is not None else 0
+        if self.merge == "discard" and added > 0:
+            if state is not None:
+                emulator.restore(state)
+            elif not had_processor:
+                # The run created the processor; discarding means the engine
+                # goes back to having no model for this UDF at all.
+                self.engine._processors.pop(udf.name, None)
+            self.last_merged_points = 0
+        else:
+            self.last_merged_points = added
+            if (
+                self.merge == "refit-threshold"
+                and added >= self.refit_threshold
+                and emulator is not None
+            ):
+                emulator.retrain()
+        return outputs
+
+    # -- sharded path -------------------------------------------------------------
+    def _run(
+        self, udf: UDF, distributions: list[Distribution], predicate
+    ) -> list[ComputedOutput]:
+        if not distributions:
+            return []
+        if self.workers == 1:
+            return self._run_serial(udf, distributions, predicate)
+
+        base_seed = self.seed if self.seed is not None else derive_seed(self.engine._rng)
+        try:
+            payload = pickle.dumps((self.engine, udf))
+        except Exception as exc:
+            raise QueryError(
+                "parallel execution requires a picklable engine and UDF "
+                f"(snapshot for worker processes): {exc}"
+            ) from exc
+
+        shards = list(iter_batches(distributions, self.shard_size))
+        results: list[ShardResult] = []
+        pool_workers = min(self.workers, len(shards))
+        try:
+            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+                futures = [
+                    pool.submit(
+                        _run_shard, payload, i, shard, self.batch_size, base_seed, predicate
+                    )
+                    for i, shard in enumerate(shards)
+                ]
+                try:
+                    for i, future in enumerate(futures):
+                        try:
+                            results.append(future.result())
+                        except BrokenExecutor as exc:
+                            raise QueryError(
+                                f"parallel worker pool crashed while computing shard {i}: {exc}"
+                            ) from exc
+                        except QueryError:
+                            raise
+                        except Exception as exc:  # ReproError from the black box included
+                            raise QueryError(f"parallel shard {i} failed: {exc}") from exc
+                except QueryError:
+                    # Fail fast: drop every shard still queued so the typed
+                    # error is not delayed behind the remaining real-cost UDF
+                    # work (the with-block's shutdown waits for running ones).
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+        except QueryError:
+            raise
+        except BrokenExecutor as exc:
+            raise QueryError(f"parallel worker pool crashed: {exc}") from exc
+
+        outputs: list[ComputedOutput] = []
+        for result in results:  # futures gathered in shard order
+            outputs.extend(result.outputs)
+            self.timings.merge(result.timings)
+            udf.absorb_charges(result.udf_calls, result.udf_real_time)
+        self._merge_training_points(udf, results)
+        return outputs
+
+    # -- merge step ---------------------------------------------------------------
+    def _merge_training_points(self, udf: UDF, results: list[ShardResult]) -> None:
+        """Fold worker-added training points into the parent model.
+
+        Exact-duplicate rows are dropped, and the absorption respects the
+        processor's ``max_training_points`` cap (shard order decides which
+        points fit) — without the cap a long relation would bloat the parent
+        model past the size OLGAPRO's refinement loop is allowed to use,
+        permanently short-circuiting refinement for later tuples.  Points
+        that did not fit are counted in :attr:`last_dropped_points`.
+        """
+        self.last_merged_points = 0
+        self.last_dropped_points = 0
+        if self.merge == "discard":
+            return
+        stacked_X: list[np.ndarray] = []
+        stacked_y: list[np.ndarray] = []
+        for result in results:
+            if result.new_X is not None and result.new_X.shape[0]:
+                stacked_X.append(result.new_X)
+                stacked_y.append(result.new_y)
+        if not stacked_X:
+            return
+        emulator = _emulator_of(self.engine, udf)
+        if emulator is None:
+            if self.engine.strategy == "mc":
+                return
+            # Cold parent: create the processor so the merged points warm it.
+            self.engine._processor_for(udf)
+            emulator = _emulator_of(self.engine, udf)
+        X = np.vstack(stacked_X)
+        y = np.concatenate(stacked_y)
+        # Shards that refined overlapping input regions can return the exact
+        # same point (e.g. both re-learned from the same snapshot); exact
+        # duplicates would only trigger the degenerate-update refit fallback.
+        seen = {row.tobytes() for row in emulator.gp.X_train} if emulator.n_training else set()
+        keep = []
+        for row_index, row in enumerate(X):
+            key = row.tobytes()
+            if key in seen:
+                continue
+            seen.add(key)
+            keep.append(row_index)
+        room = max(0, self._max_training_points(udf) - emulator.n_training)
+        if len(keep) > room:
+            self.last_dropped_points = len(keep) - room
+            keep = keep[:room]
+        if not keep:
+            return
+        emulator.absorb_observations(X[keep], y[keep])
+        self.last_merged_points = len(keep)
+        if self.merge == "refit-threshold" and self.last_merged_points >= self.refit_threshold:
+            emulator.retrain()
+
+    def _max_training_points(self, udf: UDF) -> int:
+        """The OLGAPRO model-size cap behind ``udf``'s processor."""
+        processor = self.engine._processors[udf.name]
+        olgapro = processor._olgapro if isinstance(processor, HybridExecutor) else processor
+        return int(olgapro.max_training_points)

@@ -98,16 +98,27 @@ class Query:
         arguments: Sequence[str],
         alias: str,
         batch_size: int | None = None,
+        workers: int | None = None,
+        merge: str = "union",
+        parallel_seed: int | None = None,
     ) -> "Query":
         """Evaluate a UDF on each tuple and keep its output distribution.
 
         ``batch_size`` streams the input in chunks of that many tuples
         through the batched execution pipeline; ``None`` keeps the classic
-        one-engine-call-per-tuple path.
+        one-engine-call-per-tuple path.  ``workers`` additionally shards the
+        input across a process pool
+        (:class:`~repro.engine.parallel.ParallelExecutor`) — ``merge`` picks
+        the training-point merge policy and ``parallel_seed`` fixes the
+        per-shard random streams.
         """
 
         def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
-            return ApplyUDF(child, udf, arguments, alias, engine, batch_size=batch_size)
+            return ApplyUDF(
+                child, udf, arguments, alias, engine,
+                batch_size=batch_size, workers=workers,
+                merge=merge, parallel_seed=parallel_seed,  # type: ignore[arg-type]
+            )
 
         self._steps.append(build)
         return self
@@ -121,12 +132,19 @@ class Query:
         high: float,
         threshold: float = 0.1,
         batch_size: int | None = None,
+        workers: int | None = None,
+        merge: str = "union",
+        parallel_seed: int | None = None,
     ) -> "Query":
         """Evaluate a UDF under a range predicate and drop improbable tuples."""
         predicate = SelectionPredicate(low=low, high=high, threshold=threshold)
 
         def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
-            return SelectUDF(child, udf, arguments, alias, predicate, engine, batch_size=batch_size)
+            return SelectUDF(
+                child, udf, arguments, alias, predicate, engine,
+                batch_size=batch_size, workers=workers,
+                merge=merge, parallel_seed=parallel_seed,  # type: ignore[arg-type]
+            )
 
         self._steps.append(build)
         return self

@@ -12,6 +12,7 @@ numerical stability (UDFs are deterministic, so this acts as jitter).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -29,6 +30,39 @@ from repro.gp.linalg import (
 )
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass(frozen=True)
+class GPStateSnapshot:
+    """Frozen copy of a GP's trained state (§5.2 speculative tuning support).
+
+    Captures everything :meth:`GaussianProcess.restore` needs to roll the
+    model back after a speculative multi-point addition overshoots: the
+    training data, the incrementally maintained inverse factorization, the
+    weight vector, and the kernel hyperparameters.  The arrays are *shared*
+    with the model rather than copied — :class:`GaussianProcess` only ever
+    rebinds its arrays (vstack / append / fresh inverse), never mutates them
+    in place, so a snapshot stays valid however the live model evolves, and
+    restoring rebinds the exact original buffers (bitwise-identical
+    predictions, no copy cost).
+    """
+
+    X: Optional[np.ndarray]
+    y: Optional[np.ndarray]
+    offset: float
+    K_inv: Optional[np.ndarray]
+    alpha: Optional[np.ndarray]
+    log_det: Optional[float]
+    adds_since_refresh: int
+    #: A clone of the kernel, preserving hyperparameters in natural space —
+    #: round-tripping through the log-space ``theta`` vector would perturb
+    #: them by an ulp and break bitwise restore.
+    kernel: Kernel
+
+    @property
+    def n_training(self) -> int:
+        """Number of training points captured in this snapshot."""
+        return 0 if self.X is None else int(self.X.shape[0])
 
 
 class GaussianProcess:
@@ -75,6 +109,11 @@ class GaussianProcess:
         self._alpha: Optional[np.ndarray] = None
         self._log_det: Optional[float] = None
         self._adds_since_refresh = 0
+        #: Counts of factorization-grade operations performed over the model's
+        #: lifetime: full Cholesky recomputes, O(n^2) rank-1 inverse updates,
+        #: and O(n^2 k) blocked inverse updates.  The speculative tuning tests
+        #: and benchmarks read these to quantify refinement-loop savings.
+        self.op_counts: dict[str, int] = {"cholesky": 0, "rank1_update": 0, "block_update": 0}
 
     # -- training-set accessors -------------------------------------------------
     @property
@@ -161,6 +200,7 @@ class GaussianProcess:
         self._X = np.vstack([self._X, x])
         self._y = np.append(self._y, y)
         self._K_inv = symmetrize(new_inv)
+        self.op_counts["rank1_update"] += 1
         # Keep the existing offset for incremental updates; it is refreshed on
         # the next full recompute.
         self._alpha = self._K_inv @ (self._y - self._offset)
@@ -208,6 +248,7 @@ class GaussianProcess:
         self._X = np.vstack([self._X, X_new])
         self._y = np.append(self._y, y_new)
         self._K_inv = symmetrize(new_inv)
+        self.op_counts["block_update"] += 1
         self._alpha = self._K_inv @ (self._y - self._offset)
         self._log_det = None
         self._adds_since_refresh += X_new.shape[0]
@@ -219,6 +260,57 @@ class GaussianProcess:
         self.kernel.theta = np.asarray(theta, dtype=float)
         if self._X is not None:
             self._recompute()
+
+    # -- state snapshot / rollback -------------------------------------------------
+    @property
+    def factorization_count(self) -> int:
+        """Total factorization-grade operations performed so far.
+
+        Sums full Cholesky recomputes, rank-1 inverse updates and blocked
+        inverse updates — the quantity the speculative multi-point tuning
+        strategy reduces by absorbing ``k`` points per operation.
+        """
+        return int(sum(self.op_counts.values()))
+
+    def snapshot(self) -> GPStateSnapshot:
+        """Capture the current trained state for a later :meth:`restore`.
+
+        O(1): the snapshot shares the model's (never-mutated-in-place)
+        arrays instead of copying them, and spends no factorization work —
+        the point of the speculative tuning loop is to save factorizations,
+        so rolling back must not spend one.
+        """
+        return GPStateSnapshot(
+            X=self._X,
+            y=self._y,
+            offset=self._offset,
+            K_inv=self._K_inv,
+            alpha=self._alpha,
+            log_det=self._log_det,
+            adds_since_refresh=self._adds_since_refresh,
+            kernel=self.kernel.clone(),
+        )
+
+    def restore(self, state: GPStateSnapshot) -> None:
+        """Roll the model back to a previously captured snapshot.
+
+        Restores the training data, factorization, weight vector and kernel
+        hyperparameters without recomputing anything.  Operation counters are
+        deliberately *not* rolled back: they account for work performed, and
+        a rolled-back speculative step still performed its update.
+        """
+        # Mutate the live kernel in place (components hold references to it)
+        # with natural-space values from the snapshot's clone, and rebind the
+        # snapshot's shared buffers — the restored state is bitwise the state
+        # that was captured.
+        self.kernel.__dict__.update(state.kernel.clone().__dict__)
+        self._X = state.X
+        self._y = state.y
+        self._offset = state.offset
+        self._K_inv = state.K_inv
+        self._alpha = state.alpha
+        self._log_det = state.log_det
+        self._adds_since_refresh = state.adds_since_refresh
 
     # -- prediction ----------------------------------------------------------------
     def predict(
@@ -330,6 +422,7 @@ class GaussianProcess:
     def _recompute(self) -> None:
         self._offset = float(np.mean(self._y)) if self.center_targets else 0.0
         K = self.kernel(self._X, self._X) + self.effective_noise() * np.eye(self._X.shape[0])
+        self.op_counts["cholesky"] += 1
         L, _ = jittered_cholesky(K)
         self._K_inv = inverse_from_cholesky(L)
         self._alpha = self._K_inv @ (self._y - self._offset)

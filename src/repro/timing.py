@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Mapping, Union
 
 from repro.exceptions import ReproError
 
@@ -43,6 +43,32 @@ class PhaseTimings:
             yield
         finally:
             self.add(phase, time.perf_counter() - started)
+
+    def merge(self, other: Union["PhaseTimings", Mapping[str, float]]) -> "PhaseTimings":
+        """Accumulate another accumulator (or a plain phase→seconds mapping).
+
+        Used by the parallel execution layer to fold per-worker timings into
+        one report: each worker measures its own ``sampling`` / ``inference``
+        / ``refinement`` phases, and the parent merges them so the aggregate
+        reflects total work performed across the pool (not wall-clock, which
+        overlaps).  Phases unknown to ``self`` are created.  The
+        negative-elapsed guard of :meth:`add` is checked for *every* entry
+        before any entry is applied, so a rejected merge leaves ``self``
+        unchanged.  Returns ``self`` for chaining.
+        """
+        seconds = other.seconds if isinstance(other, PhaseTimings) else other
+        for phase, elapsed in seconds.items():
+            if elapsed < 0:
+                raise ReproError(
+                    f"elapsed time must be non-negative, got {elapsed} for phase {phase!r}"
+                )
+        for phase, elapsed in seconds.items():
+            self.add(phase, elapsed)
+        return self
+
+    def __iadd__(self, other: Union["PhaseTimings", Mapping[str, float]]) -> "PhaseTimings":
+        """``timings += worker_timings`` — alias for :meth:`merge`."""
+        return self.merge(other)
 
     def get(self, phase: str) -> float:
         """Seconds accumulated under ``phase`` (0 when never recorded)."""

@@ -82,6 +82,19 @@ class UDF:
         self._call_count = 0
         self._real_time = 0.0
 
+    def absorb_charges(self, calls: int, real_time: float) -> None:
+        """Credit evaluations performed by an external copy of this UDF.
+
+        Parallel workers evaluate pickled *copies* whose counters advance in
+        their own process; the parent calls this with each worker's deltas so
+        the paper's cost model (total UDF calls, charged time) stays accurate
+        under sharded execution.
+        """
+        if calls < 0 or real_time < 0:
+            raise UDFError("absorbed charges must be non-negative")
+        self._call_count += int(calls)
+        self._real_time += float(real_time)
+
     def with_simulated_eval_time(self, seconds: float) -> "UDF":
         """Copy of this UDF charged at a different simulated per-call cost."""
         return UDF(

@@ -13,6 +13,7 @@ The evaluation-time knob ``T`` of Expt 5 maps to
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -106,13 +107,47 @@ class GaussianMixtureFunction:
         return float(np.min(values)), float(np.max(values))
 
 
+class RealCostFunction:
+    """Vectorised function wrapper that *actually spends* a per-call cost.
+
+    ``simulated_eval_time`` only charges an accounting clock — perfect for
+    the paper's cost model, invisible to wall-clock benchmarks.  The
+    parallel-scaling experiments need the opposite: a black box whose calls
+    occupy real time that worker processes can overlap (an expensive
+    simulation, a remote service).  This wrapper sleeps
+    ``eval_time * n_rows`` before delegating, so each evaluation costs
+    exactly the declared per-call time without burning CPU.
+
+    Defined at module level (not a closure) so UDFs built from it pickle
+    cleanly into pool workers.
+    """
+
+    def __init__(self, inner, eval_time: float):
+        if eval_time < 0:
+            raise UDFError("eval_time must be non-negative")
+        self.inner = inner
+        self.eval_time = float(eval_time)
+
+    def __call__(self, X: np.ndarray):
+        rows = 1 if np.asarray(X).ndim == 1 else np.atleast_2d(X).shape[0]
+        if self.eval_time > 0.0:
+            time.sleep(self.eval_time * rows)
+        return self.inner(X)
+
+
 def make_mixture_udf(
     spec: MixtureSpec,
     simulated_eval_time: float = 0.0,
+    real_eval_time: float = 0.0,
     name: Optional[str] = None,
     random_state: RandomState = 0,
 ) -> UDF:
-    """Build an instrumented :class:`UDF` from a :class:`MixtureSpec`."""
+    """Build an instrumented :class:`UDF` from a :class:`MixtureSpec`.
+
+    ``simulated_eval_time`` charges the accounting clock only (Expt 5);
+    ``real_eval_time`` makes every call *occupy* that much wall-clock via
+    :class:`RealCostFunction` (the parallel-scaling workloads).
+    """
     if spec.dimension <= 0:
         raise UDFError("dimension must be positive")
     if spec.n_components <= 0:
@@ -131,8 +166,11 @@ def make_mixture_udf(
     stds = np.full(spec.n_components, spec.component_std)
     amplitudes = spec.amplitude * rng.uniform(0.5, 1.5, size=spec.n_components)
     function = GaussianMixtureFunction(centers, stds, amplitudes, domain=(low, high))
+    implementation = (
+        RealCostFunction(function, real_eval_time) if real_eval_time > 0.0 else function
+    )
     return UDF(
-        function,
+        implementation,
         dimension=spec.dimension,
         name=name or f"gmm_d{spec.dimension}_k{spec.n_components}",
         vectorized=True,
@@ -155,13 +193,17 @@ _F_SPECS = {
 
 
 def reference_function(
-    name: str, simulated_eval_time: float = 0.0, random_state: RandomState = 7
+    name: str,
+    simulated_eval_time: float = 0.0,
+    real_eval_time: float = 0.0,
+    random_state: RandomState = 7,
 ) -> UDF:
     """One of the paper's reference functions ``F1``–``F4`` (Fig. 4).
 
     F1: one flat peak (smooth); F2: one narrow peak (spiky); F3: five broad
     peaks (bumpy); F4: five narrow peaks (the hardest case, used as the
-    default function in Expts 1–3 and 6).
+    default function in Expts 1–3 and 6).  ``real_eval_time`` makes every
+    call occupy real wall-clock (see :class:`RealCostFunction`).
     """
     key = name.upper()
     if key not in _F_SPECS:
@@ -169,6 +211,7 @@ def reference_function(
     return make_mixture_udf(
         _F_SPECS[key],
         simulated_eval_time=simulated_eval_time,
+        real_eval_time=real_eval_time,
         name=key,
         random_state=random_state,
     )

@@ -90,3 +90,39 @@ class TestPhaseTimings:
         assert timings.as_row(prefix="t_") == {"t_sampling": 2000.0}
         timings.reset()
         assert timings.total == 0.0
+
+    def test_merge_accumulates_per_phase(self):
+        from repro.bench.harness import PhaseTimings
+
+        parent = PhaseTimings()
+        parent.add("sampling", 1.0)
+        worker = PhaseTimings()
+        worker.add("sampling", 0.5)
+        worker.add("refinement", 2.0)
+        returned = parent.merge(worker)
+        assert returned is parent
+        assert parent.get("sampling") == pytest.approx(1.5)
+        assert parent.get("refinement") == pytest.approx(2.0)
+        # The merged-from accumulator is untouched.
+        assert worker.get("sampling") == pytest.approx(0.5)
+
+    def test_merge_accepts_plain_mapping_and_iadd(self):
+        from repro.bench.harness import PhaseTimings
+
+        timings = PhaseTimings()
+        timings.merge({"inference": 0.25})
+        other = PhaseTimings()
+        other.add("inference", 0.75)
+        timings += other
+        assert timings.get("inference") == pytest.approx(1.0)
+
+    def test_merge_negative_guard_leaves_state_unchanged(self):
+        from repro.bench.harness import PhaseTimings
+
+        timings = PhaseTimings()
+        timings.add("sampling", 1.0)
+        with pytest.raises(ReproError):
+            timings.merge({"sampling": 0.5, "inference": -0.1})
+        # All-or-nothing: the valid "sampling" entry was not applied either.
+        assert timings.get("sampling") == pytest.approx(1.0)
+        assert timings.get("inference") == 0.0

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro import config
-from repro.rng import as_generator, derive_seed, spawn
+from repro.rng import as_generator, derive_seed, spawn, spawn_keyed
 
 
 class TestPaperDefaults:
@@ -71,3 +71,34 @@ class TestRng:
         for _ in range(10):
             seed = derive_seed(rng)
             assert 0 <= seed < 2**63
+
+
+class TestSpawnKeyed:
+    def test_deterministic_per_key(self):
+        a = spawn_keyed(42, 3).normal(size=6)
+        b = spawn_keyed(42, 3).normal(size=6)
+        assert np.array_equal(a, b)
+
+    def test_independent_across_shard_indices(self):
+        draws = [spawn_keyed(42, i).normal(size=6) for i in range(4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.allclose(draws[i], draws[j])
+
+    def test_matches_seed_sequence_spawn(self):
+        """The contract documented in rng.py: shard i's stream equals
+        SeedSequence(seed).spawn(n)[i] for any n > i."""
+        children = np.random.SeedSequence(7).spawn(5)
+        for i in (0, 2, 4):
+            expected = np.random.default_rng(children[i]).normal(size=4)
+            assert np.array_equal(spawn_keyed(7, i).normal(size=4), expected)
+
+    def test_does_not_depend_on_other_shards(self):
+        # Consuming shard 0's stream must not perturb shard 1's.
+        first = spawn_keyed(11, 1).normal(size=3)
+        spawn_keyed(11, 0).normal(size=1000)
+        assert np.array_equal(spawn_keyed(11, 1).normal(size=3), first)
+
+    def test_negative_shard_index_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_keyed(0, -1)

@@ -94,6 +94,24 @@ def test_batch_matches_across_chunk_boundaries():
     _assert_outputs_match(runs["per_tuple"], runs["batched"])
 
 
+def test_batch_matches_per_tuple_under_speculative_tuning():
+    """Speculative k-point refinement is deterministic: same trajectory in
+    both pipelines (stable top-k selection, fresh per-tuple inference)."""
+    runs = _paired_runs(
+        "gp",
+        function_name="F4",
+        n_tuples=4,
+        n_samples=200,
+        max_points_per_tuple=8,
+        speculative_k=3,
+        batch_size=2,
+    )
+    _assert_outputs_match(runs["per_tuple"], runs["batched"])
+    assert runs["per_tuple_udf"].call_count == runs["batched_udf"].call_count
+    # The speculative path must actually have fired (blocked updates happened).
+    assert runs["batched_udf"].call_count > 5
+
+
 def test_process_batch_empty_and_single():
     udf = reference_function("F1")
     processor = OLGAPRO(udf, requirement=REQUIREMENT, random_state=1, n_samples=150)

@@ -1,0 +1,326 @@
+"""Process-pool sharded execution: determinism, merging, and failure modes.
+
+Contracts under test (see :mod:`repro.engine.parallel` and :mod:`repro.rng`):
+
+* ``workers=1`` is numerically identical to the serial
+  :class:`~repro.engine.batch.BatchExecutor` path under the same engine seed;
+* under the ``"discard"`` merge policy, shard outputs are invariant to the
+  worker count for any ``workers >= 2`` (fixed shard size, keyed streams);
+* the merge policies move worker-added training points (and only those)
+  back into the parent model;
+* worker failures — black-box exceptions, unpicklable state, dead pool
+  processes — surface as typed :class:`~repro.exceptions.QueryError`\\ s.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracyRequirement
+from repro.core.filtering import SelectionPredicate
+from repro.engine import (
+    BatchExecutor,
+    ParallelExecutor,
+    Query,
+    UDFExecutionEngine,
+    generate_galaxy_relation,
+)
+from repro.engine.parallel import _emulator_of
+from repro.exceptions import QueryError
+from repro.udf.base import UDF
+from repro.udf.synthetic import reference_function
+from repro.workloads.generators import input_stream, workload_for_udf
+
+RTOL = 1e-8
+
+REQUIREMENT = AccuracyRequirement(epsilon=0.15, delta=0.05)
+
+PREDICATE = SelectionPredicate(low=0.0, high=1.5, threshold=0.1)
+
+
+def _fixture(strategy="gp", n_tuples=10, seed=31, stream_seed=4, **engine_kwargs):
+    """Fresh (udf, engine, distributions) triple with deterministic seeds."""
+    udf = reference_function("F1", simulated_eval_time=1e-3)
+    kwargs = dict(engine_kwargs)
+    if strategy == "gp":
+        kwargs.setdefault("n_samples", 200)
+    engine = UDFExecutionEngine(
+        strategy=strategy, requirement=REQUIREMENT, random_state=seed, **kwargs
+    )
+    dists = list(
+        input_stream(
+            workload_for_udf(udf), n_tuples, random_state=np.random.default_rng(stream_seed)
+        )
+    )
+    return udf, engine, dists
+
+
+def _assert_same_outputs(a_outputs, b_outputs):
+    assert len(a_outputs) == len(b_outputs)
+    for i, (a, b) in enumerate(zip(a_outputs, b_outputs)):
+        assert a.dropped == b.dropped, i
+        assert np.isclose(a.existence_probability, b.existence_probability, rtol=RTOL), i
+        if a.distribution is not None:
+            assert np.allclose(a.distribution.samples, b.distribution.samples, rtol=RTOL), i
+            assert np.isclose(a.error_bound, b.error_bound, rtol=RTOL), i
+
+
+# ---------------------------------------------------------------------------
+# workers=1: identity with the serial batched path
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("strategy", ["mc", "gp"])
+def test_workers_1_matches_serial_batched(strategy):
+    udf_a, engine_a, dists_a = _fixture(strategy)
+    serial = BatchExecutor(engine_a, batch_size=4).compute_batch(udf_a, dists_a)
+    udf_b, engine_b, dists_b = _fixture(strategy)
+    parallel = ParallelExecutor(engine_b, workers=1, batch_size=4).compute_batch(
+        udf_b, dists_b
+    )
+    _assert_same_outputs(serial, parallel)
+    assert udf_a.call_count == udf_b.call_count
+
+
+def test_workers_1_discard_rolls_the_model_back():
+    udf, engine, dists = _fixture("gp")
+    executor = ParallelExecutor(engine, workers=1, batch_size=4, merge="discard")
+    executor.compute_batch(udf, dists)
+    # The run created the processor, but discard must leave the engine as if
+    # it had never run: no model for this UDF.
+    assert _emulator_of(engine, udf) is None
+    assert executor.last_merged_points == 0
+
+
+def test_workers_1_discard_restores_an_existing_model():
+    udf, engine, dists = _fixture("gp")
+    # Warm the model first, then run with discard: n_training must not move.
+    engine.compute(udf, dists[0])
+    emulator = _emulator_of(engine, udf)
+    n_before = emulator.n_training
+    X_before = emulator.gp.X_train
+    ParallelExecutor(engine, workers=1, batch_size=4, merge="discard").compute_batch(
+        udf, dists[1:]
+    )
+    assert emulator.n_training == n_before
+    assert np.array_equal(emulator.gp.X_train, X_before)
+
+
+# ---------------------------------------------------------------------------
+# workers >= 2: shard invariance and merge policies
+# ---------------------------------------------------------------------------
+
+def _sharded_run(workers, merge="discard", shard_size=None, batch_size=4, **kwargs):
+    udf, engine, dists = _fixture("gp", **kwargs)
+    executor = ParallelExecutor(
+        engine,
+        workers=workers,
+        batch_size=batch_size,
+        shard_size=shard_size,
+        merge=merge,
+        seed=99,
+    )
+    outputs = executor.compute_batch(udf, dists)
+    return outputs, engine, udf, executor
+
+
+def test_discard_outputs_invariant_to_worker_count():
+    reference, _, _, _ = _sharded_run(workers=2)
+    for workers in (3, 4):
+        outputs, _, _, _ = _sharded_run(workers=workers)
+        _assert_same_outputs(reference, outputs)
+
+
+def test_shard_size_smaller_than_batch_size():
+    # Shards of 2 tuples under batch_size 4: every shard is a single partial
+    # chunk.  Must run and stay invariant to the worker count.
+    a, _, _, _ = _sharded_run(workers=2, shard_size=2, batch_size=4)
+    b, _, _, _ = _sharded_run(workers=4, shard_size=2, batch_size=4)
+    _assert_same_outputs(a, b)
+    assert len(a) == 10
+
+
+def test_input_smaller_than_one_shard():
+    outputs, _, _, _ = _sharded_run(workers=4, n_tuples=3, shard_size=8)
+    assert len(outputs) == 3
+
+
+def test_empty_input_returns_empty():
+    udf, engine, _ = _fixture("gp")
+    assert ParallelExecutor(engine, workers=4).compute_batch(udf, []) == []
+
+
+def test_union_merges_worker_points_into_parent():
+    outputs_discard, engine_d, _, _ = _sharded_run(workers=2, merge="discard")
+    outputs_union, engine_u, udf_u, executor = _sharded_run(workers=2, merge="union")
+    # Outputs are computed from the same snapshot either way.
+    _assert_same_outputs(outputs_discard, outputs_union)
+    # ... but only union warms the parent model.
+    assert _emulator_of(engine_d, udf_u) is None
+    emulator = _emulator_of(engine_u, udf_u)
+    assert emulator is not None
+    assert executor.last_merged_points > 0
+    assert emulator.n_training == executor.last_merged_points
+
+
+def test_refit_threshold_retrains_parent_hyperparameters():
+    _, engine, udf, executor = _sharded_run(workers=2, merge="refit-threshold")
+    emulator = _emulator_of(engine, udf)
+    assert executor.last_merged_points >= executor.refit_threshold
+    # retrain() marks the emulator as hyperparameter-trained.
+    assert emulator._trained_hyperparameters
+
+
+def test_union_merge_respects_max_training_points():
+    udf, engine, dists = _fixture("gp", max_training_points=30)
+    executor = ParallelExecutor(engine, workers=2, batch_size=4, merge="union", seed=5)
+    executor.compute_batch(udf, dists)
+    emulator = _emulator_of(engine, udf)
+    assert emulator.n_training <= 30
+    # The workers learn far more than 30 points from a cold snapshot each,
+    # so the cap must actually have bitten.
+    assert executor.last_dropped_points > 0
+    assert executor.last_merged_points + executor.last_dropped_points > 30
+
+
+def test_union_dedupes_exact_duplicates():
+    # Two shards started from the same warm snapshot can return identical
+    # points; the parent must keep one copy of each.
+    udf, engine, dists = _fixture("gp")
+    executor = ParallelExecutor(engine, workers=2, batch_size=4, merge="union", seed=5)
+    executor.compute_batch(udf, dists)
+    emulator = _emulator_of(engine, udf)
+    X = emulator.gp.X_train
+    assert len({row.tobytes() for row in X}) == X.shape[0]
+
+
+def test_parallel_credits_udf_cost_to_parent():
+    _, _, udf, _ = _sharded_run(workers=2, merge="discard")
+    assert udf.call_count > 0
+
+
+def test_parallel_merges_worker_timings():
+    _, _, _, executor = _sharded_run(workers=2)
+    assert executor.timings.get("sampling") > 0.0
+    assert executor.timings.get("inference") > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Predicate (SelectUDF) path
+# ---------------------------------------------------------------------------
+
+def test_predicate_workers_1_matches_serial():
+    udf_a, engine_a, dists_a = _fixture("gp", stream_seed=9)
+    serial = BatchExecutor(engine_a, batch_size=3).compute_batch_with_predicate(
+        udf_a, dists_a, PREDICATE
+    )
+    udf_b, engine_b, dists_b = _fixture("gp", stream_seed=9)
+    parallel = ParallelExecutor(engine_b, workers=1, batch_size=3).compute_batch_with_predicate(
+        udf_b, dists_b, PREDICATE
+    )
+    _assert_same_outputs(serial, parallel)
+
+
+def test_predicate_outputs_invariant_to_worker_count():
+    results = {}
+    for workers in (2, 4):
+        udf, engine, dists = _fixture("gp", stream_seed=9)
+        executor = ParallelExecutor(
+            engine, workers=workers, batch_size=3, merge="discard", seed=17
+        )
+        results[workers] = executor.compute_batch_with_predicate(udf, dists, PREDICATE)
+    _assert_same_outputs(results[2], results[4])
+
+
+def test_select_udf_operator_runs_parallel():
+    relation = generate_galaxy_relation(8, random_state=22)
+    udf = reference_function("F1", simulated_eval_time=1e-4)
+    engine = UDFExecutionEngine(
+        strategy="gp", requirement=REQUIREMENT, random_state=5, n_samples=200
+    )
+    result = (
+        Query(relation)
+        .where_udf(udf, ["ra_offset", "dec_offset"], alias="f",
+                   low=0.0, high=1.5, threshold=0.05,
+                   batch_size=4, workers=2, merge="discard", parallel_seed=3)
+        .run(engine)
+    )
+    for row in result:
+        assert 0.0 <= row.existence_probability <= 1.0
+        assert row["f"].size > 0
+
+
+def test_apply_udf_operator_workers_1_matches_batched():
+    def run(workers):
+        relation = generate_galaxy_relation(8, random_state=21)
+        udf = reference_function("F1", simulated_eval_time=1e-4)
+        engine = UDFExecutionEngine(
+            strategy="gp", requirement=REQUIREMENT, random_state=13, n_samples=150
+        )
+        return (
+            Query(relation)
+            .apply_udf(udf, ["ra_offset", "dec_offset"], alias="f",
+                       batch_size=3, workers=workers)
+            .run(engine)
+        )
+
+    plain = run(None)
+    parallel = run(1)
+    assert len(plain) == len(parallel)
+    for a, b in zip(plain, parallel):
+        assert np.allclose(a["f"].samples, b["f"].samples, rtol=RTOL)
+
+
+# ---------------------------------------------------------------------------
+# Failure modes
+# ---------------------------------------------------------------------------
+
+def _exploding(x):
+    raise RuntimeError("black box exploded")
+
+
+def _hard_crash(x):
+    os._exit(13)  # simulates a segfaulting worker: no exception, just death
+
+
+def test_worker_udf_exception_surfaces_as_query_error():
+    udf = UDF(_exploding, dimension=2, name="exploding",
+              domain=(np.zeros(2), np.full(2, 10.0)))
+    _, engine, dists = _fixture("gp")
+    executor = ParallelExecutor(engine, workers=2, batch_size=4, seed=1)
+    with pytest.raises(QueryError, match="shard"):
+        executor.compute_batch(udf, dists)
+
+
+def test_dead_worker_process_surfaces_as_query_error():
+    udf = UDF(_hard_crash, dimension=2, name="crashing",
+              domain=(np.zeros(2), np.full(2, 10.0)))
+    _, engine, dists = _fixture("gp")
+    executor = ParallelExecutor(engine, workers=2, batch_size=4, seed=1)
+    with pytest.raises(QueryError):
+        executor.compute_batch(udf, dists)
+
+
+def test_unpicklable_udf_surfaces_as_query_error():
+    udf = UDF(lambda x: float(x[0]), dimension=2, name="lambda",
+              domain=(np.zeros(2), np.full(2, 10.0)))
+    _, engine, dists = _fixture("gp")
+    executor = ParallelExecutor(engine, workers=2, batch_size=4, seed=1)
+    with pytest.raises(QueryError, match="picklable"):
+        executor.compute_batch(udf, dists)
+
+
+def test_executor_validates_configuration():
+    _, engine, _ = _fixture("gp")
+    with pytest.raises(QueryError):
+        ParallelExecutor(engine, workers=0)
+    with pytest.raises(QueryError):
+        ParallelExecutor(engine, batch_size=0)
+    with pytest.raises(QueryError):
+        ParallelExecutor(engine, shard_size=0)
+    with pytest.raises(QueryError):
+        ParallelExecutor(engine, merge="replace")
+    with pytest.raises(QueryError):
+        ParallelExecutor(engine, refit_threshold=0)

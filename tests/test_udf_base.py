@@ -120,3 +120,19 @@ class TestDomainAndFactory:
     def test_as_udf_requires_dimension(self):
         with pytest.raises(UDFError):
             as_udf(lambda x: 1.0)
+
+
+class TestAbsorbCharges:
+    def test_credits_external_evaluations(self):
+        udf = UDF(lambda x: float(x[0]), dimension=1)
+        udf(np.array([1.0]))
+        udf.absorb_charges(5, 0.25)
+        assert udf.call_count == 6
+        assert udf.real_time >= 0.25
+
+    def test_rejects_negative_charges(self):
+        udf = UDF(lambda x: float(x[0]), dimension=1)
+        with pytest.raises(UDFError):
+            udf.absorb_charges(-1, 0.0)
+        with pytest.raises(UDFError):
+            udf.absorb_charges(0, -0.5)

@@ -10,6 +10,7 @@ from repro.bench.experiments_astro import (
     astro_gp_vs_mc,
     astro_output_density,
 )
+from repro.bench.experiments_async import async_report, udf_overlap
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
 from repro.bench.experiments_parallel import parallel_report, parallel_scaling
 from repro.bench.experiments_profiles import (
@@ -38,6 +39,8 @@ __all__ = [
     "smoke_report",
     "parallel_scaling",
     "parallel_report",
+    "udf_overlap",
+    "async_report",
     "profile1_function_fitting",
     "profile2_error_bound",
     "profile3_error_allocation",

@@ -6,8 +6,8 @@ Usage::
     python -m repro.bench.run_all --full       # full-scale (hours)
     python -m repro.bench.run_all --only expt5_eval_time astro_gp_vs_mc
     python -m repro.bench.run_all --output results.txt
-    python -m repro.bench.run_all --smoke      # CI smoke: batched + parallel
-                                               # wall-clock -> BENCH_smoke.json
+    python -m repro.bench.run_all --smoke      # CI smoke: batched + parallel +
+                                               # async wall-clock -> BENCH_smoke.json
 
 Each experiment prints an :class:`~repro.bench.harness.ExperimentTable`; the
 ``--output`` option additionally writes the combined report to a file so it
@@ -51,6 +51,7 @@ from repro.bench import (
     profile2_error_bound,
     profile3_error_allocation,
 )
+from repro.bench.experiments_async import async_report, udf_overlap
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
 from repro.bench.experiments_parallel import parallel_report, parallel_scaling
 from repro.bench.harness import ExperimentTable
@@ -86,6 +87,8 @@ _SCALED_OVERRIDES: dict[str, dict] = {
     "parallel_scaling": {"workers_list": (1, 2, 4), "n_tuples": 12, "batch_size": 4,
                          "real_eval_time": 1e-3, "n_samples": 200,
                          "strategies": ("gp",)},
+    "udf_overlap": {"inflight_list": (1, 4), "n_tuples": 4, "batch_size": 4,
+                    "real_eval_time": 5e-3, "n_samples": 120},
 }
 
 #: Parameters of the CI smoke invocation (`--smoke`): large enough that the
@@ -105,6 +108,15 @@ _SMOKE_PARALLEL_KWARGS = (
     {"strategies": ("mc",), "workers_list": (4,), "n_tuples": 16, "batch_size": 4,
      "real_eval_time": 1e-3, "epsilon": 0.15},
 )
+
+#: Parameters of the smoke udf_overlap run: a cold model on a UDF with a
+#: genuinely slow per-call latency, so the refinement loop is latency-bound —
+#: the regime where overlapping ``async_inflight=8`` in-flight calls clears
+#: 2x even on a single-core runner (the "work" being overlapped is sleep).
+#: ``inflight_list`` includes 1 because that row doubles as the bit-identity
+#: check against the serial batched path.
+_SMOKE_ASYNC_KWARGS = {"inflight_list": (1, 8), "n_tuples": 8, "batch_size": 8,
+                       "real_eval_time": 2e-2, "epsilon": 0.12, "n_samples": 120}
 
 #: Relative drop of the gp batched speedup that fails the CI gate.
 DEFAULT_MAX_REGRESSION = 0.25
@@ -126,6 +138,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "astro_gp_vs_mc": astro_gp_vs_mc,
     "batch_pipeline": batch_pipeline_speedup,
     "parallel_scaling": parallel_scaling,
+    "udf_overlap": udf_overlap,
 }
 
 
@@ -192,7 +205,33 @@ def run_smoke(output_path: str, baseline_path: str, max_regression: float) -> in
     for strategy, headline in parallel["speedup_at_4"].items():
         print(f"parallel speedup [{strategy}] at workers={headline['workers']}: "
               f"{headline['speedup']:.2f}x")
-    report = {"batch_pipeline": batch, "parallel_scaling": parallel}
+
+    started = time.perf_counter()
+    async_table = udf_overlap(**_SMOKE_ASYNC_KWARGS)
+    async_elapsed = time.perf_counter() - started
+    overlap = async_report(async_table)
+    print()
+    print(async_table.to_text())
+    print(f"(ran udf_overlap smoke in {async_elapsed:.1f} s)")
+    if overlap["speedup_at_8"] is not None:
+        headline = overlap["speedup_at_8"]
+        print(f"async speedup at inflight={headline['async_inflight']}: "
+              f"{headline['speedup']:.2f}x")
+    print(f"async_inflight=1 bit-identical to serial batched: "
+          f"{overlap['identical_at_1']}")
+    report = {"batch_pipeline": batch, "parallel_scaling": parallel,
+              "udf_overlap": overlap}
+
+    if overlap["identical_at_1"] is not True:
+        # Determinism half of the async acceptance contract: inflight=1 must
+        # be the serial batched path, bit for bit.  This is a correctness
+        # property, not a perf ratio, so it is not label-overridable.
+        print("ASYNC IDENTITY CHECK FAILED: async_inflight=1 diverged from the "
+              "serial batched path", file=sys.stderr)
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {output_path}")
+        return 1
 
     exit_code = 0
     if os.path.isfile(baseline_path):
@@ -255,7 +294,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write the combined report to this file")
     parser.add_argument("--smoke", action="store_true",
                         help="run only the fast smoke benchmarks (batched pipeline + "
-                             "parallel scaling) and write a JSON artifact")
+                             "parallel scaling + async udf overlap) and write a JSON "
+                             "artifact")
     parser.add_argument("--smoke-output", metavar="PATH", default="BENCH_smoke.json",
                         help="where --smoke writes its JSON artifact")
     parser.add_argument("--baseline", metavar="PATH", default="BENCH_baseline.json",

@@ -104,15 +104,27 @@ class GPEmulator:
         self.absorb_observations(X, y)
         return y
 
-    def absorb_observations(self, X: np.ndarray, y: np.ndarray) -> None:
+    def absorb_observations(
+        self, X: np.ndarray, y: np.ndarray, fence: Optional["EmulatorSnapshot"] = None
+    ) -> None:
         """Absorb already-evaluated ``(x, y)`` pairs without calling the UDF.
 
         This is how training points obtained *elsewhere* enter the model: a
         parallel worker merging its shard's additions back into the parent
-        emulator, or the speculative tuning loop re-committing observations
-        it already paid for before a rollback.  Uses the blocked incremental
-        update and keeps the spatial index in sync, exactly like
+        emulator, the speculative tuning loop re-committing observations it
+        already paid for before a rollback, or the asynchronous refinement
+        pipeline landing UDF results that were in flight.  Uses the blocked
+        incremental update and keeps the spatial index in sync, exactly like
         :meth:`add_training_points` — minus the UDF evaluations.
+
+        ``fence``, when given, must be the :meth:`snapshot` the observations
+        were *selected against*: if the model mutated since that snapshot was
+        taken (its GP state version moved on), the absorb raises
+        :class:`~repro.exceptions.GPError` instead of silently applying
+        observations chosen for a state that no longer exists.  This is the
+        guard the async pipeline relies on — results completing out of order
+        are only absorbed while the snapshot they speculate against is still
+        the live state.
         """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
@@ -124,6 +136,12 @@ class GPEmulator:
             )
         if X.shape[0] != y.shape[0]:
             raise UDFError(f"X has {X.shape[0]} rows but y has {y.shape[0]} values")
+        if fence is not None and fence.gp_state.version != self.gp.version:
+            raise GPError(
+                "stale snapshot fence: the model mutated since the snapshot "
+                f"(version {fence.gp_state.version} -> {self.gp.version}); "
+                "the observations were selected against a state that no longer exists"
+            )
         first_row = self.gp.n_training
         self.gp.add_points(X, y)
         for offset, row in enumerate(X):

@@ -113,6 +113,28 @@ class FilteredOnlineResult:
         return self.result is None
 
 
+def select_top_k_distinct(samples: np.ndarray, stds: np.ndarray, k: int) -> list[int]:
+    """Indices of the ``k`` highest-variance *distinct* sample rows.
+
+    The stable order makes the speculative (and asynchronous) refinement
+    trajectories deterministic; duplicate rows are skipped because empirical
+    input distributions resample their support with replacement, and a
+    duplicated row would spend two UDF calls on one location and absorb a
+    numerically repeated row into the covariance.
+    """
+    order: list[int] = []
+    seen_rows: set[bytes] = set()
+    for candidate in np.argsort(-np.asarray(stds), kind="stable"):
+        key = samples[candidate].tobytes()
+        if key in seen_rows:
+            continue
+        seen_rows.add(key)
+        order.append(int(candidate))
+        if len(order) == k:
+            break
+    return order
+
+
 class OLGAPRO:
     """Online GP processor for one UDF (Algorithm 5)."""
 
@@ -173,6 +195,16 @@ class OLGAPRO:
         #: a configured ``tuning_strategy`` only applies when
         #: ``speculative_k == 1``.
         self.speculative_k = int(speculative_k)
+        #: Injectable refinement-evaluation driver.  ``None`` keeps the
+        #: built-in loops (serial Algorithm 5, or the speculative block loop
+        #: when ``speculative_k > 1``).  When set — and the driver reports
+        #: itself engaged — :meth:`_tune_until_bounded` delegates the whole
+        #: "add training points until the bound fits" step to it; this is how
+        #: :class:`~repro.engine.async_exec.AsyncRefinementExecutor` overlaps
+        #: in-flight UDF calls with GP work without OLGAPRO knowing about
+        #: thread pools.  Drivers are installed per-computation (and removed
+        #: afterwards), so a pickled OLGAPRO never carries one.
+        self.evaluation_driver = None
         self._rng = as_generator(random_state)
         self._tuples_processed = 0
         #: Factorization-grade GP operations (Cholesky / rank-1 / blocked
@@ -550,6 +582,12 @@ class OLGAPRO:
             envelope, bound = initial
         ops_before = self.emulator.gp.factorization_count
         try:
+            driver = self.evaluation_driver
+            if driver is not None and driver.engaged(self):
+                return driver.tune(
+                    self, samples, box, rng, envelope, bound,
+                    bound_is_fresh=initial is None,
+                )
             if self.speculative_k > 1:
                 return self._tune_speculative(
                     samples, box, envelope, bound, bound_is_fresh=initial is None
@@ -620,72 +658,91 @@ class OLGAPRO:
         # the model is unchanged between a re-check and the next selection,
         # so recomputing inference there would be pure redundancy.
         inference = None
-
-        def recheck(n_points: int):
-            fresh = self._infer(samples, box)
-            env, b = self._bound_from_inference(fresh, box, n_points)
-            return fresh, env, b
-
         while bound > self.budget.epsilon_gp:
-            capacity = min(
-                self.max_points_per_tuple - points_added,
-                self.max_training_points - self.emulator.n_training,
-            )
+            capacity = self._refinement_capacity(points_added)
             if capacity <= 0:
                 return envelope, bound, points_added, False
             if inference is None:
-                inference = self._infer(samples, box)
-                if not bound_is_fresh:
-                    # The batched pipeline seeds the loop with a bound from
-                    # cached kernel algebra, which differs from fresh
-                    # inference at the last ulp; the rollback comparison
-                    # below must be fresh-vs-fresh or the batched and
-                    # per-tuple trajectories could diverge on a knife edge.
-                    # The selection inference was needed anyway, so this
-                    # costs only the bound arithmetic.
-                    envelope, bound = self._bound_from_inference(
-                        inference, box, samples.shape[0]
-                    )
+                inference, envelope, bound, realigned = self._selection_inference(
+                    samples, box, envelope, bound, bound_is_fresh
+                )
+                if realigned:
                     bound_is_fresh = True
                     continue
             k = min(self.speculative_k, capacity, samples.shape[0])
-            # Top-k by variance over *distinct* sample rows: empirical input
-            # distributions resample their support with replacement, and a
-            # duplicated row would spend two UDF calls on one location and
-            # absorb a numerically repeated row into the covariance.
-            order: list[int] = []
-            seen_rows: set[bytes] = set()
-            for candidate in np.argsort(-np.asarray(inference.stds), kind="stable"):
-                key = samples[candidate].tobytes()
-                if key in seen_rows:
-                    continue
-                seen_rows.add(key)
-                order.append(int(candidate))
-                if len(order) == k:
-                    break
+            order = select_top_k_distinct(samples, inference.stds, k)
             k = len(order)
             if k == 1:
                 self.emulator.add_training_point(samples[order[0]])
                 points_added += 1
-                inference, envelope, bound = recheck(samples.shape[0])
+                inference, envelope, bound = self._recheck(samples, box)
                 continue
             state = self.emulator.snapshot()
             bound_before = bound
             y_new = self.emulator.add_training_points(samples[order])
-            inference, envelope, bound = recheck(samples.shape[0])
-            # The empirical bound is quantized in units of 1/n_samples and
-            # saturates at 1 while the model is still warming up, so "no
-            # worse" counts as progress (the predictive variance at the
-            # absorbed samples did shrink); only a strict increase means the
-            # speculative block overshot and must be undone.
+            inference, envelope, bound = self._recheck(samples, box)
             if bound <= bound_before:
                 points_added += k
                 continue
-            self.emulator.restore(state)
-            self.emulator.absorb_observations(samples[order[:1]], y_new[:1])
+            self._rollback_to_best(state, samples[order[:1]], y_new[:1])
             points_added += 1
-            inference, envelope, bound = recheck(samples.shape[0])
+            inference, envelope, bound = self._recheck(samples, box)
         return envelope, bound, points_added, True
+
+    # -- refinement-loop steps shared with the async evaluation driver ---------------
+    def _refinement_capacity(self, points_added: int) -> int:
+        """Training points the refinement loop may still add for this tuple."""
+        return min(
+            self.max_points_per_tuple - points_added,
+            self.max_training_points - self.emulator.n_training,
+        )
+
+    def _recheck(self, samples: np.ndarray, box: BoundingBox):
+        """Fresh inference plus error bound after a model mutation."""
+        fresh = self._infer(samples, box)
+        envelope, bound = self._bound_from_inference(fresh, box, samples.shape[0])
+        return fresh, envelope, bound
+
+    def _selection_inference(
+        self,
+        samples: np.ndarray,
+        box: BoundingBox,
+        envelope: EnvelopeOutputs,
+        bound: float,
+        bound_is_fresh: bool,
+    ):
+        """Selection inference for a refinement round, realigning a stale bound.
+
+        The batched pipeline seeds the refinement loop with a bound from
+        cached kernel algebra, which differs from fresh inference at the
+        last ulp; the overshoot comparisons in the speculative and async
+        loops must be fresh-vs-fresh or the batched and per-tuple
+        trajectories could diverge on a knife edge.  The selection inference
+        is needed anyway, so realigning costs only the bound arithmetic.
+        Returns ``(inference, envelope, bound, realigned)``; when
+        ``realigned`` is true the caller must re-test the bound against the
+        budget before selecting candidates.
+        """
+        inference = self._infer(samples, box)
+        if bound_is_fresh:
+            return inference, envelope, bound, False
+        envelope, bound = self._bound_from_inference(inference, box, samples.shape[0])
+        return inference, envelope, bound, True
+
+    def _rollback_to_best(self, state, x_best: np.ndarray, y_best: np.ndarray) -> None:
+        """Undo an overshooting speculative block, keeping its best candidate.
+
+        The empirical bound is quantized in units of 1/n_samples and
+        saturates at 1 while the model is still warming up, so callers count
+        "no worse" as progress (the predictive variance at the absorbed
+        samples did shrink); only a strict increase means the block overshot
+        and lands here.  The rollback costs no factorization (snapshot
+        restore), and the single best candidate is re-committed reusing the
+        UDF observation that was already paid for — the loop therefore never
+        makes less progress per iteration than the serial rule.
+        """
+        self.emulator.restore(state)
+        self.emulator.absorb_observations(x_best, y_best)
 
     def _make_error_evaluator(self, samples: np.ndarray, box: BoundingBox):
         """Candidate evaluator for the optimal-greedy tuning strategy.

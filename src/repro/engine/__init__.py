@@ -5,6 +5,11 @@ SDSS-like Galaxy generator; the UDF execution engine with MC / GP / hybrid
 strategies; iterator-style physical operators; and the fluent query builder.
 """
 
+from repro.engine.async_exec import (
+    DEFAULT_ASYNC_INFLIGHT,
+    AsyncEvaluationDriver,
+    AsyncRefinementExecutor,
+)
 from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
 from repro.engine.executor import ComputedOutput, Strategy, UDFExecutionEngine
 from repro.engine.parallel import (
@@ -42,6 +47,9 @@ __all__ = [
     "BatchExecutor",
     "DEFAULT_BATCH_SIZE",
     "iter_batches",
+    "AsyncRefinementExecutor",
+    "AsyncEvaluationDriver",
+    "DEFAULT_ASYNC_INFLIGHT",
     "ParallelExecutor",
     "MergePolicy",
     "MERGE_POLICIES",

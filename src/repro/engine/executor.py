@@ -126,13 +126,16 @@ class UDFExecutionEngine:
         batch_size: int | None = None,
         merge: str = "union",
         seed: int | None = None,
+        async_inflight: int | None = None,
+        oversubscribe: float = 1.0,
     ) -> list[ComputedOutput]:
         """Evaluate ``udf`` on many tuples sharded across a process pool.
 
         Convenience wrapper over
         :class:`~repro.engine.parallel.ParallelExecutor`; see that class for
-        the merge policies and the determinism contract (``workers=1`` is
-        numerically identical to :meth:`compute_batch`).
+        the merge policies, the determinism contract (``workers=1`` is
+        numerically identical to :meth:`compute_batch`), and the
+        ``async_inflight`` / ``oversubscribe`` latency-hiding knobs.
         """
         from repro.engine.batch import DEFAULT_BATCH_SIZE
         from repro.engine.parallel import ParallelExecutor
@@ -143,6 +146,34 @@ class UDFExecutionEngine:
             batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
             merge=merge,  # type: ignore[arg-type]
             seed=seed,
+            async_inflight=async_inflight,
+            oversubscribe=oversubscribe,
+        )
+        return executor.compute_batch(udf, list(input_distributions))
+
+    def compute_async(
+        self,
+        udf: UDF,
+        input_distributions,
+        inflight: int | None = None,
+        batch_size: int | None = None,
+    ) -> list[ComputedOutput]:
+        """Evaluate ``udf`` on many tuples with overlapped refinement calls.
+
+        Convenience wrapper over
+        :class:`~repro.engine.async_exec.AsyncRefinementExecutor`: up to
+        ``inflight`` refinement-loop UDF evaluations run concurrently on a
+        bounded thread pool, hiding black-box latency inside GP inference.
+        ``inflight=1`` is bit-identical to :meth:`compute_batch` under the
+        same seed.
+        """
+        from repro.engine.async_exec import DEFAULT_ASYNC_INFLIGHT, AsyncRefinementExecutor
+        from repro.engine.batch import DEFAULT_BATCH_SIZE
+
+        executor = AsyncRefinementExecutor(
+            self,
+            inflight=inflight if inflight is not None else DEFAULT_ASYNC_INFLIGHT,
+            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
         )
         return executor.compute_batch(udf, list(input_distributions))
 

@@ -21,6 +21,7 @@ import abc
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.filtering import SelectionPredicate
+from repro.engine.async_exec import AsyncRefinementExecutor
 from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
 from repro.engine.executor import UDFExecutionEngine
 from repro.engine.parallel import MergePolicy, ParallelExecutor
@@ -36,11 +37,14 @@ def _make_udf_executor(
     workers: int | None,
     merge: MergePolicy,
     parallel_seed: int | None,
-) -> tuple[ParallelExecutor | None, BatchExecutor | None]:
+    async_inflight: int | None = None,
+) -> tuple[ParallelExecutor | None, BatchExecutor | AsyncRefinementExecutor | None]:
     """Executor-selection policy shared by :class:`ApplyUDF` and :class:`SelectUDF`.
 
     ``workers`` set → a :class:`ParallelExecutor` (``batch_size`` defaulting
-    to :data:`DEFAULT_BATCH_SIZE`); otherwise ``batch_size`` set → a
+    to :data:`DEFAULT_BATCH_SIZE`, ``async_inflight`` forwarded so each
+    shard overlaps its UDF calls); otherwise ``async_inflight`` set → an
+    :class:`AsyncRefinementExecutor`; otherwise ``batch_size`` set → a
     :class:`BatchExecutor`; otherwise the classic per-tuple path (both
     ``None``).
     """
@@ -51,8 +55,15 @@ def _make_udf_executor(
             batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
             merge=merge,
             seed=parallel_seed,
+            async_inflight=async_inflight,
         )
         return parallel, None
+    if async_inflight is not None:
+        return None, AsyncRefinementExecutor(
+            engine,
+            inflight=async_inflight,
+            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+        )
     if batch_size is not None:
         return None, BatchExecutor(engine, batch_size)
     return None, None
@@ -84,6 +95,7 @@ class Scan(Operator):
         self.relation = relation
 
     def schema(self) -> Schema:
+        """Schema of the stored relation, unchanged."""
         return self.relation.schema
 
     def __iter__(self) -> Iterator[UncertainTuple]:
@@ -103,6 +115,7 @@ class Project(Operator):
                 raise QueryError(f"cannot project unknown attribute {name!r}")
 
     def schema(self) -> Schema:
+        """The child schema restricted to the projected attributes."""
         return self.child.schema().project(self.names)
 
     def __iter__(self) -> Iterator[UncertainTuple]:
@@ -124,6 +137,7 @@ class SelectWhere(Operator):
         self.predicate = predicate
 
     def schema(self) -> Schema:
+        """The child schema, unchanged (filtering drops tuples, not columns)."""
         return self.child.schema()
 
     def __iter__(self) -> Iterator[UncertainTuple]:
@@ -157,6 +171,7 @@ class CrossJoin(Operator):
         self.pair_filter = pair_filter
 
     def schema(self) -> Schema:
+        """Both input schemas side by side, attribute names prefixed."""
         left_schema = self.left.schema().prefixed(self.left_prefix)
         right_schema = self.right.schema().prefixed(self.right_prefix)
         return Schema(left_schema.attributes + right_schema.attributes)
@@ -180,11 +195,13 @@ class ApplyUDF(Operator):
     When ``batch_size`` is set, the input stream is consumed in chunks of
     that many tuples and each chunk is evaluated through the batched
     pipeline (:class:`~repro.engine.batch.BatchExecutor`) instead of one
-    engine call per tuple.  When ``workers`` is set, the input is
-    additionally sharded across a process pool
-    (:class:`~repro.engine.parallel.ParallelExecutor`); ``merge`` and
+    engine call per tuple.  When ``async_inflight`` is set, the refinement
+    loop's UDF calls are overlapped through the asynchronous pipeline
+    (:class:`~repro.engine.async_exec.AsyncRefinementExecutor`).  When
+    ``workers`` is set, the input is additionally sharded across a process
+    pool (:class:`~repro.engine.parallel.ParallelExecutor`); ``merge`` and
     ``parallel_seed`` configure that executor's merge policy and per-shard
-    random streams.
+    random streams, and ``async_inflight`` then applies inside each shard.
     """
 
     def __init__(
@@ -198,7 +215,17 @@ class ApplyUDF(Operator):
         workers: int | None = None,
         merge: MergePolicy = "union",
         parallel_seed: int | None = None,
+        async_inflight: int | None = None,
     ):
+        """Validate the UDF call against the child's schema and pick executors.
+
+        Raises
+        ------
+        QueryError
+            When ``argument_names`` is empty or references unknown
+            attributes, when ``alias`` collides with an existing attribute,
+            or when an executor knob is invalid.
+        """
         if not argument_names:
             raise QueryError("a UDF call needs at least one argument attribute")
         for name in argument_names:
@@ -213,11 +240,13 @@ class ApplyUDF(Operator):
         self.engine = engine
         self.batch_size = batch_size
         self.workers = workers
+        self.async_inflight = async_inflight
         self._parallel, self._batch = _make_udf_executor(
-            engine, batch_size, workers, merge, parallel_seed
+            engine, batch_size, workers, merge, parallel_seed, async_inflight
         )
 
     def schema(self) -> Schema:
+        """The child schema plus the derived uncertain output attribute."""
         derived = Attribute(
             self.alias,
             AttributeKind.UNCERTAIN,
@@ -276,7 +305,21 @@ class SelectUDF(Operator):
         workers: int | None = None,
         merge: MergePolicy = "union",
         parallel_seed: int | None = None,
+        async_inflight: int | None = None,
     ):
+        """Validate the predicated UDF call and pick executors.
+
+        The executor knobs (``batch_size`` / ``workers`` / ``merge`` /
+        ``parallel_seed`` / ``async_inflight``) behave exactly as on
+        :class:`ApplyUDF`.
+
+        Raises
+        ------
+        QueryError
+            When ``argument_names`` references unknown attributes, when
+            ``alias`` collides with an existing attribute, or when an
+            executor knob is invalid.
+        """
         for name in argument_names:
             if name not in child.schema():
                 raise QueryError(f"UDF argument {name!r} is not in the input schema")
@@ -290,11 +333,13 @@ class SelectUDF(Operator):
         self.engine = engine
         self.batch_size = batch_size
         self.workers = workers
+        self.async_inflight = async_inflight
         self._parallel, self._batch = _make_udf_executor(
-            engine, batch_size, workers, merge, parallel_seed
+            engine, batch_size, workers, merge, parallel_seed, async_inflight
         )
 
     def schema(self) -> Schema:
+        """The child schema plus the predicate-restricted output attribute."""
         derived = Attribute(
             self.alias,
             AttributeKind.UNCERTAIN,

@@ -48,6 +48,20 @@ random stream, same model evolution.  ``workers >= 2`` uses the keyed shard
 streams; see :mod:`repro.rng` for the full contract.  Worker failures —
 a UDF raising inside the black box, an unpicklable engine, or a crashed
 pool process — surface as :class:`~repro.exceptions.QueryError`.
+
+Hiding UDF latency inside a shard
+---------------------------------
+Sharding overlaps *whole shards* across processes; with a black box whose
+per-call latency dominates, each worker still sleeps through its own
+refinement loop.  ``async_inflight > 1`` runs every shard through an
+:class:`~repro.engine.async_exec.AsyncRefinementExecutor`, overlapping up
+to that many in-flight UDF calls on a thread pool *inside* the worker, and
+``oversubscribe`` raises the default pool size above the core count so
+latency-bound workers do not leave CPUs idle.  Both knobs preserve the
+determinism contract above (the async pipeline is completion-order
+invariant), but shard outputs then follow the async refinement trajectory,
+which differs numerically from the serial batched one at
+``async_inflight > 1``.
 """
 
 from __future__ import annotations
@@ -106,6 +120,15 @@ def _emulator_of(engine: UDFExecutionEngine, udf: UDF):
     return processor.emulator
 
 
+def _shard_executor(engine: UDFExecutionEngine, batch_size: int, async_inflight: Optional[int]):
+    """The per-shard executor: batched, or async-overlapped when requested."""
+    if async_inflight is not None and async_inflight > 1:
+        from repro.engine.async_exec import AsyncRefinementExecutor
+
+        return AsyncRefinementExecutor(engine, inflight=async_inflight, batch_size=batch_size)
+    return BatchExecutor(engine, batch_size)
+
+
 def _run_shard(
     payload: bytes,
     shard_index: int,
@@ -113,14 +136,18 @@ def _run_shard(
     batch_size: int,
     base_seed: int,
     predicate: Optional[SelectionPredicate],
+    async_inflight: Optional[int] = None,
 ) -> ShardResult:
     """Pool-worker entry point: one shard through the batched pipeline.
 
     Unpickles a private copy of the engine snapshot, switches it onto the
     shard's keyed random stream, and runs :class:`BatchExecutor` exactly as
-    the serial path would.  Runs in a separate process — everything touched
-    here is a copy, and everything returned is picked up by the parent's
-    merge step.
+    the serial path would — or, when ``async_inflight > 1``, an
+    :class:`~repro.engine.async_exec.AsyncRefinementExecutor`, which hides
+    UDF latency *inside* the worker process by overlapping the refinement
+    loop's black-box calls on a thread pool.  Runs in a separate process —
+    everything touched here is a copy, and everything returned is picked up
+    by the parent's merge step.
     """
     engine, udf = pickle.loads(payload)
     engine.reseed(spawn_keyed(base_seed, shard_index))
@@ -131,7 +158,7 @@ def _run_shard(
     calls_before = udf.call_count
     real_before = udf.real_time
 
-    executor = BatchExecutor(engine, batch_size)
+    executor = _shard_executor(engine, batch_size, async_inflight)
     if predicate is None:
         outputs = executor.compute_batch(udf, list(distributions))
     else:
@@ -181,6 +208,21 @@ class ParallelExecutor:
         ``None`` derives one from the engine's stream (reproducible given
         the engine seed, but advancing it — pass an explicit seed for
         run-to-run stability of repeated calls).
+    async_inflight:
+        When ``> 1``, every shard runs through an
+        :class:`~repro.engine.async_exec.AsyncRefinementExecutor` that
+        overlaps up to this many refinement-loop UDF calls on a thread pool
+        inside the worker process.  Orthogonal to sharding: processes
+        overlap whole shards, threads overlap the black-box calls within
+        one.  Shard outputs then follow the async (not the serial batched)
+        refinement trajectory — still deterministic for a fixed
+        configuration, and still worker-count-invariant under ``"discard"``.
+    oversubscribe:
+        Scales the *default* worker count (``os.cpu_count()``) when
+        ``workers`` is ``None``.  With UDF-latency-bound shards a worker
+        spends most of its time sleeping in the black box, so running more
+        shards than cores (e.g. ``oversubscribe=2.0``) keeps the CPUs busy.
+        Ignored when ``workers`` is set explicitly.
     """
 
     def __init__(
@@ -192,7 +234,18 @@ class ParallelExecutor:
         merge: MergePolicy = "union",
         refit_threshold: int = DEFAULT_REFIT_THRESHOLD,
         seed: Optional[int] = None,
+        async_inflight: Optional[int] = None,
+        oversubscribe: float = 1.0,
     ):
+        """Validate the configuration; no pool is created until a compute call.
+
+        Raises
+        ------
+        QueryError
+            On a non-positive ``workers`` / ``batch_size`` / ``shard_size``
+            / ``refit_threshold`` / ``async_inflight``, an unknown ``merge``
+            policy, or ``oversubscribe < 1``.
+        """
         if workers is not None and workers < 1:
             raise QueryError(f"workers must be positive, got {workers}")
         if batch_size < 1:
@@ -203,8 +256,17 @@ class ParallelExecutor:
             raise QueryError(f"unknown merge policy {merge!r}; choose from {MERGE_POLICIES}")
         if refit_threshold < 1:
             raise QueryError(f"refit_threshold must be positive, got {refit_threshold}")
+        if async_inflight is not None and async_inflight < 1:
+            raise QueryError(f"async_inflight must be positive, got {async_inflight}")
+        if oversubscribe < 1.0:
+            raise QueryError(f"oversubscribe must be at least 1, got {oversubscribe}")
         self.engine = engine
-        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        self.async_inflight = int(async_inflight) if async_inflight is not None else None
+        self.oversubscribe = float(oversubscribe)
+        if workers is not None:
+            self.workers = int(workers)
+        else:
+            self.workers = max(1, round((os.cpu_count() or 1) * self.oversubscribe))
         self.batch_size = int(batch_size)
         self.shard_size = int(shard_size) if shard_size is not None else self.batch_size
         self.merge: MergePolicy = merge
@@ -239,18 +301,20 @@ class ParallelExecutor:
     def _run_serial(
         self, udf: UDF, distributions: list[Distribution], predicate
     ) -> list[ComputedOutput]:
-        """``workers=1``: the plain batched path on the parent engine.
+        """``workers=1``: the serial path on the parent engine, no pool.
 
         Numerically identical to :class:`BatchExecutor` under the same
-        engine seed.  Merge policies still apply: ``"discard"`` rolls the
-        model back afterwards, ``"refit-threshold"`` may retrain.
+        engine seed (or, when ``async_inflight > 1``, to the equivalent
+        :class:`~repro.engine.async_exec.AsyncRefinementExecutor` run).
+        Merge policies still apply: ``"discard"`` rolls the model back
+        afterwards, ``"refit-threshold"`` may retrain.
         """
         emulator = _emulator_of(self.engine, udf)
         had_processor = udf.name in self.engine._processors
         state = emulator.snapshot() if emulator is not None else None
         n_before = emulator.n_training if emulator is not None else 0
 
-        executor = BatchExecutor(self.engine, self.batch_size)
+        executor = _shard_executor(self.engine, self.batch_size, self.async_inflight)
         if predicate is None:
             outputs = executor.compute_batch(udf, distributions)
         else:
@@ -302,7 +366,8 @@ class ParallelExecutor:
             with ProcessPoolExecutor(max_workers=pool_workers) as pool:
                 futures = [
                     pool.submit(
-                        _run_shard, payload, i, shard, self.batch_size, base_seed, predicate
+                        _run_shard, payload, i, shard, self.batch_size, base_seed,
+                        predicate, self.async_inflight,
                     )
                     for i, shard in enumerate(shards)
                 ]

@@ -71,7 +71,7 @@ class Query:
         if left_alias == alias:
             raise QueryError("join aliases must differ")
 
-        def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
+        def _build(child: Operator, engine: UDFExecutionEngine) -> Operator:
             return CrossJoin(
                 child,
                 Scan(other),
@@ -80,16 +80,16 @@ class Query:
                 pair_filter=pair_filter,
             )
 
-        self._steps.append(build)
+        self._steps.append(_build)
         return self
 
     def where(self, predicate: Callable[[UncertainTuple], bool]) -> "Query":
         """Filter on certain attributes with an arbitrary Python predicate."""
 
-        def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
+        def _build(child: Operator, engine: UDFExecutionEngine) -> Operator:
             return SelectWhere(child, predicate)
 
-        self._steps.append(build)
+        self._steps.append(_build)
         return self
 
     def apply_udf(
@@ -101,26 +101,58 @@ class Query:
         workers: int | None = None,
         merge: str = "union",
         parallel_seed: int | None = None,
+        async_inflight: int | None = None,
     ) -> "Query":
         """Evaluate a UDF on each tuple and keep its output distribution.
 
-        ``batch_size`` streams the input in chunks of that many tuples
-        through the batched execution pipeline; ``None`` keeps the classic
-        one-engine-call-per-tuple path.  ``workers`` additionally shards the
-        input across a process pool
-        (:class:`~repro.engine.parallel.ParallelExecutor`) — ``merge`` picks
-        the training-point merge policy and ``parallel_seed`` fixes the
-        per-shard random streams.
+        Parameters
+        ----------
+        udf:
+            The black-box function to evaluate.
+        arguments:
+            Input attribute names forming the UDF's argument vector.
+        alias:
+            Name of the derived output attribute.
+        batch_size:
+            Streams the input in chunks of that many tuples through the
+            batched execution pipeline; ``None`` keeps the classic
+            one-engine-call-per-tuple path.
+        workers:
+            Additionally shards the input across a process pool
+            (:class:`~repro.engine.parallel.ParallelExecutor`).
+        merge:
+            Training-point merge policy for sharded execution
+            (``"discard" | "union" | "refit-threshold"``).
+        parallel_seed:
+            Fixes the per-shard random streams of sharded execution.
+        async_inflight:
+            Overlaps up to this many refinement-loop UDF calls through the
+            asynchronous pipeline
+            (:class:`~repro.engine.async_exec.AsyncRefinementExecutor`);
+            with ``workers`` it applies inside each shard.  ``1`` is
+            bit-identical to the serial batched path.
+
+        Returns
+        -------
+        Query
+            ``self``, for fluent chaining.
+
+        Raises
+        ------
+        QueryError
+            At plan-build time, for unknown argument attributes, an alias
+            collision, or invalid executor knobs.
         """
 
-        def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
+        def _build(child: Operator, engine: UDFExecutionEngine) -> Operator:
             return ApplyUDF(
                 child, udf, arguments, alias, engine,
                 batch_size=batch_size, workers=workers,
                 merge=merge, parallel_seed=parallel_seed,  # type: ignore[arg-type]
+                async_inflight=async_inflight,
             )
 
-        self._steps.append(build)
+        self._steps.append(_build)
         return self
 
     def where_udf(
@@ -135,27 +167,48 @@ class Query:
         workers: int | None = None,
         merge: str = "union",
         parallel_seed: int | None = None,
+        async_inflight: int | None = None,
     ) -> "Query":
-        """Evaluate a UDF under a range predicate and drop improbable tuples."""
+        """Evaluate a UDF under a range predicate and drop improbable tuples.
+
+        The UDF output distribution is restricted to ``[low, high]``; tuples
+        whose probability mass inside that interval is confidently below
+        ``threshold`` are dropped by the online-filtering machinery.  The
+        executor knobs (``batch_size`` / ``workers`` / ``merge`` /
+        ``parallel_seed`` / ``async_inflight``) behave exactly as on
+        :meth:`apply_udf`.
+
+        Returns
+        -------
+        Query
+            ``self``, for fluent chaining.
+
+        Raises
+        ------
+        QueryError
+            At plan-build time, for unknown argument attributes, an alias
+            collision, or invalid executor knobs.
+        """
         predicate = SelectionPredicate(low=low, high=high, threshold=threshold)
 
-        def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
+        def _build(child: Operator, engine: UDFExecutionEngine) -> Operator:
             return SelectUDF(
                 child, udf, arguments, alias, predicate, engine,
                 batch_size=batch_size, workers=workers,
                 merge=merge, parallel_seed=parallel_seed,  # type: ignore[arg-type]
+                async_inflight=async_inflight,
             )
 
-        self._steps.append(build)
+        self._steps.append(_build)
         return self
 
     def project(self, names: Sequence[str]) -> "Query":
         """Keep only the named attributes in the result."""
 
-        def build(child: Operator, engine: UDFExecutionEngine) -> Operator:
+        def _build(child: Operator, engine: UDFExecutionEngine) -> Operator:
             return Project(child, names)
 
-        self._steps.append(build)
+        self._steps.append(_build)
         return self
 
     # -- execution --------------------------------------------------------------------

@@ -12,6 +12,7 @@ numerical stability (UDFs are deterministic, so this acts as jitter).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -58,6 +59,11 @@ class GPStateSnapshot:
     #: round-tripping through the log-space ``theta`` vector would perturb
     #: them by an ulp and break bitwise restore.
     kernel: Kernel
+    #: The model's :attr:`GaussianProcess.version` at capture time.  Callers
+    #: that absorb observations selected *against* this snapshot can pass it
+    #: as a fence: if the model mutated in between, the absorb is rejected
+    #: instead of silently applying against a different base state.
+    version: int = 0
 
     @property
     def n_training(self) -> int:
@@ -109,13 +115,45 @@ class GaussianProcess:
         self._alpha: Optional[np.ndarray] = None
         self._log_det: Optional[float] = None
         self._adds_since_refresh = 0
+        #: Monotone state-version counter, bumped by every mutation (fit,
+        #: point additions, hyperparameter changes, restore).  Snapshots
+        #: record it so deferred absorbs can *fence* on "unchanged since the
+        #: snapshot" — see :meth:`snapshot` and
+        #: :meth:`repro.core.emulator.GPEmulator.absorb_observations`.
+        self._version = 0
+        #: Serialises mutations: the async refinement pipeline keeps all GP
+        #: updates on the coordinating thread by design, but the lock makes
+        #: an accidental concurrent absorb corrupt nothing.
+        self._update_lock = threading.RLock()
         #: Counts of factorization-grade operations performed over the model's
         #: lifetime: full Cholesky recomputes, O(n^2) rank-1 inverse updates,
         #: and O(n^2 k) blocked inverse updates.  The speculative tuning tests
         #: and benchmarks read these to quantify refinement-loop savings.
         self.op_counts: dict[str, int] = {"cholesky": 0, "rank1_update": 0, "block_update": 0}
 
+    # -- pickling ----------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle support: the update lock is process-local and not picklable."""
+        state = dict(self.__dict__)
+        del state["_update_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Recreate the process-local update lock after unpickling."""
+        self.__dict__.update(state)
+        self._update_lock = threading.RLock()
+
     # -- training-set accessors -------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone counter identifying the current model state.
+
+        Every mutation — :meth:`fit`, :meth:`add_point`, :meth:`add_points`,
+        :meth:`set_hyperparameters`, :meth:`restore` — increments it, so two
+        equal readings bracket a window in which the model was untouched.
+        """
+        return self._version
+
     @property
     def n_training(self) -> int:
         """Number of training points currently in the model."""
@@ -171,9 +209,11 @@ class GaussianProcess:
             )
         if X.shape[0] == 0:
             raise GPError("cannot fit a GP on zero training points")
-        self._X = X.copy()
-        self._y = y.copy()
-        self._recompute()
+        with self._update_lock:
+            self._X = X.copy()
+            self._y = y.copy()
+            self._recompute()
+            self._version += 1
         return self
 
     def add_point(self, x: np.ndarray, y: float) -> None:
@@ -186,28 +226,31 @@ class GaussianProcess:
             raise GPError(
                 f"point has shape {x.shape}, expected ({self._X.shape[1]},)"
             )
-        k_new = self.kernel(self._X, x.reshape(1, -1)).ravel()
-        k_self = float(self.kernel.diag(x.reshape(1, -1))[0]) + self.effective_noise()
-        try:
-            new_inv = block_inverse_update(self._K_inv, k_new, k_self)
-        except GPError:
-            # Degenerate update (duplicate point); fall back to a full refit
-            # which applies escalating jitter.
+        with self._update_lock:
+            k_new = self.kernel(self._X, x.reshape(1, -1)).ravel()
+            k_self = float(self.kernel.diag(x.reshape(1, -1))[0]) + self.effective_noise()
+            try:
+                new_inv = block_inverse_update(self._K_inv, k_new, k_self)
+            except GPError:
+                # Degenerate update (duplicate point); fall back to a full refit
+                # which applies escalating jitter.
+                self._X = np.vstack([self._X, x])
+                self._y = np.append(self._y, y)
+                self._recompute()
+                self._version += 1
+                return
             self._X = np.vstack([self._X, x])
             self._y = np.append(self._y, y)
-            self._recompute()
-            return
-        self._X = np.vstack([self._X, x])
-        self._y = np.append(self._y, y)
-        self._K_inv = symmetrize(new_inv)
-        self.op_counts["rank1_update"] += 1
-        # Keep the existing offset for incremental updates; it is refreshed on
-        # the next full recompute.
-        self._alpha = self._K_inv @ (self._y - self._offset)
-        self._log_det = None  # recomputed lazily when the likelihood is needed
-        self._adds_since_refresh += 1
-        if self._adds_since_refresh >= self.refresh_every:
-            self._recompute()
+            self._K_inv = symmetrize(new_inv)
+            self.op_counts["rank1_update"] += 1
+            # Keep the existing offset for incremental updates; it is refreshed on
+            # the next full recompute.
+            self._alpha = self._K_inv @ (self._y - self._offset)
+            self._log_det = None  # recomputed lazily when the likelihood is needed
+            self._adds_since_refresh += 1
+            if self._adds_since_refresh >= self.refresh_every:
+                self._recompute()
+            self._version += 1
 
     def add_points(self, X_new: np.ndarray, y_new: np.ndarray) -> None:
         """Add ``k`` training points in one blocked ``O(n^2 k)`` update.
@@ -236,30 +279,35 @@ class GaussianProcess:
         if X_new.shape[0] == 1:
             self.add_point(X_new[0], float(y_new[0]))
             return
-        K_cross = self.kernel(self._X, X_new)
-        K_block = self.kernel(X_new, X_new) + self.effective_noise() * np.eye(X_new.shape[0])
-        try:
-            new_inv = block_inverse_update_multi(self._K_inv, K_cross, K_block)
-        except GPError:
+        with self._update_lock:
+            K_cross = self.kernel(self._X, X_new)
+            K_block = self.kernel(X_new, X_new) + self.effective_noise() * np.eye(X_new.shape[0])
+            try:
+                new_inv = block_inverse_update_multi(self._K_inv, K_cross, K_block)
+            except GPError:
+                self._X = np.vstack([self._X, X_new])
+                self._y = np.append(self._y, y_new)
+                self._recompute()
+                self._version += 1
+                return
             self._X = np.vstack([self._X, X_new])
             self._y = np.append(self._y, y_new)
-            self._recompute()
-            return
-        self._X = np.vstack([self._X, X_new])
-        self._y = np.append(self._y, y_new)
-        self._K_inv = symmetrize(new_inv)
-        self.op_counts["block_update"] += 1
-        self._alpha = self._K_inv @ (self._y - self._offset)
-        self._log_det = None
-        self._adds_since_refresh += X_new.shape[0]
-        if self._adds_since_refresh >= self.refresh_every:
-            self._recompute()
+            self._K_inv = symmetrize(new_inv)
+            self.op_counts["block_update"] += 1
+            self._alpha = self._K_inv @ (self._y - self._offset)
+            self._log_det = None
+            self._adds_since_refresh += X_new.shape[0]
+            if self._adds_since_refresh >= self.refresh_every:
+                self._recompute()
+            self._version += 1
 
     def set_hyperparameters(self, theta: np.ndarray) -> None:
         """Set kernel hyperparameters (log space) and refit the matrices."""
-        self.kernel.theta = np.asarray(theta, dtype=float)
-        if self._X is not None:
-            self._recompute()
+        with self._update_lock:
+            self.kernel.theta = np.asarray(theta, dtype=float)
+            if self._X is not None:
+                self._recompute()
+            self._version += 1
 
     # -- state snapshot / rollback -------------------------------------------------
     @property
@@ -289,6 +337,7 @@ class GaussianProcess:
             log_det=self._log_det,
             adds_since_refresh=self._adds_since_refresh,
             kernel=self.kernel.clone(),
+            version=self._version,
         )
 
     def restore(self, state: GPStateSnapshot) -> None:
@@ -303,14 +352,19 @@ class GaussianProcess:
         # with natural-space values from the snapshot's clone, and rebind the
         # snapshot's shared buffers — the restored state is bitwise the state
         # that was captured.
-        self.kernel.__dict__.update(state.kernel.clone().__dict__)
-        self._X = state.X
-        self._y = state.y
-        self._offset = state.offset
-        self._K_inv = state.K_inv
-        self._alpha = state.alpha
-        self._log_det = state.log_det
-        self._adds_since_refresh = state.adds_since_refresh
+        with self._update_lock:
+            self.kernel.__dict__.update(state.kernel.clone().__dict__)
+            self._X = state.X
+            self._y = state.y
+            self._offset = state.offset
+            self._K_inv = state.K_inv
+            self._alpha = state.alpha
+            self._log_det = state.log_det
+            self._adds_since_refresh = state.adds_since_refresh
+            # The version moves *forward*: a rollback is itself a mutation, so
+            # fences captured before the rolled-back step must not silently
+            # match the post-rollback state.
+            self._version += 1
 
     # -- prediction ----------------------------------------------------------------
     def predict(

@@ -13,12 +13,20 @@ instrumentation the algorithms and experiments rely on:
   benchmarks report ``charged_time`` which combines real and simulated cost;
 * **vectorised evaluation** — the underlying implementation may accept a
   batch ``(m, d)`` array; if not, the wrapper falls back to a Python loop,
-  which is exactly how an external black box would behave.
+  which is exactly how an external black box would behave;
+* **concurrent (async-capable) evaluation** — the asynchronous refinement
+  pipeline (:mod:`repro.engine.async_exec`) evaluates several points at once
+  through a thread pool while the caller keeps doing GP work.  Charge
+  accounting is therefore guarded by a lock, the number of *in-flight*
+  evaluations is tracked, and :meth:`UDF.submit_rows` /
+  :meth:`UDF.evaluate_many` expose the concurrent entry points.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import Executor, Future, ThreadPoolExecutor
 from typing import Callable, Optional
 
 import numpy as np
@@ -60,6 +68,24 @@ class UDF:
 
         self._call_count = 0
         self._real_time = 0.0
+        #: Guards the charge counters: worker threads of the async pipeline
+        #: evaluate points concurrently and each completion charges through
+        #: :meth:`_charge`, so the read-modify-write must be atomic.
+        self._charge_lock = threading.Lock()
+        self._inflight = 0
+        self._max_inflight = 0
+
+    # -- pickling ----------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle support: locks are process-local and cannot be pickled."""
+        state = dict(self.__dict__)
+        del state["_charge_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Recreate the process-local charge lock after unpickling."""
+        self.__dict__.update(state)
+        self._charge_lock = threading.Lock()
 
     # -- instrumentation ---------------------------------------------------------
     @property
@@ -77,10 +103,37 @@ class UDF:
         """Wall-clock plus simulated per-call cost (the experiment cost model)."""
         return self._real_time + self._call_count * self.simulated_eval_time
 
+    @property
+    def in_flight(self) -> int:
+        """Evaluations currently submitted but not yet completed."""
+        return self._inflight
+
+    @property
+    def max_in_flight(self) -> int:
+        """High-water mark of concurrently in-flight evaluations."""
+        return self._max_inflight
+
+    def _charge(self, calls: int, seconds: float) -> None:
+        """Atomically credit ``calls`` evaluations costing ``seconds`` wall-clock."""
+        with self._charge_lock:
+            self._call_count += calls
+            self._real_time += seconds
+
+    def _enter_flight(self) -> None:
+        with self._charge_lock:
+            self._inflight += 1
+            self._max_inflight = max(self._max_inflight, self._inflight)
+
+    def _exit_flight(self) -> None:
+        with self._charge_lock:
+            self._inflight -= 1
+
     def reset_counters(self) -> None:
         """Zero the call counter and timing accumulators."""
-        self._call_count = 0
-        self._real_time = 0.0
+        with self._charge_lock:
+            self._call_count = 0
+            self._real_time = 0.0
+            self._max_inflight = self._inflight
 
     def absorb_charges(self, calls: int, real_time: float) -> None:
         """Credit evaluations performed by an external copy of this UDF.
@@ -92,8 +145,7 @@ class UDF:
         """
         if calls < 0 or real_time < 0:
             raise UDFError("absorbed charges must be non-negative")
-        self._call_count += int(calls)
-        self._real_time += float(real_time)
+        self._charge(int(calls), float(real_time))
 
     def with_simulated_eval_time(self, seconds: float) -> "UDF":
         """Copy of this UDF charged at a different simulated per-call cost."""
@@ -123,8 +175,7 @@ class UDF:
                 value = float(self._func(x))
         except Exception as exc:  # noqa: BLE001 - black-box code can raise anything
             raise UDFError(f"{self.name}: evaluation failed at {x!r}: {exc}") from exc
-        self._real_time += time.perf_counter() - start
-        self._call_count += 1
+        self._charge(1, time.perf_counter() - start)
         if not np.isfinite(value):
             raise UDFError(f"{self.name}: evaluation returned non-finite value {value}")
         return value
@@ -147,15 +198,129 @@ class UDF:
                     f"{self.name}: vectorised implementation returned {values.shape[0]} "
                     f"values for {X.shape[0]} inputs"
                 )
-            self._real_time += time.perf_counter() - start
-            self._call_count += X.shape[0]
+            self._charge(X.shape[0], time.perf_counter() - start)
             if not np.all(np.isfinite(values)):
                 raise UDFError(f"{self.name}: batch evaluation returned non-finite values")
             return values
         # Non-vectorised path goes through __call__ so per-call accounting is
         # identical to how an external black box would be charged.
-        self._real_time += time.perf_counter() - start
+        self._charge(0, time.perf_counter() - start)
         return np.array([self(row) for row in X])
+
+    # -- concurrent evaluation ----------------------------------------------------
+    def _evaluate_row_tracked(self, row: np.ndarray) -> float:
+        """One point through :meth:`__call__`, bracketed by in-flight tracking."""
+        try:
+            return self(row)
+        finally:
+            self._exit_flight()
+
+    def submit_rows(self, executor: Executor, X: np.ndarray) -> list[Future]:
+        """Submit one evaluation per row of ``X`` to ``executor``.
+
+        Parameters
+        ----------
+        executor:
+            A :class:`concurrent.futures.Executor` (typically a bounded
+            thread pool) that runs the black-box calls.
+        X:
+            Points to evaluate, shape ``(k, d)``.
+
+        Returns
+        -------
+        list[concurrent.futures.Future]
+            One future per row, **in row order** — completion order is up to
+            the executor, so callers that need determinism must consume
+            results by index, not by completion.  Each future resolves to the
+            scalar UDF value; charge accounting happens on the worker thread
+            at completion (thread-safe), and :attr:`in_flight` counts the
+            submitted-but-not-finished evaluations.
+
+        Raises
+        ------
+        UDFError
+            From the resolved future, when the black box fails or returns a
+            non-finite value (the submission itself never raises it).
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        futures: list[Future] = []
+        for row in X:
+            self._enter_flight()
+            try:
+                futures.append(executor.submit(self._evaluate_row_tracked, row))
+            except BaseException:
+                self._exit_flight()
+                raise
+        return futures
+
+    def evaluate_many(
+        self,
+        X: np.ndarray,
+        executor: Optional[Executor] = None,
+        max_inflight: Optional[int] = None,
+    ) -> np.ndarray:
+        """Evaluate the rows of ``X``, overlapping the black-box calls.
+
+        The async-capable sibling of :meth:`evaluate_batch`: rows are
+        dispatched to a thread pool and evaluated concurrently, which hides
+        per-call latency of genuinely slow black boxes (network services,
+        external simulations, :class:`~repro.udf.synthetic.RealCostFunction`
+        wrappers) without changing the values returned.
+
+        Parameters
+        ----------
+        X:
+            Points to evaluate, shape ``(k, d)``.
+        executor:
+            Executor to run the calls on.  ``None`` creates a temporary
+            thread pool sized ``max_inflight``.
+        max_inflight:
+            Bound on concurrently *submitted* evaluations, honoured whether
+            or not an ``executor`` is supplied (submissions happen in waves
+            of at most this many rows).  ``1`` short-circuits to the serial
+            :meth:`evaluate_batch`, which is bit-identical in values *and*
+            accounting; ``None`` means "no bound beyond the executor's own
+            worker count" (and, with no executor either, is serial too).
+
+        Returns
+        -------
+        numpy.ndarray
+            The UDF values in row order, independent of completion order.
+
+        Raises
+        ------
+        UDFError
+            When any evaluation fails or returns a non-finite value.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[0] == 0:
+            return np.empty(0)
+        if max_inflight is not None and max_inflight <= 1:
+            return self.evaluate_batch(X)
+        if executor is None and max_inflight is None:
+            return self.evaluate_batch(X)
+        if executor is not None:
+            return self._collect_in_waves(executor, X, max_inflight)
+        with ThreadPoolExecutor(max_workers=int(max_inflight)) as pool:
+            return self._collect_in_waves(pool, X, max_inflight)
+
+    def _collect_in_waves(
+        self, executor: Executor, X: np.ndarray, max_inflight: Optional[int]
+    ) -> np.ndarray:
+        """Submit rows in waves of at most ``max_inflight`` and gather values.
+
+        A shared executor may have far more workers than the caller's
+        concurrency bound allows for this UDF (a rate-limited service, say);
+        waiting out each wave before submitting the next keeps the number of
+        simultaneously submitted evaluations at or below the bound.
+        """
+        wave = X.shape[0] if max_inflight is None else int(max_inflight)
+        values = np.empty(X.shape[0])
+        for start in range(0, X.shape[0], wave):
+            futures = self.submit_rows(executor, X[start : start + wave])
+            for offset, future in enumerate(futures):
+                values[start + offset] = future.result()
+        return values
 
     def measure_eval_time(self, n_probes: int = 20, random_state=None) -> float:
         """Estimate the real per-call evaluation time by probing the domain.

@@ -13,6 +13,7 @@ The evaluation-time knob ``T`` of Expt 5 maps to
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -116,22 +117,50 @@ class RealCostFunction:
     occupy real time that worker processes can overlap (an expensive
     simulation, a remote service).  This wrapper sleeps
     ``eval_time * n_rows`` before delegating, so each evaluation costs
-    exactly the declared per-call time without burning CPU.
+    exactly the declared per-call time without burning CPU.  Because the
+    cost is a sleep (not CPU work), thread pools overlap it too — this is
+    the workload the asynchronous refinement pipeline
+    (:mod:`repro.engine.async_exec`) targets.
+
+    ``jitter`` makes the latency *point-dependent*: each call sleeps
+    ``eval_time * (1 + jitter * u(x))`` where ``u(x) in [-1, 1)`` is a
+    deterministic hash of the input bytes.  Concurrent evaluations of
+    different points then genuinely complete out of submission order — the
+    adversarial schedule the async pipeline's determinism contract is tested
+    against — while the latency of a given point stays reproducible.
 
     Defined at module level (not a closure) so UDFs built from it pickle
     cleanly into pool workers.
     """
 
-    def __init__(self, inner, eval_time: float):
+    def __init__(self, inner, eval_time: float, jitter: float = 0.0):
         if eval_time < 0:
             raise UDFError("eval_time must be non-negative")
+        if not 0.0 <= jitter <= 1.0:
+            raise UDFError("jitter must be within [0, 1]")
         self.inner = inner
         self.eval_time = float(eval_time)
+        self.jitter = float(jitter)
+
+    def _latency(self, X: np.ndarray) -> float:
+        """Total sleep for this call: per-row cost, optionally point-hashed."""
+        rows = np.atleast_2d(X)
+        if self.jitter == 0.0:
+            return self.eval_time * rows.shape[0]
+        total = 0.0
+        for row in rows:
+            # Stable 64-bit hash of the raw float bytes -> u in [-1, 1).
+            digest = int.from_bytes(
+                hashlib.blake2b(row.tobytes(), digest_size=8).digest(), "little"
+            )
+            u = digest / 2.0**63 - 1.0
+            total += self.eval_time * (1.0 + self.jitter * u)
+        return total
 
     def __call__(self, X: np.ndarray):
-        rows = 1 if np.asarray(X).ndim == 1 else np.atleast_2d(X).shape[0]
+        X = np.asarray(X)
         if self.eval_time > 0.0:
-            time.sleep(self.eval_time * rows)
+            time.sleep(self._latency(X))
         return self.inner(X)
 
 
@@ -139,6 +168,7 @@ def make_mixture_udf(
     spec: MixtureSpec,
     simulated_eval_time: float = 0.0,
     real_eval_time: float = 0.0,
+    real_eval_jitter: float = 0.0,
     name: Optional[str] = None,
     random_state: RandomState = 0,
 ) -> UDF:
@@ -146,7 +176,9 @@ def make_mixture_udf(
 
     ``simulated_eval_time`` charges the accounting clock only (Expt 5);
     ``real_eval_time`` makes every call *occupy* that much wall-clock via
-    :class:`RealCostFunction` (the parallel-scaling workloads).
+    :class:`RealCostFunction` (the parallel-scaling and async-overlap
+    workloads), and ``real_eval_jitter`` spreads that latency per point so
+    concurrent calls complete out of submission order.
     """
     if spec.dimension <= 0:
         raise UDFError("dimension must be positive")
@@ -167,7 +199,9 @@ def make_mixture_udf(
     amplitudes = spec.amplitude * rng.uniform(0.5, 1.5, size=spec.n_components)
     function = GaussianMixtureFunction(centers, stds, amplitudes, domain=(low, high))
     implementation = (
-        RealCostFunction(function, real_eval_time) if real_eval_time > 0.0 else function
+        RealCostFunction(function, real_eval_time, jitter=real_eval_jitter)
+        if real_eval_time > 0.0
+        else function
     )
     return UDF(
         implementation,
@@ -196,6 +230,7 @@ def reference_function(
     name: str,
     simulated_eval_time: float = 0.0,
     real_eval_time: float = 0.0,
+    real_eval_jitter: float = 0.0,
     random_state: RandomState = 7,
 ) -> UDF:
     """One of the paper's reference functions ``F1``–``F4`` (Fig. 4).
@@ -203,7 +238,8 @@ def reference_function(
     F1: one flat peak (smooth); F2: one narrow peak (spiky); F3: five broad
     peaks (bumpy); F4: five narrow peaks (the hardest case, used as the
     default function in Expts 1–3 and 6).  ``real_eval_time`` makes every
-    call occupy real wall-clock (see :class:`RealCostFunction`).
+    call occupy real wall-clock and ``real_eval_jitter`` varies that latency
+    per point (see :class:`RealCostFunction`).
     """
     key = name.upper()
     if key not in _F_SPECS:
@@ -212,6 +248,7 @@ def reference_function(
         _F_SPECS[key],
         simulated_eval_time=simulated_eval_time,
         real_eval_time=real_eval_time,
+        real_eval_jitter=real_eval_jitter,
         name=key,
         random_state=random_state,
     )

@@ -13,6 +13,7 @@ from repro.bench.experiments_astro import (
 from repro.bench.experiments_async import async_report, udf_overlap
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
 from repro.bench.experiments_parallel import parallel_report, parallel_scaling
+from repro.bench.experiments_pipeline import pipeline_report, udf_pipeline
 from repro.bench.experiments_profiles import (
     all_profiles,
     profile1_function_fitting,
@@ -41,6 +42,8 @@ __all__ = [
     "parallel_report",
     "udf_overlap",
     "async_report",
+    "udf_pipeline",
+    "pipeline_report",
     "profile1_function_fitting",
     "profile2_error_bound",
     "profile3_error_allocation",

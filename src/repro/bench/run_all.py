@@ -7,7 +7,8 @@ Usage::
     python -m repro.bench.run_all --only expt5_eval_time astro_gp_vs_mc
     python -m repro.bench.run_all --output results.txt
     python -m repro.bench.run_all --smoke      # CI smoke: batched + parallel +
-                                               # async wall-clock -> BENCH_smoke.json
+                                               # async + pipeline wall-clock
+                                               # -> BENCH_smoke.json
 
 Each experiment prints an :class:`~repro.bench.harness.ExperimentTable`; the
 ``--output`` option additionally writes the combined report to a file so it
@@ -54,6 +55,7 @@ from repro.bench import (
 from repro.bench.experiments_async import async_report, udf_overlap
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
 from repro.bench.experiments_parallel import parallel_report, parallel_scaling
+from repro.bench.experiments_pipeline import pipeline_report, udf_pipeline
 from repro.bench.harness import ExperimentTable
 
 #: Scaled-down parameter overrides, mirroring the pytest-benchmark wrappers.
@@ -89,6 +91,8 @@ _SCALED_OVERRIDES: dict[str, dict] = {
                          "strategies": ("gp",)},
     "udf_overlap": {"inflight_list": (1, 4), "n_tuples": 4, "batch_size": 4,
                     "real_eval_time": 5e-3, "n_samples": 120},
+    "udf_pipeline": {"lookahead_list": (1, 4), "inflight": 2, "n_tuples": 8,
+                     "batch_size": 8, "real_eval_time": 1e-2, "n_samples": 120},
 }
 
 #: Parameters of the CI smoke invocation (`--smoke`): large enough that the
@@ -118,6 +122,19 @@ _SMOKE_PARALLEL_KWARGS = (
 _SMOKE_ASYNC_KWARGS = {"inflight_list": (1, 8), "n_tuples": 8, "batch_size": 8,
                        "real_eval_time": 2e-2, "epsilon": 0.12, "n_samples": 120}
 
+#: Parameters of the smoke udf_pipeline run: the same 20 ms/call real-cost
+#: regime as the async smoke, at a *small* refinement window — the
+#: call-frugal configuration where the within-tuple overlap is most
+#: latency-bound (a window of 2 serialises a round per two evaluations) and
+#: the cross-tuple scheduler therefore has the most serial gap to hide
+#: (target ≥1.5x at lookahead=4, with margin).  ``lookahead_list`` includes
+#: 1 because that row doubles as the bit-identity check against the serial
+#: batched path; the deeper rows are additionally checked for bit-identity
+#: against the async trajectory.
+_SMOKE_PIPELINE_KWARGS = {"lookahead_list": (1, 4), "inflight": 2, "n_tuples": 16,
+                          "batch_size": 16, "real_eval_time": 2e-2, "epsilon": 0.15,
+                          "n_samples": 120, "trials": 2}
+
 #: Relative drop of the gp batched speedup that fails the CI gate.
 DEFAULT_MAX_REGRESSION = 0.25
 
@@ -139,6 +156,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "batch_pipeline": batch_pipeline_speedup,
     "parallel_scaling": parallel_scaling,
     "udf_overlap": udf_overlap,
+    "udf_pipeline": udf_pipeline,
 }
 
 
@@ -151,6 +169,12 @@ def check_regression(
     wall-clock-derived but hardware-normalised ratio (both runs execute on
     the same machine), so the gate transfers between the committed-baseline
     machine and CI runners.  Returns the gate verdict as a JSON-ready dict.
+
+    A gated metric that cannot be found — in the fresh report *or* in the
+    committed baseline — is reported with ``"missing": True`` (plus the
+    legacy ``"skipped"`` reason).  Callers must treat that as a failure
+    unless explicitly told otherwise: a renamed or dropped metric would
+    otherwise disarm the gate forever while every run keeps reporting OK.
     """
     current = report.get("batch_pipeline", {}).get("speedup", {}).get("gp")
     reference = baseline.get("batch_pipeline", {}).get("speedup", {}).get("gp")
@@ -163,6 +187,7 @@ def check_regression(
         "overridden": False,
     }
     if current is None or reference is None or reference <= 0:
+        verdict["missing"] = True
         verdict["skipped"] = "metric missing from report or baseline"
         return verdict
     verdict["relative_change"] = (current - reference) / reference
@@ -173,8 +198,20 @@ def check_regression(
     return verdict
 
 
-def run_smoke(output_path: str, baseline_path: str, max_regression: float) -> int:
-    """Run the CI smoke benchmarks, write the JSON artifact, apply the gate."""
+def run_smoke(
+    output_path: str,
+    baseline_path: str,
+    max_regression: float,
+    allow_missing_baseline: bool = False,
+) -> int:
+    """Run the CI smoke benchmarks, write the JSON artifact, apply the gate.
+
+    ``allow_missing_baseline`` downgrades a *missing gated metric* (absent
+    from the fresh report or from the committed baseline artifact — e.g.
+    mid-migration of the artifact schema) from a failure to a loud warning.
+    Without it a missing metric fails the run: a silently disarmed gate
+    reports OK forever.
+    """
     parent = os.path.dirname(os.path.abspath(output_path))
     if not os.path.isdir(parent):
         print(f"error: cannot write {output_path}: directory {parent} does not exist",
@@ -219,15 +256,44 @@ def run_smoke(output_path: str, baseline_path: str, max_regression: float) -> in
               f"{headline['speedup']:.2f}x")
     print(f"async_inflight=1 bit-identical to serial batched: "
           f"{overlap['identical_at_1']}")
-    report = {"batch_pipeline": batch, "parallel_scaling": parallel,
-              "udf_overlap": overlap}
 
+    started = time.perf_counter()
+    pipeline_table = udf_pipeline(**_SMOKE_PIPELINE_KWARGS)
+    pipeline_elapsed = time.perf_counter() - started
+    pipeline = pipeline_report(pipeline_table)
+    print()
+    print(pipeline_table.to_text())
+    print(f"(ran udf_pipeline smoke in {pipeline_elapsed:.1f} s)")
+    if pipeline["speedup_at_4"] is not None:
+        headline = pipeline["speedup_at_4"]
+        print(f"pipeline speedup at lookahead={headline['lookahead']}: "
+              f"{headline['speedup']:.2f}x")
+    print(f"pipeline_lookahead=1 bit-identical to serial batched: "
+          f"{pipeline['identical_at_1']}")
+    print(f"pipeline_lookahead>1 bit-identical to async trajectory: "
+          f"{pipeline['identical_above_1']}")
+    report = {"batch_pipeline": batch, "parallel_scaling": parallel,
+              "udf_overlap": overlap, "udf_pipeline": pipeline}
+
+    identity_failures = []
     if overlap["identical_at_1"] is not True:
-        # Determinism half of the async acceptance contract: inflight=1 must
-        # be the serial batched path, bit for bit.  This is a correctness
-        # property, not a perf ratio, so it is not label-overridable.
-        print("ASYNC IDENTITY CHECK FAILED: async_inflight=1 diverged from the "
-              "serial batched path", file=sys.stderr)
+        identity_failures.append(
+            "async_inflight=1 diverged from the serial batched path"
+        )
+    if pipeline["identical_at_1"] is not True:
+        identity_failures.append(
+            "pipeline_lookahead=1 diverged from the serial batched path"
+        )
+    if pipeline["identical_above_1"] is not True:
+        identity_failures.append(
+            "pipeline_lookahead>1 diverged from the async trajectory"
+        )
+    if identity_failures:
+        # Determinism half of the async/pipeline acceptance contracts.
+        # These are correctness properties, not perf ratios, so they are
+        # not label-overridable.
+        for failure in identity_failures:
+            print(f"IDENTITY CHECK FAILED: {failure}", file=sys.stderr)
         with open(output_path, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2)
         print(f"wrote {output_path}")
@@ -252,12 +318,21 @@ def run_smoke(output_path: str, baseline_path: str, max_regression: float) -> in
                 print("(apply the perf-regression-ok PR label to override, and refresh "
                       "BENCH_baseline.json)", file=sys.stderr)
                 exit_code = 1
-        elif "skipped" in verdict:
-            # A silently disabled gate would report OK forever; make the
-            # schema mismatch loud (but non-fatal, so baseline-format
-            # migrations stay landable).
-            print(f"PERF GATE SKIPPED: {verdict['skipped']} — the gp speedup was NOT "
-                  f"checked against {baseline_path}", file=sys.stderr)
+        elif verdict.get("missing"):
+            # A silently disabled gate would report OK forever: a renamed
+            # metric must fail the run, not skip it.  Baseline-format
+            # migrations pass --allow-missing-baseline explicitly (and
+            # refresh the committed artifact in the same change).
+            if allow_missing_baseline:
+                print(f"PERF GATE SKIPPED (allowed): {verdict['skipped']} — the gp "
+                      f"speedup was NOT checked against {baseline_path}",
+                      file=sys.stderr)
+            else:
+                print(f"PERF GATE FAILED: {verdict['skipped']} — the gated metric "
+                      f"could not be compared against {baseline_path}; pass "
+                      "--allow-missing-baseline if this is an intentional "
+                      "artifact-schema migration", file=sys.stderr)
+                exit_code = 1
         else:
             print(f"perf gate OK vs {baseline_path}")
     else:
@@ -304,10 +379,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
                         help="relative gp-speedup drop that fails the perf gate "
                              "(default 0.25 = 25%%)")
+    parser.add_argument("--allow-missing-baseline", action="store_true",
+                        help="do not fail the smoke run when the gated metric is "
+                             "missing from the report or baseline (artifact-schema "
+                             "migrations only; refresh the baseline in the same "
+                             "change)")
     args = parser.parse_args(argv)
 
     if args.smoke:
-        return run_smoke(args.smoke_output, args.baseline, args.max_regression)
+        return run_smoke(args.smoke_output, args.baseline, args.max_regression,
+                         allow_missing_baseline=args.allow_missing_baseline)
 
     names = args.only if args.only else list(EXPERIMENTS)
     results = run(names, full_scale=args.full)

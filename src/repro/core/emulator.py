@@ -177,6 +177,8 @@ class GPEmulator:
         domain: Optional[tuple[np.ndarray, np.ndarray]] = None,
         random_state: RandomState = None,
         optimize_hyperparameters: bool = True,
+        evaluation_executor=None,
+        max_inflight: Optional[int] = None,
     ) -> None:
         """Collect an initial training design and learn hyperparameters.
 
@@ -184,12 +186,24 @@ class GPEmulator:
         ``"random"`` (uniform), ``"grid"`` (regular lattice, rounded up to a
         full grid), or ``"halton"`` (low-discrepancy; better space filling
         for the same budget).
+
+        ``evaluation_executor`` / ``max_inflight`` overlap the design's UDF
+        evaluations on a thread pool (:meth:`~repro.udf.base.UDF
+        .evaluate_many`): with a genuinely slow black box the initial design
+        otherwise costs ``n_points`` serial latencies before the first tuple
+        can start.  The observed values — and the model trained on them —
+        are identical either way; only wall-clock changes.
         """
         if n_points <= 0:
             raise GPError("n_points must be positive")
         low, high = self._resolve_domain(domain)
         points = _design_points(n_points, low, high, design, random_state)
-        values = self.udf.evaluate_batch(points)
+        if evaluation_executor is not None or (max_inflight or 0) > 1:
+            values = self.udf.evaluate_many(
+                points, executor=evaluation_executor, max_inflight=max_inflight
+            )
+        else:
+            values = self.udf.evaluate_batch(points)
         self.gp.fit(points, values)
         for row_index, row in enumerate(points):
             self.index.insert(row, row_index)

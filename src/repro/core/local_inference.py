@@ -433,6 +433,21 @@ class BatchKernelCache:
         self._row_n_train = self._n_train
         return self._row_block
 
+    def invalidate_rows(self) -> None:
+        """Drop the one-slot cross-covariance row memo.
+
+        The pipeline scheduler calls this before a commit-time re-inference:
+        a speculative stage may have left a *partially grown* row block for
+        the same tuple behind, and appending the missing columns instead of
+        rebuilding could differ from a fresh evaluation in the last ulp —
+        enough to diverge from the serial batched trajectory on a knife
+        edge.  Invalidation forces the next :meth:`rows` call to rebuild the
+        block exactly as the serial path would.
+        """
+        self._row_block = None
+        self._row_index = None
+        self._row_n_train = 0
+
     def local_inverse(self, gp: GaussianProcess, selected: np.ndarray) -> np.ndarray:
         """Inverse of the noise-augmented local covariance for a subset."""
         key = selected.tobytes()

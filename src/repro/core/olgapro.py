@@ -113,6 +113,29 @@ class FilteredOnlineResult:
         return self.result is None
 
 
+@dataclass
+class ChunkPrologue:
+    """Shared up-front state of one batched (or pipelined) chunk.
+
+    Produced by :meth:`OLGAPRO.begin_chunk`: the initialisation charges for
+    the first tuple, the ordered per-tuple Monte-Carlo draws with their
+    individual durations, and the chunk-wide kernel cache with its per-tuple
+    construction share.  Keeping the construction in one place is what keeps
+    the batched pipeline and the cross-tuple scheduler charging (and
+    sampling!) identically.
+    """
+
+    init_calls: int
+    init_charged: float
+    init_elapsed: float
+    n_samples: int
+    sample_sets: list
+    sample_seconds: list
+    boxes: list
+    cache: "BatchKernelCache"
+    cache_share: float
+
+
 def select_top_k_distinct(samples: np.ndarray, stds: np.ndarray, k: int) -> list[int]:
     """Indices of the ``k`` highest-variance *distinct* sample rows.
 
@@ -205,6 +228,16 @@ class OLGAPRO:
         #: thread pools.  Drivers are installed per-computation (and removed
         #: afterwards), so a pickled OLGAPRO never carries one.
         self.evaluation_driver = None
+        #: Injectable source of already-paid-for UDF values, consulted by
+        #: :meth:`_absorb_candidate` before spending a fresh evaluation.  The
+        #: cross-tuple pipeline scheduler
+        #: (:class:`~repro.engine.pipeline.PipelinedExecutor`) installs one so
+        #: refinement candidates whose evaluations were speculatively
+        #: submitted while *earlier* tuples were still refining are reused
+        #: instead of re-evaluated.  ``None`` (the default) keeps every
+        #: candidate a direct UDF call.  Like the driver, the hook is
+        #: installed per computation, so a pickled OLGAPRO never carries one.
+        self.value_source = None
         self._rng = as_generator(random_state)
         self._tuples_processed = 0
         #: Factorization-grade GP operations (Cholesky / rank-1 / blocked
@@ -212,6 +245,15 @@ class OLGAPRO:
         #: tuples — excludes initial training and hyperparameter retraining,
         #: so serial and speculative tuning are directly comparable.
         self.refinement_factorizations = 0
+        #: UDF evaluations *consumed* by the refinement loops across all
+        #: tuples (window submissions, speculative blocks — rolled back or
+        #: not — and single-point absorptions; reused prefetched values
+        #: count too, since the committed trajectory asked for them).  The
+        #: pipeline scheduler reads per-tuple deltas of this counter for
+        #: call attribution: unlike raw UDF call-count deltas it is updated
+        #: only on the coordinating thread, so concurrent speculative
+        #: completions for *other* tuples cannot pollute it.
+        self.refinement_evaluations = 0
 
         if self.initial_training_points < 2:
             raise GPError("initial_training_points must be at least 2")
@@ -238,22 +280,40 @@ class OLGAPRO:
 
     def output_range(self) -> float:
         """Current estimate of the UDF output range (from the training data)."""
-        if self.emulator.n_training == 0:
+        return self.output_range_of(self.emulator.gp)
+
+    def output_range_of(self, gp) -> float:
+        """Output-range estimate read from an explicit GP state.
+
+        The pipeline scheduler's speculative stages evaluate bounds against a
+        snapshot-restored *view* of the model rather than the live emulator;
+        parameterising the model-derived quantities on the GP keeps those
+        computations bitwise identical to the live ones at the same state.
+        """
+        if gp.n_training == 0:
             return 1.0
-        y = self.emulator.gp.y_train
+        y = gp.y_train
         return max(float(np.max(y) - np.min(y)), 1e-12)
 
     def lambda_value(self) -> float:
         """Minimum interval length λ in output units."""
+        return self.lambda_value_for(self.emulator.gp)
+
+    def lambda_value_for(self, gp) -> float:
+        """λ derived from an explicit GP state (see :meth:`output_range_of`)."""
         if self._lambda_value is not None:
             return self._lambda_value
-        return self.lambda_fraction * self.output_range()
+        return self.lambda_fraction * self.output_range_of(gp)
 
     def gamma_threshold(self) -> float:
         """Local-inference threshold Γ in output units."""
+        return self.gamma_threshold_for(self.emulator.gp)
+
+    def gamma_threshold_for(self, gp) -> float:
+        """Γ derived from an explicit GP state (see :meth:`output_range_of`)."""
         if self._gamma is not None:
             return self._gamma
-        return max(self.gamma_fraction * self.output_range(), 1e-12)
+        return max(self.gamma_fraction * self.output_range_of(gp), 1e-12)
 
     def mc_samples(self) -> int:
         """Per-tuple Monte-Carlo sample count actually used."""
@@ -294,18 +354,11 @@ class OLGAPRO:
 
         elapsed = time.perf_counter() - started
         self._tuples_processed += 1
-        return OnlineTupleResult(
-            distribution=envelope.y_hat,
-            envelope=envelope,
-            error_bound=combine_bounds(
-                epsilon_gp=gp_bound,
-                epsilon_mc=self.budget.epsilon_mc,
-                delta_gp=self.budget.delta_gp,
-                delta_mc=self.budget.delta_mc,
-            ),
+        return self._tuple_result(
+            envelope,
+            gp_bound,
             converged=converged,
             points_added=points_added,
-            n_training=self.emulator.n_training,
             n_samples=m,
             udf_calls=self.udf.call_count - calls_before,
             charged_time=self.udf.charged_time - charged_before + elapsed,
@@ -343,33 +396,16 @@ class OLGAPRO:
             return []
         rng = as_generator(random_state) if random_state is not None else self._rng
 
-        # Initialisation cost is charged to the first tuple, exactly as the
-        # per-tuple path would (it initialises inside the first process()).
-        init_calls_before = self.udf.call_count
-        init_charged_before = self.udf.charged_time
-        init_started = time.perf_counter()
-        self._ensure_initialized(distributions[0], rng)
-        init_calls = self.udf.call_count - init_calls_before
-        init_charged = self.udf.charged_time - init_charged_before
-        init_elapsed = time.perf_counter() - init_started
-        m = self.mc_samples()
-        # Per-tuple sampling durations are kept so each tuple's elapsed /
-        # charged time covers its own draw, as the per-tuple path's does.
-        sample_sets = []
-        sample_seconds = []
-        for dist in distributions:
-            draw_started = time.perf_counter()
-            sample_sets.append(dist.sample(m, random_state=rng))
-            sample_seconds.append(time.perf_counter() - draw_started)
-        boxes = [BoundingBox.from_points(samples) for samples in sample_sets]
-        if timings is not None:
-            timings.add("sampling", float(sum(sample_seconds)))
-
-        phase_started = time.perf_counter()
-        cache = BatchKernelCache(self.emulator.gp, sample_sets, boxes)
-        cache_share = (time.perf_counter() - phase_started) / len(sample_sets)
-        if timings is not None:
-            timings.add("inference", cache_share * len(sample_sets))
+        prologue = self.begin_chunk(distributions, rng, timings=timings)
+        init_calls = prologue.init_calls
+        init_charged = prologue.init_charged
+        init_elapsed = prologue.init_elapsed
+        m = prologue.n_samples
+        sample_sets = prologue.sample_sets
+        sample_seconds = prologue.sample_seconds
+        boxes = prologue.boxes
+        cache = prologue.cache
+        cache_share = prologue.cache_share
 
         results: list[OnlineTupleResult] = []
         for i, samples in enumerate(sample_sets):
@@ -402,18 +438,11 @@ class OLGAPRO:
                 elapsed += init_elapsed
             self._tuples_processed += 1
             results.append(
-                OnlineTupleResult(
-                    distribution=envelope.y_hat,
-                    envelope=envelope,
-                    error_bound=combine_bounds(
-                        epsilon_gp=bound,
-                        epsilon_mc=self.budget.epsilon_mc,
-                        delta_gp=self.budget.delta_gp,
-                        delta_mc=self.budget.delta_mc,
-                    ),
+                self._tuple_result(
+                    envelope,
+                    bound,
                     converged=converged,
                     points_added=points_added,
-                    n_training=self.emulator.n_training,
                     n_samples=m,
                     udf_calls=self.udf.call_count - calls_before + (init_calls if i == 0 else 0),
                     charged_time=self.udf.charged_time - charged_before + elapsed
@@ -423,6 +452,64 @@ class OLGAPRO:
                 )
             )
         return results
+
+    def begin_chunk(
+        self,
+        distributions,
+        rng: np.random.Generator,
+        timings=None,
+        evaluation_executor=None,
+        max_inflight=None,
+    ) -> ChunkPrologue:
+        """Run one chunk's shared prologue: initialise, sample, build the cache.
+
+        Initialisation cost is charged to the first tuple, exactly as the
+        per-tuple path would (it initialises inside the first ``process()``),
+        and per-tuple sampling durations are kept so each tuple's elapsed /
+        charged time covers its own draw.  Monte-Carlo draws happen strictly
+        in tuple order — sampling is the shared random stream's only
+        consumer, which is what makes every batch-level executor consume it
+        identically.  ``evaluation_executor`` / ``max_inflight`` forward to
+        :meth:`_ensure_initialized` so a concurrency-aware caller can
+        overlap the initial design's UDF calls.
+        """
+        init_calls_before = self.udf.call_count
+        init_charged_before = self.udf.charged_time
+        init_started = time.perf_counter()
+        self._ensure_initialized(
+            distributions[0], rng,
+            evaluation_executor=evaluation_executor, max_inflight=max_inflight,
+        )
+        init_calls = self.udf.call_count - init_calls_before
+        init_charged = self.udf.charged_time - init_charged_before
+        init_elapsed = time.perf_counter() - init_started
+        m = self.mc_samples()
+        sample_sets = []
+        sample_seconds = []
+        for dist in distributions:
+            draw_started = time.perf_counter()
+            sample_sets.append(dist.sample(m, random_state=rng))
+            sample_seconds.append(time.perf_counter() - draw_started)
+        boxes = [BoundingBox.from_points(samples) for samples in sample_sets]
+        if timings is not None:
+            timings.add("sampling", float(sum(sample_seconds)))
+
+        phase_started = time.perf_counter()
+        cache = BatchKernelCache(self.emulator.gp, sample_sets, boxes)
+        cache_share = (time.perf_counter() - phase_started) / len(sample_sets)
+        if timings is not None:
+            timings.add("inference", cache_share * len(sample_sets))
+        return ChunkPrologue(
+            init_calls=init_calls,
+            init_charged=init_charged,
+            init_elapsed=init_elapsed,
+            n_samples=m,
+            sample_sets=sample_sets,
+            sample_seconds=sample_seconds,
+            boxes=boxes,
+            cache=cache,
+            cache_share=cache_share,
+        )
 
     def process_with_filter(
         self,
@@ -490,8 +577,19 @@ class OLGAPRO:
         )
 
     # -- internals ------------------------------------------------------------------------
-    def _ensure_initialized(self, input_distribution: Distribution, rng: np.random.Generator) -> None:
-        """Seed the model with a few training points around the first input."""
+    def _ensure_initialized(
+        self,
+        input_distribution: Distribution,
+        rng: np.random.Generator,
+        evaluation_executor=None,
+        max_inflight=None,
+    ) -> None:
+        """Seed the model with a few training points around the first input.
+
+        ``evaluation_executor`` / ``max_inflight`` let a concurrency-aware
+        caller (the async and pipeline executors) overlap the initial
+        design's UDF calls; the trained model is identical either way.
+        """
         if self.emulator.n_training > 0:
             return
         if self.udf.domain is not None:
@@ -504,6 +602,8 @@ class OLGAPRO:
             domain=domain,
             random_state=rng,
             optimize_hyperparameters=True,
+            evaluation_executor=evaluation_executor,
+            max_inflight=max_inflight,
         )
 
     def _infer(self, samples: np.ndarray, box: BoundingBox):
@@ -525,14 +625,25 @@ class OLGAPRO:
 
         def infer(samples: np.ndarray, box: BoundingBox):
             del samples, box  # identified by the tuple's slot in the cache
-            if self.use_local_inference and self.emulator.n_training > 3:
-                engine = LocalInferenceEngine(
-                    gamma_threshold=self.gamma_threshold(), subdivisions=self.subdivisions
-                )
-                return engine.predict_cached(self.emulator.gp, cache, i)
-            return global_inference_cached(self.emulator.gp, cache, i)
+            return self.cached_inference_with(self.emulator.gp, cache, i)
 
         return infer
+
+    def cached_inference_with(self, gp, cache: BatchKernelCache, i: int):
+        """Cached inference for tuple ``i`` against an explicit GP state.
+
+        The live path (:meth:`_make_cached_infer`) passes the emulator's own
+        model; the pipeline scheduler's speculative stages pass a
+        snapshot-restored view, so the computation — including the local-
+        versus-global strategy branch — is bitwise the one the live path
+        would perform at the same model state.
+        """
+        if self.use_local_inference and gp.n_training > 3:
+            engine = LocalInferenceEngine(
+                gamma_threshold=self.gamma_threshold_for(gp), subdivisions=self.subdivisions
+            )
+            return engine.predict_cached(gp, cache, i)
+        return global_inference_cached(gp, cache, i)
 
     def _infer_and_bound(
         self, samples: np.ndarray, box: BoundingBox, infer=None
@@ -544,8 +655,21 @@ class OLGAPRO:
         self, inference, box: BoundingBox, n_points: int
     ) -> tuple[EnvelopeOutputs, float]:
         """Envelope and GP error bound for one tuple's inference results."""
+        return self.bound_with(self.emulator.gp, inference, box, n_points)
+
+    def bound_with(
+        self, gp, inference, box: BoundingBox, n_points: int
+    ) -> tuple[EnvelopeOutputs, float]:
+        """Envelope and bound derived from an explicit GP state.
+
+        Parameterised twin of :meth:`_bound_from_inference` (the live path
+        delegates here): the band uses the given model's kernel
+        hyperparameters and λ derives from that model's output range, so a
+        speculative stage working on a snapshot view reproduces the live
+        computation bitwise when the model has not moved.
+        """
         band = band_z_value(
-            self.emulator.gp.kernel,
+            gp.kernel,
             box,
             alpha=self.band_alpha,
             method=self.band_method,
@@ -555,7 +679,7 @@ class OLGAPRO:
         if self.requirement.metric == "ks":
             bound = gp_ks_bound(envelope)
         else:
-            bound = gp_discrepancy_bound(envelope, self.lambda_value())
+            bound = gp_discrepancy_bound(envelope, self.lambda_value_for(gp))
         return envelope, bound
 
     def _tune_until_bounded(
@@ -621,7 +745,7 @@ class OLGAPRO:
                 random_state=rng,
                 error_evaluator=self._make_error_evaluator(samples, box),
             )
-            self.emulator.add_training_point(samples[index])
+            self._absorb_candidate(samples[index])
             points_added += 1
             envelope, bound = self._infer_and_bound(samples, box)
         return envelope, bound, points_added, True
@@ -673,13 +797,15 @@ class OLGAPRO:
             order = select_top_k_distinct(samples, inference.stds, k)
             k = len(order)
             if k == 1:
-                self.emulator.add_training_point(samples[order[0]])
+                self._absorb_candidate(samples[order[0]])
                 points_added += 1
                 inference, envelope, bound = self._recheck(samples, box)
                 continue
             state = self.emulator.snapshot()
             bound_before = bound
-            y_new = self.emulator.add_training_points(samples[order])
+            self.refinement_evaluations += k
+            y_new = self._observe_candidates(samples[order])
+            self.emulator.absorb_observations(samples[order], y_new)
             inference, envelope, bound = self._recheck(samples, box)
             if bound <= bound_before:
                 points_added += k
@@ -689,7 +815,89 @@ class OLGAPRO:
             inference, envelope, bound = self._recheck(samples, box)
         return envelope, bound, points_added, True
 
+    def _tuple_result(
+        self,
+        envelope: EnvelopeOutputs,
+        bound: float,
+        *,
+        converged: bool,
+        points_added: int,
+        n_samples: int,
+        udf_calls: int,
+        charged_time: float,
+        elapsed_time: float,
+        retrained: bool,
+    ) -> OnlineTupleResult:
+        """Assemble one tuple's result record.
+
+        Shared by :meth:`process`, :meth:`process_batch` and the pipeline
+        scheduler (:mod:`repro.engine.pipeline`), so the mapping from a
+        finished refinement to :class:`OnlineTupleResult` — including the
+        Theorem 4.1 bound combination — lives in one place.
+        """
+        return OnlineTupleResult(
+            distribution=envelope.y_hat,
+            envelope=envelope,
+            error_bound=combine_bounds(
+                epsilon_gp=bound,
+                epsilon_mc=self.budget.epsilon_mc,
+                delta_gp=self.budget.delta_gp,
+                delta_mc=self.budget.delta_mc,
+            ),
+            converged=converged,
+            points_added=points_added,
+            n_training=self.emulator.n_training,
+            n_samples=n_samples,
+            udf_calls=udf_calls,
+            charged_time=charged_time,
+            elapsed_time=elapsed_time,
+            retrained=retrained,
+        )
+
     # -- refinement-loop steps shared with the async evaluation driver ---------------
+    def _absorb_candidate(self, x: np.ndarray) -> float:
+        """Evaluate-or-reuse one refinement candidate and absorb it.
+
+        When a :attr:`value_source` is installed and knows the point, the
+        already-paid-for observation is absorbed without a fresh UDF call —
+        the GP mutation (:meth:`~repro.core.emulator.GPEmulator
+        .absorb_observations` of a single row) is the same rank-1 update
+        :meth:`~repro.core.emulator.GPEmulator.add_training_point` performs,
+        so reuse versus re-evaluation is invisible to the refinement
+        trajectory (the UDF is deterministic).  Returns the observed value.
+        """
+        self.refinement_evaluations += 1
+        if self.value_source is not None:
+            y = self.value_source(x)
+            if y is not None:
+                self.emulator.absorb_observations(x.reshape(1, -1), np.array([y]))
+                return float(y)
+        return self.emulator.add_training_point(x)
+
+    def _observe_candidates(self, X: np.ndarray) -> np.ndarray:
+        """UDF values for a block of candidates, reusing prefetched ones.
+
+        The speculative block loop's counterpart of
+        :meth:`_absorb_candidate`: each row already known to the installed
+        :attr:`value_source` costs nothing (the pipeline scheduler's walks
+        prefetched it), and only the misses pay for fresh evaluations.  The
+        observed values — and therefore the refinement trajectory — are
+        identical either way, because the UDF is deterministic.
+        """
+        if self.value_source is None:
+            return self.udf.evaluate_batch(X)
+        y = np.empty(X.shape[0])
+        missing: list[int] = []
+        for i, row in enumerate(X):
+            value = self.value_source(row)
+            if value is None:
+                missing.append(i)
+            else:
+                y[i] = float(value)
+        if missing:
+            y[missing] = self.udf.evaluate_batch(X[missing])
+        return y
+
     def _refinement_capacity(self, points_added: int) -> int:
         """Training points the refinement loop may still add for this tuple."""
         return min(

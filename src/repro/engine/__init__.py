@@ -18,6 +18,12 @@ from repro.engine.parallel import (
     MergePolicy,
     ParallelExecutor,
 )
+from repro.engine.pipeline import (
+    DEFAULT_PIPELINE_LOOKAHEAD,
+    PipelineEvaluationDriver,
+    PipelinedExecutor,
+    SpeculativeValuePool,
+)
 from repro.engine.operators import (
     ApplyUDF,
     CrossJoin,
@@ -54,6 +60,10 @@ __all__ = [
     "MergePolicy",
     "MERGE_POLICIES",
     "DEFAULT_REFIT_THRESHOLD",
+    "PipelinedExecutor",
+    "PipelineEvaluationDriver",
+    "SpeculativeValuePool",
+    "DEFAULT_PIPELINE_LOOKAHEAD",
     "Operator",
     "Scan",
     "Project",

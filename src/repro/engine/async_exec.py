@@ -179,12 +179,13 @@ class AsyncEvaluationDriver:
             order = select_top_k_distinct(samples, inference.stds, window)
             window = len(order)
             if window == 1:
-                olgapro.emulator.add_training_point(samples[order[0]])
+                olgapro._absorb_candidate(samples[order[0]])
                 points_added += 1
                 inference, envelope, bound = olgapro._recheck(samples, box)
                 continue
 
-            futures = olgapro.udf.submit_rows(self.executor, samples[order])
+            futures = self._submit_window(olgapro, samples[order])
+            olgapro.refinement_evaluations += window
             try:
                 y = np.empty(window)
                 for start, stop in chunk_schedule(window):
@@ -226,6 +227,17 @@ class AsyncEvaluationDriver:
                 for future in futures:
                     _settle(future)
         return envelope, bound, points_added, True
+
+    def _submit_window(self, olgapro: OLGAPRO, X: np.ndarray) -> list[Future]:
+        """Dispatch one refinement window's evaluations, one future per row.
+
+        Overridable seam: the base driver submits every row to the thread
+        pool; the cross-tuple pipeline driver
+        (:class:`~repro.engine.pipeline.PipelineEvaluationDriver`) first
+        consults its speculative value pool so evaluations prefetched while
+        earlier tuples refined are reused instead of re-paid.
+        """
+        return olgapro.udf.submit_rows(self.executor, X)
 
 
 def _settle(future: Future) -> None:

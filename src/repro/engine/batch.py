@@ -45,6 +45,24 @@ DEFAULT_BATCH_SIZE = 32
 T = TypeVar("T")
 
 
+def online_result_to_output(result) -> ComputedOutput:
+    """Convert one OLGAPRO tuple result into the engine's output record.
+
+    Shared by every batch-level executor that drives OLGAPRO directly (the
+    batched pipeline here, the cross-tuple pipeline scheduler in
+    :mod:`repro.engine.pipeline`), so the mapping from refinement results to
+    :class:`~repro.engine.executor.ComputedOutput` lives in one place.
+    """
+    return ComputedOutput(
+        distribution=result.distribution,
+        error_bound=result.error_bound.epsilon_total,
+        existence_probability=1.0,
+        dropped=False,
+        udf_calls=result.udf_calls,
+        charged_time=result.charged_time,
+    )
+
+
 def iter_batches(rows: Iterable[T], batch_size: int) -> Iterator[list[T]]:
     """Yield consecutive chunks of at most ``batch_size`` items."""
     if batch_size < 1:
@@ -120,17 +138,7 @@ class BatchExecutor:
                 return self._mc_chunk(udf, chunk, processor.requirement, processor._rng)
             processor = processor._olgapro
         results = processor.process_batch(chunk, timings=self.timings)
-        return [
-            ComputedOutput(
-                distribution=result.distribution,
-                error_bound=result.error_bound.epsilon_total,
-                existence_probability=1.0,
-                dropped=False,
-                udf_calls=result.udf_calls,
-                charged_time=result.charged_time,
-            )
-            for result in results
-        ]
+        return [online_result_to_output(result) for result in results]
 
     def _mc_chunk(
         self,

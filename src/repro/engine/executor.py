@@ -177,6 +177,36 @@ class UDFExecutionEngine:
         )
         return executor.compute_batch(udf, list(input_distributions))
 
+    def compute_pipelined(
+        self,
+        udf: UDF,
+        input_distributions,
+        lookahead: int | None = None,
+        inflight: int | None = None,
+        batch_size: int | None = None,
+    ) -> list[ComputedOutput]:
+        """Evaluate ``udf`` on many tuples with cross-tuple pipelining.
+
+        Convenience wrapper over
+        :class:`~repro.engine.pipeline.PipelinedExecutor`: while one tuple's
+        refinement waits on black-box UDF calls, the sampling, first GP
+        inference and prefetched first refinement window of the next
+        ``lookahead - 1`` tuples already run on a shared bounded pool.
+        ``inflight`` sets the within-tuple window (as in
+        :meth:`compute_async`); ``lookahead=1`` is bit-identical to
+        :meth:`compute_batch` under the same seed.
+        """
+        from repro.engine.batch import DEFAULT_BATCH_SIZE
+        from repro.engine.pipeline import DEFAULT_PIPELINE_LOOKAHEAD, PipelinedExecutor
+
+        executor = PipelinedExecutor(
+            self,
+            lookahead=lookahead if lookahead is not None else DEFAULT_PIPELINE_LOOKAHEAD,
+            inflight=inflight,
+            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+        )
+        return executor.compute_batch(udf, list(input_distributions))
+
     # -- evaluation without a predicate ------------------------------------------------
     def compute(self, udf: UDF, input_distribution: Distribution) -> ComputedOutput:
         """Full output distribution of ``udf`` on one tuple's input vector."""

@@ -25,6 +25,7 @@ from repro.engine.async_exec import AsyncRefinementExecutor
 from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
 from repro.engine.executor import UDFExecutionEngine
 from repro.engine.parallel import MergePolicy, ParallelExecutor
+from repro.engine.pipeline import PipelinedExecutor
 from repro.engine.schema import Attribute, AttributeKind, Schema
 from repro.engine.tuples import Relation, UncertainTuple
 from repro.exceptions import QueryError
@@ -38,14 +39,21 @@ def _make_udf_executor(
     merge: MergePolicy,
     parallel_seed: int | None,
     async_inflight: int | None = None,
-) -> tuple[ParallelExecutor | None, BatchExecutor | AsyncRefinementExecutor | None]:
+    pipeline_lookahead: int | None = None,
+) -> tuple[
+    ParallelExecutor | None,
+    BatchExecutor | AsyncRefinementExecutor | PipelinedExecutor | None,
+]:
     """Executor-selection policy shared by :class:`ApplyUDF` and :class:`SelectUDF`.
 
     ``workers`` set → a :class:`ParallelExecutor` (``batch_size`` defaulting
-    to :data:`DEFAULT_BATCH_SIZE`, ``async_inflight`` forwarded so each
-    shard overlaps its UDF calls); otherwise ``async_inflight`` set → an
+    to :data:`DEFAULT_BATCH_SIZE`, ``async_inflight`` and
+    ``pipeline_lookahead`` forwarded so each shard overlaps its UDF calls /
+    pipelines its tuples); otherwise ``pipeline_lookahead`` set → a
+    :class:`~repro.engine.pipeline.PipelinedExecutor` (``async_inflight``
+    becomes its within-tuple window); otherwise ``async_inflight`` set → an
     :class:`AsyncRefinementExecutor`; otherwise ``batch_size`` set → a
-    :class:`BatchExecutor`; otherwise the classic per-tuple path (both
+    :class:`BatchExecutor`; otherwise the classic per-tuple path (all
     ``None``).
     """
     if workers is not None:
@@ -56,8 +64,16 @@ def _make_udf_executor(
             merge=merge,
             seed=parallel_seed,
             async_inflight=async_inflight,
+            pipeline_lookahead=pipeline_lookahead,
         )
         return parallel, None
+    if pipeline_lookahead is not None:
+        return None, PipelinedExecutor(
+            engine,
+            lookahead=pipeline_lookahead,
+            inflight=async_inflight,
+            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+        )
     if async_inflight is not None:
         return None, AsyncRefinementExecutor(
             engine,
@@ -198,10 +214,15 @@ class ApplyUDF(Operator):
     engine call per tuple.  When ``async_inflight`` is set, the refinement
     loop's UDF calls are overlapped through the asynchronous pipeline
     (:class:`~repro.engine.async_exec.AsyncRefinementExecutor`).  When
-    ``workers`` is set, the input is additionally sharded across a process
-    pool (:class:`~repro.engine.parallel.ParallelExecutor`); ``merge`` and
+    ``pipeline_lookahead`` is set, consecutive tuples are additionally
+    pipelined through the cross-tuple scheduler
+    (:class:`~repro.engine.pipeline.PipelinedExecutor`), with
+    ``async_inflight`` as its within-tuple window.  When ``workers`` is
+    set, the input is additionally sharded across a process pool
+    (:class:`~repro.engine.parallel.ParallelExecutor`); ``merge`` and
     ``parallel_seed`` configure that executor's merge policy and per-shard
-    random streams, and ``async_inflight`` then applies inside each shard.
+    random streams, and ``async_inflight`` / ``pipeline_lookahead`` then
+    apply inside each shard.
     """
 
     def __init__(
@@ -216,6 +237,7 @@ class ApplyUDF(Operator):
         merge: MergePolicy = "union",
         parallel_seed: int | None = None,
         async_inflight: int | None = None,
+        pipeline_lookahead: int | None = None,
     ):
         """Validate the UDF call against the child's schema and pick executors.
 
@@ -241,8 +263,10 @@ class ApplyUDF(Operator):
         self.batch_size = batch_size
         self.workers = workers
         self.async_inflight = async_inflight
+        self.pipeline_lookahead = pipeline_lookahead
         self._parallel, self._batch = _make_udf_executor(
-            engine, batch_size, workers, merge, parallel_seed, async_inflight
+            engine, batch_size, workers, merge, parallel_seed, async_inflight,
+            pipeline_lookahead,
         )
 
     def schema(self) -> Schema:
@@ -306,12 +330,13 @@ class SelectUDF(Operator):
         merge: MergePolicy = "union",
         parallel_seed: int | None = None,
         async_inflight: int | None = None,
+        pipeline_lookahead: int | None = None,
     ):
         """Validate the predicated UDF call and pick executors.
 
         The executor knobs (``batch_size`` / ``workers`` / ``merge`` /
-        ``parallel_seed`` / ``async_inflight``) behave exactly as on
-        :class:`ApplyUDF`.
+        ``parallel_seed`` / ``async_inflight`` / ``pipeline_lookahead``)
+        behave exactly as on :class:`ApplyUDF`.
 
         Raises
         ------
@@ -334,8 +359,10 @@ class SelectUDF(Operator):
         self.batch_size = batch_size
         self.workers = workers
         self.async_inflight = async_inflight
+        self.pipeline_lookahead = pipeline_lookahead
         self._parallel, self._batch = _make_udf_executor(
-            engine, batch_size, workers, merge, parallel_seed, async_inflight
+            engine, batch_size, workers, merge, parallel_seed, async_inflight,
+            pipeline_lookahead,
         )
 
     def schema(self) -> Schema:

@@ -120,8 +120,22 @@ def _emulator_of(engine: UDFExecutionEngine, udf: UDF):
     return processor.emulator
 
 
-def _shard_executor(engine: UDFExecutionEngine, batch_size: int, async_inflight: Optional[int]):
-    """The per-shard executor: batched, or async-overlapped when requested."""
+def _shard_executor(
+    engine: UDFExecutionEngine,
+    batch_size: int,
+    async_inflight: Optional[int],
+    pipeline_lookahead: Optional[int] = None,
+):
+    """The per-shard executor: batched, async-overlapped, or pipelined."""
+    if pipeline_lookahead is not None and pipeline_lookahead > 1:
+        from repro.engine.pipeline import PipelinedExecutor
+
+        return PipelinedExecutor(
+            engine,
+            lookahead=pipeline_lookahead,
+            inflight=async_inflight,
+            batch_size=batch_size,
+        )
     if async_inflight is not None and async_inflight > 1:
         from repro.engine.async_exec import AsyncRefinementExecutor
 
@@ -137,6 +151,7 @@ def _run_shard(
     base_seed: int,
     predicate: Optional[SelectionPredicate],
     async_inflight: Optional[int] = None,
+    pipeline_lookahead: Optional[int] = None,
 ) -> ShardResult:
     """Pool-worker entry point: one shard through the batched pipeline.
 
@@ -158,7 +173,7 @@ def _run_shard(
     calls_before = udf.call_count
     real_before = udf.real_time
 
-    executor = _shard_executor(engine, batch_size, async_inflight)
+    executor = _shard_executor(engine, batch_size, async_inflight, pipeline_lookahead)
     if predicate is None:
         outputs = executor.compute_batch(udf, list(distributions))
     else:
@@ -217,6 +232,16 @@ class ParallelExecutor:
         one.  Shard outputs then follow the async (not the serial batched)
         refinement trajectory — still deterministic for a fixed
         configuration, and still worker-count-invariant under ``"discard"``.
+    pipeline_lookahead:
+        When ``> 1``, every shard runs through a
+        :class:`~repro.engine.pipeline.PipelinedExecutor` that additionally
+        overlaps the refinement tail of each tuple with the sampling, first
+        inference and prefetched first UDF window of the next
+        ``pipeline_lookahead - 1`` tuples *within the shard*;
+        ``async_inflight`` then sets the within-tuple window of that
+        scheduler.  Shard outputs follow the pipelined trajectory (bitwise
+        the async trajectory at the same window) and remain deterministic
+        and worker-count-invariant under ``"discard"``.
     oversubscribe:
         Scales the *default* worker count (``os.cpu_count()``) when
         ``workers`` is ``None``.  With UDF-latency-bound shards a worker
@@ -235,6 +260,7 @@ class ParallelExecutor:
         refit_threshold: int = DEFAULT_REFIT_THRESHOLD,
         seed: Optional[int] = None,
         async_inflight: Optional[int] = None,
+        pipeline_lookahead: Optional[int] = None,
         oversubscribe: float = 1.0,
     ):
         """Validate the configuration; no pool is created until a compute call.
@@ -243,8 +269,9 @@ class ParallelExecutor:
         ------
         QueryError
             On a non-positive ``workers`` / ``batch_size`` / ``shard_size``
-            / ``refit_threshold`` / ``async_inflight``, an unknown ``merge``
-            policy, or ``oversubscribe < 1``.
+            / ``refit_threshold`` / ``async_inflight`` /
+            ``pipeline_lookahead``, an unknown ``merge`` policy, or
+            ``oversubscribe < 1``.
         """
         if workers is not None and workers < 1:
             raise QueryError(f"workers must be positive, got {workers}")
@@ -258,10 +285,17 @@ class ParallelExecutor:
             raise QueryError(f"refit_threshold must be positive, got {refit_threshold}")
         if async_inflight is not None and async_inflight < 1:
             raise QueryError(f"async_inflight must be positive, got {async_inflight}")
+        if pipeline_lookahead is not None and pipeline_lookahead < 1:
+            raise QueryError(
+                f"pipeline_lookahead must be positive, got {pipeline_lookahead}"
+            )
         if oversubscribe < 1.0:
             raise QueryError(f"oversubscribe must be at least 1, got {oversubscribe}")
         self.engine = engine
         self.async_inflight = int(async_inflight) if async_inflight is not None else None
+        self.pipeline_lookahead = (
+            int(pipeline_lookahead) if pipeline_lookahead is not None else None
+        )
         self.oversubscribe = float(oversubscribe)
         if workers is not None:
             self.workers = int(workers)
@@ -314,7 +348,9 @@ class ParallelExecutor:
         state = emulator.snapshot() if emulator is not None else None
         n_before = emulator.n_training if emulator is not None else 0
 
-        executor = _shard_executor(self.engine, self.batch_size, self.async_inflight)
+        executor = _shard_executor(
+            self.engine, self.batch_size, self.async_inflight, self.pipeline_lookahead
+        )
         if predicate is None:
             outputs = executor.compute_batch(udf, distributions)
         else:
@@ -346,6 +382,19 @@ class ParallelExecutor:
         self, udf: UDF, distributions: list[Distribution], predicate
     ) -> list[ComputedOutput]:
         if not distributions:
+            # An empty relation is a legal query input: no pool is spun up,
+            # no shard runs, but the executor still reports a complete
+            # (zero) phase record so timing consumers never miss a phase.
+            phases = ("sampling", "inference", "refinement")
+            if predicate is not None:
+                phases += ("filtering",)
+            if self.pipeline_lookahead is not None and self.pipeline_lookahead > 1:
+                # Pipelined shards report a speculation phase; the empty run
+                # must expose the same phase set.
+                phases += ("speculation",)
+            self.timings.ensure(*phases)
+            self.last_merged_points = 0
+            self.last_dropped_points = 0
             return []
         if self.workers == 1:
             return self._run_serial(udf, distributions, predicate)
@@ -367,7 +416,7 @@ class ParallelExecutor:
                 futures = [
                     pool.submit(
                         _run_shard, payload, i, shard, self.batch_size, base_seed,
-                        predicate, self.async_inflight,
+                        predicate, self.async_inflight, self.pipeline_lookahead,
                     )
                     for i, shard in enumerate(shards)
                 ]

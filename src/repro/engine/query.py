@@ -102,6 +102,7 @@ class Query:
         merge: str = "union",
         parallel_seed: int | None = None,
         async_inflight: int | None = None,
+        pipeline_lookahead: int | None = None,
     ) -> "Query":
         """Evaluate a UDF on each tuple and keep its output distribution.
 
@@ -131,6 +132,14 @@ class Query:
             (:class:`~repro.engine.async_exec.AsyncRefinementExecutor`);
             with ``workers`` it applies inside each shard.  ``1`` is
             bit-identical to the serial batched path.
+        pipeline_lookahead:
+            Pipelines consecutive tuples through the cross-tuple scheduler
+            (:class:`~repro.engine.pipeline.PipelinedExecutor`): while one
+            tuple refines, the sampling, first inference and prefetched
+            first UDF window of the next ``pipeline_lookahead - 1`` tuples
+            already run.  Composes with ``async_inflight`` (the within-tuple
+            window) and ``workers`` (applies inside each shard).  ``1`` is
+            bit-identical to the serial batched path.
 
         Returns
         -------
@@ -150,6 +159,7 @@ class Query:
                 batch_size=batch_size, workers=workers,
                 merge=merge, parallel_seed=parallel_seed,  # type: ignore[arg-type]
                 async_inflight=async_inflight,
+                pipeline_lookahead=pipeline_lookahead,
             )
 
         self._steps.append(_build)
@@ -168,6 +178,7 @@ class Query:
         merge: str = "union",
         parallel_seed: int | None = None,
         async_inflight: int | None = None,
+        pipeline_lookahead: int | None = None,
     ) -> "Query":
         """Evaluate a UDF under a range predicate and drop improbable tuples.
 
@@ -175,8 +186,10 @@ class Query:
         whose probability mass inside that interval is confidently below
         ``threshold`` are dropped by the online-filtering machinery.  The
         executor knobs (``batch_size`` / ``workers`` / ``merge`` /
-        ``parallel_seed`` / ``async_inflight``) behave exactly as on
-        :meth:`apply_udf`.
+        ``parallel_seed`` / ``async_inflight`` / ``pipeline_lookahead``)
+        behave exactly as on :meth:`apply_udf` (the predicate path keeps
+        tuple-sequential filtering semantics, so the cross-tuple scheduler
+        stands down and only within-tuple overlap applies).
 
         Returns
         -------
@@ -197,6 +210,7 @@ class Query:
                 batch_size=batch_size, workers=workers,
                 merge=merge, parallel_seed=parallel_seed,  # type: ignore[arg-type]
                 async_inflight=async_inflight,
+                pipeline_lookahead=pipeline_lookahead,
             )
 
         self._steps.append(_build)

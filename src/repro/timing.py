@@ -74,6 +74,18 @@ class PhaseTimings:
         """Seconds accumulated under ``phase`` (0 when never recorded)."""
         return self.seconds.get(phase, 0.0)
 
+    def ensure(self, *phases: str) -> "PhaseTimings":
+        """Materialise ``phases`` at 0.0 when not yet recorded.
+
+        Degenerate runs (an empty relation, say) perform no work but should
+        still hand consumers a *complete* phase record — readers iterating
+        :attr:`seconds` directly would otherwise see the phase set vary with
+        the input.  Returns ``self`` for chaining.
+        """
+        for phase in phases:
+            self.seconds.setdefault(phase, 0.0)
+        return self
+
     @property
     def total(self) -> float:
         """Sum over all phases."""

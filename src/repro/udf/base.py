@@ -77,9 +77,23 @@ class UDF:
 
     # -- pickling ----------------------------------------------------------------
     def __getstate__(self) -> dict:
-        """Pickle support: locks are process-local and cannot be pickled."""
-        state = dict(self.__dict__)
+        """Pickle support: locks are process-local and cannot be pickled.
+
+        The in-flight gauges are process-local too: an evaluation in flight
+        in this process will never complete in the unpickled copy, so
+        carrying the counters over would leave the copy's ``in_flight``
+        permanently non-zero (and its high-water mark claiming concurrency
+        that never happened there).  Worker copies start at zero.
+
+        The snapshot is taken under the charge lock: concurrent completions
+        charge calls and seconds as one atomic pair, and a copy must never
+        capture the pair half-applied.
+        """
+        with self._charge_lock:
+            state = dict(self.__dict__)
         del state["_charge_lock"]
+        state["_inflight"] = 0
+        state["_max_inflight"] = 0
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -106,12 +120,19 @@ class UDF:
     @property
     def in_flight(self) -> int:
         """Evaluations currently submitted but not yet completed."""
-        return self._inflight
+        with self._charge_lock:
+            return self._inflight
 
     @property
     def max_in_flight(self) -> int:
-        """High-water mark of concurrently in-flight evaluations."""
-        return self._max_inflight
+        """High-water mark of concurrently in-flight evaluations.
+
+        After a :meth:`reset_counters`, the mark restarts at the number of
+        evaluations that were still outstanding at the reset (they continue
+        to occupy the pipeline, so they are the new window's floor).
+        """
+        with self._charge_lock:
+            return self._max_inflight
 
     def _charge(self, calls: int, seconds: float) -> None:
         """Atomically credit ``calls`` evaluations costing ``seconds`` wall-clock."""
@@ -126,10 +147,21 @@ class UDF:
 
     def _exit_flight(self) -> None:
         with self._charge_lock:
-            self._inflight -= 1
+            # Clamp rather than go negative: an unbalanced exit (e.g. an
+            # executor that ran a task it also reported as cancelled) must
+            # not corrupt the gauge for every later window.
+            self._inflight = max(0, self._inflight - 1)
 
     def reset_counters(self) -> None:
-        """Zero the call counter and timing accumulators."""
+        """Zero the call counter and timing accumulators.
+
+        Safe to call while evaluations are outstanding: the counter reset
+        and the in-flight high-water reseed happen in one critical section
+        with the enter/exit tracking, so however completions interleave the
+        mark can never end up below the number of evaluations still in
+        flight at the reset, and a window that grows afterwards raises it
+        from that floor exactly as a fresh UDF would.
+        """
         with self._charge_lock:
             self._call_count = 0
             self._real_time = 0.0

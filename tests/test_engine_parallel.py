@@ -152,6 +152,32 @@ def test_empty_input_returns_empty():
     assert ParallelExecutor(engine, workers=4).compute_batch(udf, []) == []
 
 
+def test_empty_input_emits_zero_phase_timings():
+    """An empty relation is a legal input: no pool, no crash, zero phases."""
+    udf, engine, _ = _fixture("gp")
+    executor = ParallelExecutor(engine, workers=4)
+    assert executor.compute_batch(udf, []) == []
+    for phase in ("sampling", "inference", "refinement"):
+        assert phase in executor.timings.seconds
+        assert executor.timings.get(phase) == 0.0
+    assert executor.last_merged_points == 0
+    assert executor.last_dropped_points == 0
+    # The predicate path degenerates the same way.
+    assert executor.compute_batch_with_predicate(udf, [], PREDICATE) == []
+
+
+def test_shard_size_larger_than_relation_yields_one_shard_with_timings():
+    """shard_size > len(relation): one shard, merged timings, full outputs."""
+    udf, engine, dists = _fixture("gp", n_tuples=3)
+    executor = ParallelExecutor(
+        engine, workers=4, batch_size=4, shard_size=16, merge="discard", seed=9
+    )
+    outputs = executor.compute_batch(udf, dists)
+    assert len(outputs) == 3
+    assert executor.timings.get("sampling") > 0.0
+    assert executor.timings.get("inference") > 0.0
+
+
 def test_union_merges_worker_points_into_parent():
     outputs_discard, engine_d, _, _ = _sharded_run(workers=2, merge="discard")
     outputs_union, engine_u, udf_u, executor = _sharded_run(workers=2, merge="union")
@@ -199,6 +225,32 @@ def test_union_dedupes_exact_duplicates():
 def test_parallel_credits_udf_cost_to_parent():
     _, _, udf, _ = _sharded_run(workers=2, merge="discard")
     assert udf.call_count > 0
+
+
+@pytest.mark.parametrize("async_inflight", [None, 4])
+def test_parallel_charge_accounting_is_exact(async_inflight):
+    """Worker deltas are absorbed exactly once — also on the composed path.
+
+    Worker shards charge their private UDF copies (through the async thread
+    pool when ``async_inflight`` composes) and the parent absorbs each
+    worker's whole delta once; the parent's total must therefore equal the
+    sum of the per-tuple charges reported in the outputs — an over-count
+    from double absorption, or an under-count from a lost delta, breaks the
+    equality exactly.
+    """
+    udf, engine, dists = _fixture("gp", n_tuples=8)
+    executor = ParallelExecutor(
+        engine, workers=2, batch_size=4, merge="discard", seed=99,
+        async_inflight=async_inflight,
+    )
+    outputs = executor.compute_batch(udf, dists)
+    assert udf.call_count == sum(output.udf_calls for output in outputs)
+    assert udf.call_count > 0
+    # Real-time accounting follows the same single-absorption path: with
+    # workers >= 2 the parent performs no black-box work itself, so a
+    # strictly positive real_time proves the workers' wall-clock deltas
+    # were credited back (a lost delta would leave it exactly zero).
+    assert udf.real_time > 0.0
 
 
 def test_parallel_merges_worker_timings():

@@ -166,7 +166,14 @@ class TestOnlineFiltering:
         predicate = SelectionPredicate(low=100.0, high=200.0, threshold=0.1)
         # Warm up the model so only inference cost remains.
         processor.process(Gaussian(1.0, 0.2))
-        filtered = processor.process_with_filter(Gaussian(1.0, 0.2), predicate)
-        full = processor.process(Gaussian(1.0, 0.2))
-        assert filtered.dropped
-        assert filtered.elapsed_time < full.elapsed_time
+        # Both sides of the comparison are single-digit-millisecond timings;
+        # take the best of three so a scheduler hiccup on a loaded CI runner
+        # cannot flip the (robust, ~1.5x) margin.
+        filtered_runs = [
+            processor.process_with_filter(Gaussian(1.0, 0.2), predicate)
+            for _ in range(3)
+        ]
+        full_runs = [processor.process(Gaussian(1.0, 0.2)) for _ in range(3)]
+        assert all(run.dropped for run in filtered_runs)
+        assert (min(run.elapsed_time for run in filtered_runs)
+                < min(run.elapsed_time for run in full_runs))

@@ -1,0 +1,81 @@
+"""The CI perf gate's verdict logic (``repro.bench.run_all``).
+
+The gate compares the smoke run's gp batched speedup against a committed
+baseline artifact.  Contracts under test:
+
+* a healthy comparison yields a pass/regress verdict with the relative
+  change recorded;
+* a gated metric missing from either side is flagged ``missing`` — the
+  smoke driver turns that into a *failure* unless
+  ``--allow-missing-baseline`` is passed, because a renamed metric would
+  otherwise disarm the gate forever while reporting OK;
+* the override environment variable only applies to genuine regressions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.run_all import DEFAULT_MAX_REGRESSION, check_regression, main
+
+
+def _report(speedup):
+    return {"batch_pipeline": {"speedup": {"gp": speedup}}}
+
+
+class TestCheckRegression:
+    def test_pass_records_relative_change(self):
+        verdict = check_regression(_report(2.0), _report(2.0), 0.25)
+        assert verdict["regressed"] is False
+        assert "missing" not in verdict
+        assert verdict["relative_change"] == 0.0
+
+    def test_regression_detected(self):
+        verdict = check_regression(_report(1.0), _report(2.0), 0.25)
+        assert verdict["regressed"] is True
+        assert verdict["overridden"] is False
+
+    def test_override_env_applies_to_regressions(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_OVERRIDE", "1")
+        verdict = check_regression(_report(1.0), _report(2.0), 0.25)
+        assert verdict["regressed"] is True
+        assert verdict["overridden"] is True
+
+    @pytest.mark.parametrize(
+        "report, baseline",
+        [
+            ({}, _report(2.0)),                       # metric renamed/dropped
+            (_report(2.0), {}),                       # baseline lacks metric
+            (_report(None), _report(2.0)),            # null metric
+            (_report(2.0), _report(0.0)),             # degenerate baseline
+        ],
+    )
+    def test_missing_metric_is_flagged_not_silently_ok(self, report, baseline):
+        verdict = check_regression(report, baseline, DEFAULT_MAX_REGRESSION)
+        assert verdict.get("missing") is True
+        assert verdict["regressed"] is False
+        assert "skipped" in verdict
+
+
+class TestCliFlag:
+    def test_allow_missing_baseline_flag_parses(self, tmp_path, monkeypatch):
+        """The flag exists and routes into run_smoke (smoke itself is heavy,
+        so only the argparse wiring is exercised: an unknown flag would make
+        parse_args exit with code 2 before any benchmark runs)."""
+        import argparse
+
+        recorded = {}
+
+        def fake_run_smoke(output, baseline, max_regression, allow_missing_baseline=False):
+            recorded["allow"] = allow_missing_baseline
+            return 0
+
+        monkeypatch.setattr("repro.bench.run_all.run_smoke", fake_run_smoke)
+        assert main(["--smoke", "--allow-missing-baseline"]) == 0
+        assert recorded["allow"] is True
+        recorded.clear()
+        assert main(["--smoke"]) == 0
+        assert recorded["allow"] is False
+
+        with pytest.raises(SystemExit):
+            argparse.ArgumentParser().parse_args(["--no-such-flag"])

@@ -136,3 +136,111 @@ class TestAbsorbCharges:
             udf.absorb_charges(-1, 0.0)
         with pytest.raises(UDFError):
             udf.absorb_charges(0, -0.5)
+
+
+class TestInFlightGauges:
+    """In-flight tracking under concurrency, resets, and pickling."""
+
+    def test_reset_reseeds_high_water_to_outstanding_count(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        release = threading.Event()
+        started = threading.Barrier(4)
+
+        def slow(x):
+            started.wait(timeout=5.0)
+            release.wait(timeout=5.0)
+            return float(x[0])
+
+        udf = UDF(slow, dimension=1)
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            futures = udf.submit_rows(pool, np.arange(3.0).reshape(3, 1))
+            started.wait(timeout=5.0)  # all three genuinely in flight
+            assert udf.in_flight == 3
+            assert udf.max_in_flight == 3
+            udf.reset_counters()
+            # The outstanding evaluations are the new window's floor.
+            assert udf.max_in_flight == 3
+            release.set()
+            for future in futures:
+                future.result()
+        assert udf.in_flight == 0
+        assert udf.call_count == 3
+
+    def test_threaded_reset_never_leaves_mark_below_outstanding(self):
+        """Hammer enter/exit/reset concurrently; the gauge invariants hold.
+
+        Regression test for the reset/high-water seam: a reset racing
+        completing evaluations must never leave ``max_in_flight`` below the
+        number of evaluations still outstanding, and the gauge must return
+        to zero once everything settles.
+        """
+        import time as _time
+        from concurrent.futures import ThreadPoolExecutor
+
+        udf = UDF(lambda x: (_time.sleep(0.001), float(x[0]))[1], dimension=1)
+        rows = np.arange(64.0).reshape(64, 1)
+        resets_with_outstanding = 0
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = udf.submit_rows(pool, rows)
+            for _ in range(50):
+                udf.reset_counters()
+                # All 64 submissions entered flight before the loop and only
+                # *exits* race the reset from here on (no new enters), so
+                # the mark can only have been reseeded by a reset and never
+                # decreases in between.  The documented invariant is that it
+                # can never land below the number still outstanding when it
+                # is read after the reset — a reset that raced completions
+                # and lost updates would break exactly this.
+                outstanding_floor = udf.in_flight
+                mark = udf.max_in_flight
+                if outstanding_floor:
+                    resets_with_outstanding += 1
+                assert mark >= outstanding_floor
+                _time.sleep(0.0005)
+            for future in futures:
+                future.result()
+        assert udf.in_flight == 0
+        assert udf.max_in_flight >= 0
+        # The hammer genuinely raced resets against in-flight evaluations.
+        assert resets_with_outstanding > 0
+
+    def test_unbalanced_exit_clamps_at_zero(self):
+        udf = UDF(lambda x: float(x[0]), dimension=1)
+        udf._exit_flight()
+        assert udf.in_flight == 0
+
+    def test_pickled_copy_starts_with_zero_flight_gauges(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        release = threading.Event()
+        started = threading.Barrier(3)
+
+        def slow(x):
+            started.wait(timeout=5.0)
+            release.wait(timeout=5.0)
+            return float(x[0])
+
+        udf = UDF(slow, dimension=1)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = udf.submit_rows(pool, np.arange(2.0).reshape(2, 1))
+            started.wait(timeout=5.0)
+            assert udf.in_flight == 2
+            # A copy "pickled" mid-flight (the pickle protocol's state
+            # round-trip; the black box itself need not be picklable here)
+            # must not inherit phantom in-flight evaluations: they will
+            # never complete in the copy's process.
+            state = dict(udf.__getstate__())
+            release.set()
+            for future in futures:
+                future.result()
+        clone = UDF.__new__(UDF)
+        clone.__setstate__(state)
+        assert clone.in_flight == 0
+        assert clone.max_in_flight == 0
+        # Charge counters, by contrast, do carry over (none had completed
+        # when the copy was taken; the parent charged both afterwards).
+        assert clone.call_count == 0
+        assert udf.call_count == 2

@@ -10,7 +10,12 @@ from repro.bench.experiments_astro import (
     astro_gp_vs_mc,
     astro_output_density,
 )
-from repro.bench.experiments_async import async_report, udf_overlap
+from repro.bench.experiments_async import (
+    async_report,
+    transport_report,
+    udf_overlap,
+    udf_transport,
+)
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
 from repro.bench.experiments_parallel import parallel_report, parallel_scaling
 from repro.bench.experiments_pipeline import pipeline_report, udf_pipeline
@@ -42,6 +47,8 @@ __all__ = [
     "parallel_report",
     "udf_overlap",
     "async_report",
+    "udf_transport",
+    "transport_report",
     "udf_pipeline",
     "pipeline_report",
     "profile1_function_fitting",

@@ -16,6 +16,13 @@ table reports wall-clock, UDF calls and the speedup versus the serial
 batched run.  The ``async_inflight=1`` row is additionally checked for
 **bit-identity** with the serial run — the determinism half of the async
 pipeline's contract — and the verdict is recorded in the table.
+
+A second experiment, :func:`udf_transport`, sweeps the *transport* axis of
+the same protocol: the black box is a natively-async simulated-latency
+service (:func:`~repro.udf.synthetic.async_service_udf`) and each row runs
+the window over a named :mod:`~repro.engine.transport` — the thread pool
+versus the event loop — against the serial batched baseline on the very
+same UDF.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from repro.engine.async_exec import AsyncRefinementExecutor
 from repro.engine.batch import BatchExecutor
 from repro.engine.executor import UDFExecutionEngine
 from repro.rng import as_generator
-from repro.udf.synthetic import reference_function
+from repro.udf.synthetic import async_service_udf, reference_function
 from repro.workloads.generators import input_stream, workload_for_udf
 
 
@@ -46,6 +53,7 @@ def udf_overlap(
     trials: int = 1,
     random_state=7,
     stream_seed: int = 3,
+    transport: str = "threads",
 ) -> ExperimentTable:
     """Speedup-versus-``async_inflight`` table for overlapped refinement.
 
@@ -54,6 +62,10 @@ def udf_overlap(
     complete out of submission order (the results must not change — see
     ``tests/test_async_exec.py``).  ``trials`` repeats each timed run and
     keeps the fastest, the usual guard against scheduler noise.
+    ``transport`` names the evaluation transport the windows ride
+    (``"threads"`` by default; this experiment's blocking
+    :class:`~repro.udf.synthetic.RealCostFunction` workload cannot ride
+    ``"asyncio"`` — that axis is :func:`udf_transport`'s).
 
     Each ``async_inflight`` row's ``matches_serial`` column records whether
     the run's output distributions and error bounds were bit-identical to
@@ -67,7 +79,7 @@ def udf_overlap(
         description=(
             "Serial batched vs async-overlapped refinement wall-clock on the "
             f"real-cost workload ({function_name}, {real_eval_time * 1e3:g} ms/call, "
-            f"batch_size={batch_size})"
+            f"batch_size={batch_size}, transport={transport})"
         ),
     )
     requirement = AccuracyRequirement(epsilon=epsilon, delta=0.05)
@@ -98,7 +110,8 @@ def udf_overlap(
                 outputs = BatchExecutor(engine, batch_size).compute_batch(udf, dists)
             else:
                 outputs = AsyncRefinementExecutor(
-                    engine, inflight=inflight, batch_size=batch_size
+                    engine, inflight=inflight, batch_size=batch_size,
+                    transport=transport,
                 ).compute_batch(udf, dists)
             best = min(best, time.perf_counter() - started)
             calls = udf.call_count
@@ -126,6 +139,141 @@ def udf_overlap(
             matches_serial=_outputs_identical(serial_outputs, outputs),
         )
     return table
+
+
+def udf_transport(
+    function_name: str = "F4",
+    transports: tuple[str, ...] = ("threads", "asyncio"),
+    inflight_list: tuple[int, ...] = (1, 8),
+    n_tuples: int = 8,
+    batch_size: int = 8,
+    service_latency: float = 2e-2,
+    service_jitter: float = 0.0,
+    epsilon: float = 0.12,
+    n_samples: int | None = 120,
+    trials: int = 1,
+    random_state=7,
+    stream_seed: int = 3,
+) -> ExperimentTable:
+    """Speedup-versus-transport table on a simulated async UDF service.
+
+    The black box is :func:`~repro.udf.synthetic.async_service_udf`: a
+    natively-async UDF whose every request awaits ``service_latency``
+    seconds — the regime the ROADMAP's event-loop transport item targets.
+    The *same* UDF runs the serial batched baseline (its blocking bridge
+    pays the latency one call at a time) and then, per transport and
+    in-flight bound, the overlapped refinement pipeline.
+
+    Contract encoded in the table: every ``async_inflight=1`` row — each
+    transport — is bit-identical to the serial batched baseline (this half
+    is CI-enforced by the ``udf_transport`` smoke entry, like the other
+    identity gates), and the event-loop transport's deeper windows clear
+    ≥2× wall-clock at ``async_inflight=8`` on the 20 ms/call service (the
+    speedup is *recorded* in the smoke artifact and tracked PR to PR, not
+    hard-gated — matching how the other overlap speedups are handled).
+    """
+    table = ExperimentTable(
+        experiment_id="udf_transport",
+        paper_artifact="pluggable UDF evaluation transports (beyond the paper)",
+        description=(
+            "Serial batched vs transport-overlapped refinement wall-clock on a "
+            f"simulated async UDF service ({function_name}, "
+            f"{service_latency * 1e3:g} ms/request, batch_size={batch_size})"
+        ),
+    )
+    requirement = AccuracyRequirement(epsilon=epsilon, delta=0.05)
+
+    def run(transport: str | None, inflight: int | None):
+        """One full run; ``transport=None`` is the serial batched baseline."""
+        best = float("inf")
+        calls = 0
+        outputs = None
+        for _ in range(max(1, trials)):
+            udf = async_service_udf(
+                function_name, latency=service_latency, jitter=service_jitter,
+                random_state=random_state,
+            )
+            kwargs = {"n_samples": n_samples} if n_samples else {}
+            engine = UDFExecutionEngine(
+                strategy="gp", requirement=requirement, random_state=random_state,
+                **kwargs,
+            )
+            dists = list(
+                input_stream(
+                    workload_for_udf(udf), n_tuples, random_state=as_generator(stream_seed)
+                )
+            )
+            started = time.perf_counter()
+            if transport is None:
+                outputs = BatchExecutor(engine, batch_size).compute_batch(udf, dists)
+            else:
+                outputs = AsyncRefinementExecutor(
+                    engine, inflight=inflight, batch_size=batch_size,
+                    transport=transport,
+                ).compute_batch(udf, dists)
+            best = min(best, time.perf_counter() - started)
+            calls = udf.call_count
+        return best, calls, outputs
+
+    serial_wall, serial_calls, serial_outputs = run(None, None)
+    table.add_row(
+        transport="serial",
+        async_inflight=1,
+        n_tuples=n_tuples,
+        wall_ms=float(serial_wall * 1000.0),
+        udf_calls=serial_calls,
+        speedup=1.0,
+        matches_serial=True,
+    )
+    for transport in transports:
+        for inflight in inflight_list:
+            wall, calls, outputs = run(transport, inflight)
+            table.add_row(
+                transport=transport,
+                async_inflight=inflight,
+                n_tuples=n_tuples,
+                wall_ms=float(wall * 1000.0),
+                udf_calls=calls,
+                speedup=float(serial_wall / max(wall, 1e-12)),
+                matches_serial=_outputs_identical(serial_outputs, outputs),
+            )
+    return table
+
+
+def transport_report(table: ExperimentTable) -> dict:
+    """JSON-ready summary of a :func:`udf_transport` run.
+
+    ``speedup`` maps ``transport -> {async_inflight: speedup}``;
+    ``speedup_at_8`` pulls out each transport's headline in-flight-8 number
+    (falling back to its largest measured window), and ``identical_at_1``
+    maps ``transport -> bool`` for the bit-identity half of the acceptance
+    contract — enforced for *every* transport by the smoke driver.
+    """
+    speedups: dict[str, dict[int, float]] = {}
+    identical_at_1: dict[str, bool] = {}
+    for row in table.rows:
+        transport = str(row["transport"])
+        if transport == "serial":
+            continue
+        inflight = int(row["async_inflight"])
+        speedups.setdefault(transport, {})[inflight] = float(row["speedup"])
+        if inflight == 1:
+            identical_at_1[transport] = bool(row["matches_serial"])
+    headline: dict[str, dict] = {}
+    for transport, sweep in speedups.items():
+        target = 8 if 8 in sweep else max(sweep)
+        headline[transport] = {"async_inflight": target, "speedup": sweep[target]}
+    return {
+        "experiment_id": table.experiment_id,
+        "description": table.description,
+        "rows": list(table.rows),
+        "speedup": {
+            transport: {str(k): v for k, v in sorted(sweep.items())}
+            for transport, sweep in sorted(speedups.items())
+        },
+        "speedup_at_8": headline,
+        "identical_at_1": identical_at_1,
+    }
 
 
 def _outputs_identical(a_outputs, b_outputs) -> bool:

@@ -225,8 +225,12 @@ class OLGAPRO:
         #: "add training points until the bound fits" step to it; this is how
         #: :class:`~repro.engine.async_exec.AsyncRefinementExecutor` overlaps
         #: in-flight UDF calls with GP work without OLGAPRO knowing about
-        #: thread pools.  Drivers are installed per-computation (and removed
-        #: afterwards), so a pickled OLGAPRO never carries one.
+        #: thread pools, event loops, or any other
+        #: :class:`~repro.engine.transport.EvaluationTransport` the driver's
+        #: window rides — the transport seam ends at the driver, and OLGAPRO
+        #: only ever sees observed values.  Drivers are installed
+        #: per-computation (and removed afterwards), so a pickled OLGAPRO
+        #: never carries one.
         self.evaluation_driver = None
         #: Injectable source of already-paid-for UDF values, consulted by
         #: :meth:`_absorb_candidate` before spending a fresh evaluation.  The
@@ -471,7 +475,10 @@ class OLGAPRO:
         consumer, which is what makes every batch-level executor consume it
         identically.  ``evaluation_executor`` / ``max_inflight`` forward to
         :meth:`_ensure_initialized` so a concurrency-aware caller can
-        overlap the initial design's UDF calls.
+        overlap the initial design's UDF calls; the executor may be a plain
+        :class:`concurrent.futures.Executor` or an
+        :class:`~repro.engine.transport.EvaluationTransport` (the UDF's
+        ``evaluate_many`` dispatches on which it received).
         """
         init_calls_before = self.udf.call_count
         init_charged_before = self.udf.charged_time

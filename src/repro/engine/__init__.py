@@ -12,6 +12,16 @@ from repro.engine.async_exec import (
 )
 from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
 from repro.engine.executor import ComputedOutput, Strategy, UDFExecutionEngine
+from repro.engine.operators import (
+    ApplyUDF,
+    CrossJoin,
+    Operator,
+    Project,
+    Scan,
+    SelectUDF,
+    SelectWhere,
+    materialize,
+)
 from repro.engine.parallel import (
     DEFAULT_REFIT_THRESHOLD,
     MERGE_POLICIES,
@@ -24,19 +34,19 @@ from repro.engine.pipeline import (
     PipelinedExecutor,
     SpeculativeValuePool,
 )
-from repro.engine.operators import (
-    ApplyUDF,
-    CrossJoin,
-    Operator,
-    Project,
-    Scan,
-    SelectUDF,
-    SelectWhere,
-    materialize,
-)
+from repro.engine.plan import PRECEDENCE, ExecutionPlan, resolve_plan_argument
 from repro.engine.query import Query
 from repro.engine.schema import Attribute, AttributeKind, Schema
 from repro.engine.sdss import galaxy_schema, generate_galaxy_relation
+from repro.engine.transport import (
+    DEFAULT_TRANSPORT,
+    TRANSPORTS,
+    AsyncioTransport,
+    EvaluationTransport,
+    SerialTransport,
+    ThreadPoolTransport,
+    make_transport,
+)
 from repro.engine.tuples import Relation, UncertainTuple
 
 __all__ = [
@@ -50,6 +60,16 @@ __all__ = [
     "UDFExecutionEngine",
     "ComputedOutput",
     "Strategy",
+    "ExecutionPlan",
+    "PRECEDENCE",
+    "resolve_plan_argument",
+    "EvaluationTransport",
+    "SerialTransport",
+    "ThreadPoolTransport",
+    "AsyncioTransport",
+    "TRANSPORTS",
+    "DEFAULT_TRANSPORT",
+    "make_transport",
     "BatchExecutor",
     "DEFAULT_BATCH_SIZE",
     "iter_batches",

@@ -16,8 +16,10 @@ with a *windowed pipeline*:
    samples (the stable speculative top-k rule of
    :func:`~repro.core.olgapro.select_top_k_distinct` — the same selection
    PR 2's ``speculative_k`` uses),
-2. submit all of them to a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
-   at once, so their black-box latencies overlap each other,
+2. submit all of them at once through the configured
+   :class:`~repro.engine.transport.EvaluationTransport` — a bounded thread
+   pool by default, an event loop for natively-async UDFs — so their
+   black-box latencies overlap each other,
 3. while later results are still in flight, absorb the earlier ones in
    **submission order** in deterministic chunks (doubling sizes ``1, 1, 2,
    4, ...``) through the blocked
@@ -53,7 +55,7 @@ of ``k`` calls costs roughly one latency instead of ``k``.
 from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -63,6 +65,13 @@ from repro.core.olgapro import OLGAPRO, select_top_k_distinct
 from repro.distributions.base import Distribution
 from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor
 from repro.engine.executor import ComputedOutput, UDFExecutionEngine
+from repro.engine.transport import (
+    DEFAULT_TRANSPORT,
+    EvaluationTransport,
+    TransportSpec,
+    make_transport,
+    transport_name,
+)
 from repro.exceptions import QueryError
 from repro.index.bounding_box import BoundingBox
 from repro.timing import PhaseTimings
@@ -108,14 +117,20 @@ class AsyncEvaluationDriver:
     every tuple of a computation.
     """
 
-    def __init__(self, executor: ThreadPoolExecutor, inflight: int):
-        """Bind the driver to a thread pool and a window bound.
+    def __init__(
+        self, executor: Union[ThreadPoolExecutor, EvaluationTransport], inflight: int
+    ):
+        """Bind the driver to an evaluation carrier and a window bound.
 
         Parameters
         ----------
         executor:
-            Pool the black-box calls are submitted to; its worker count
-            should be at least ``inflight`` or submissions queue.
+            What carries the black-box calls: a thread pool, or any
+            :class:`~repro.engine.transport.EvaluationTransport` (the
+            submission goes through :meth:`~repro.udf.base.UDF
+            .submit_rows`, which dispatches on the carrier type) — its
+            concurrency should be at least ``inflight`` or submissions
+            queue.
         inflight:
             Maximum UDF evaluations in flight per refinement window.
         """
@@ -224,8 +239,13 @@ class AsyncEvaluationDriver:
                 # Charge accounting stays deterministic: every submitted
                 # evaluation completes (and is charged) before the tuple
                 # finishes, whether its result was absorbed or discarded.
-                for future in futures:
-                    _settle(future)
+                # A transport carrier drains through its own settle step;
+                # a raw pool settles future by future.
+                if isinstance(self.executor, EvaluationTransport):
+                    self.executor.drain(futures)
+                else:
+                    for future in futures:
+                        _settle(future)
         return envelope, bound, points_added, True
 
     def _submit_window(self, olgapro: OLGAPRO, X: np.ndarray) -> list[Future]:
@@ -267,11 +287,20 @@ class AsyncRefinementExecutor:
         :class:`BatchExecutor` under the same seed.
     batch_size:
         Chunk size of the underlying batched pipeline.
+    transport:
+        How the window's evaluations reach the black box: a registry name
+        (``"threads"`` — the default bounded pool — or ``"asyncio"`` for
+        natively-async UDFs) or an
+        :class:`~repro.engine.transport.EvaluationTransport` instance.
+        The transport is opened per computation and closed on every exit
+        path, so the executor itself stays picklable and reusable.
 
     Raises
     ------
     QueryError
-        On non-positive ``inflight`` / ``batch_size``, or when a driver is
+        On non-positive ``inflight`` / ``batch_size``, an unusable
+        transport (unknown name, or ``"serial"`` with ``inflight > 1`` —
+        inline evaluation cannot overlap a window), or when a driver is
         already installed on the target processor (nested async execution).
     """
 
@@ -280,14 +309,21 @@ class AsyncRefinementExecutor:
         engine: UDFExecutionEngine,
         inflight: int = DEFAULT_ASYNC_INFLIGHT,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        transport: Optional[TransportSpec] = None,
     ):
-        """Validate the configuration and bind the engine (no pool yet —
-        thread pools are created per computation so the executor itself
-        stays picklable and reusable)."""
+        """Validate the configuration and bind the engine (no evaluation
+        resource yet — transports are opened per computation so the
+        executor itself stays picklable and reusable)."""
         if inflight < 1:
             raise QueryError(f"inflight must be positive, got {inflight}")
         if batch_size < 1:
             raise QueryError(f"batch_size must be positive, got {batch_size}")
+        self.transport = transport if transport is not None else DEFAULT_TRANSPORT
+        if transport_name(self.transport) == "serial" and inflight > 1:
+            raise QueryError(
+                "transport='serial' evaluates inline and cannot overlap "
+                f"inflight={inflight} calls; use 'threads' or 'asyncio'"
+            )
         self.engine = engine
         self.inflight = int(inflight)
         self.batch_size = int(batch_size)
@@ -329,6 +365,12 @@ class AsyncRefinementExecutor:
         """Install the driver (when it can engage), delegate, clean up."""
         if not distributions:
             return []
+        # Fail fast on an incompatible UDF/transport pair even on the
+        # degenerate paths (inflight=1, mc) that never open the transport:
+        # a misconfiguration must not become visible only once the user
+        # raises the window.
+        transport = make_transport(self.transport)
+        transport.accepts(udf)
         batch = BatchExecutor(self.engine, self.batch_size)
         try:
             if self.inflight == 1 or self.engine.strategy == "mc":
@@ -339,10 +381,11 @@ class AsyncRefinementExecutor:
                     f"processor for UDF {udf.name!r} already has an evaluation "
                     "driver installed (nested async execution is not supported)"
                 )
-            with ThreadPoolExecutor(
-                max_workers=self.inflight, thread_name_prefix=f"udf-{udf.name}"
-            ) as pool:
-                olgapro.evaluation_driver = AsyncEvaluationDriver(pool, self.inflight)
+            # The session closes the transport on *every* exit path — a
+            # QueryError mid-computation must not leak pool or event-loop
+            # threads.
+            with transport.session(self.inflight, label=udf.name) as carrier:
+                olgapro.evaluation_driver = AsyncEvaluationDriver(carrier, self.inflight)
                 try:
                     return self._delegate(batch, udf, distributions, predicate)
                 finally:

@@ -13,7 +13,7 @@ strategies are available, mirroring the paper's evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional
+from typing import TYPE_CHECKING, Literal, Optional
 
 from repro.core.accuracy import AccuracyRequirement
 from repro.core.filtering import SelectionPredicate
@@ -22,9 +22,12 @@ from repro.core.mc_baseline import monte_carlo_output, monte_carlo_with_filter
 from repro.core.olgapro import OLGAPRO
 from repro.distributions.base import Distribution
 from repro.distributions.empirical import EmpiricalDistribution
-from repro.exceptions import QueryError
+from repro.exceptions import PlanError, QueryError
 from repro.rng import RandomState, as_generator
 from repro.udf.base import UDF
+
+if TYPE_CHECKING:  # imported lazily at runtime (plan.py imports this module)
+    from repro.engine.plan import ExecutionPlan
 
 Strategy = Literal["mc", "gp", "hybrid"]
 
@@ -57,14 +60,34 @@ class UDFExecutionEngine:
         strategy: Strategy = "gp",
         requirement: AccuracyRequirement | None = None,
         random_state: RandomState = None,
+        plan: "ExecutionPlan | None" = None,
         **processor_kwargs,
     ):
+        """Bind strategy, accuracy requirement, random stream and defaults.
+
+        ``plan`` installs a default :class:`~repro.engine.plan.ExecutionPlan`
+        for this engine: :meth:`compute_with_plan` falls back to it when
+        called without an explicit plan, and a plan-carried
+        ``speculative_k`` is applied to the per-UDF processors here (it is
+        a processor-construction knob, so only the engine — which builds
+        the processors — can honour it).
+        """
         if strategy not in ("mc", "gp", "hybrid"):
             raise QueryError(f"unknown strategy {strategy!r}")
         self.strategy: Strategy = strategy
         self.requirement = requirement if requirement is not None else AccuracyRequirement()
         self._rng = as_generator(random_state)
         self._processor_kwargs = processor_kwargs
+        self.plan = plan
+        if plan is not None and plan.speculative_k is not None:
+            configured = self._processor_kwargs.setdefault(
+                "speculative_k", plan.speculative_k
+            )
+            if configured != plan.speculative_k:
+                raise PlanError(
+                    f"plan.speculative_k={plan.speculative_k} conflicts with "
+                    f"speculative_k={configured} passed directly to the engine"
+                )
         self._processors: dict[str, OLGAPRO | HybridExecutor] = {}
 
     def reseed(self, random_state: RandomState) -> None:
@@ -101,6 +124,48 @@ class UDFExecutionEngine:
                 )
         return self._processors[key]
 
+    # -- plan-driven evaluation ---------------------------------------------------------
+    def compute_with_plan(
+        self,
+        udf: UDF,
+        input_distributions,
+        plan: "ExecutionPlan | None" = None,
+        predicate: SelectionPredicate | None = None,
+    ) -> list[ComputedOutput]:
+        """Evaluate ``udf`` on many tuples as one ExecutionPlan describes.
+
+        The single plan-driven entry point: ``plan`` (or, when ``None``,
+        the engine's default plan from construction, or the all-default
+        per-tuple plan) is resolved to the composed executor stack and run
+        over ``input_distributions``, optionally under a selection
+        ``predicate``.  The per-layer convenience methods below
+        (:meth:`compute_batch`, :meth:`compute_async`,
+        :meth:`compute_pipelined`) are thin shims over this.
+
+        Raises
+        ------
+        QueryError
+            As :class:`~repro.exceptions.PlanError` for an invalid plan,
+            plus whatever the resolved executor raises.
+        """
+        from repro.engine.plan import ExecutionPlan
+
+        resolved_plan = plan if plan is not None else self.plan
+        if resolved_plan is None:
+            resolved_plan = ExecutionPlan()
+        executor = resolved_plan.resolve(self)
+        distributions = list(input_distributions)
+        if executor is None:
+            if predicate is None:
+                return [self.compute(udf, dist) for dist in distributions]
+            return [
+                self.compute_with_predicate(udf, dist, predicate)
+                for dist in distributions
+            ]
+        if predicate is None:
+            return executor.compute_batch(udf, distributions)
+        return executor.compute_batch_with_predicate(udf, distributions, predicate)
+
     # -- batched evaluation -------------------------------------------------------------
     def compute_batch(
         self, udf: UDF, input_distributions, batch_size: int | None = None
@@ -111,12 +176,13 @@ class UDFExecutionEngine:
         under the same seed and a deterministic tuning strategy the results
         match calling :meth:`compute` once per tuple, in order.
         """
-        from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor
+        from repro.engine.batch import DEFAULT_BATCH_SIZE
+        from repro.engine.plan import ExecutionPlan
 
-        executor = BatchExecutor(
-            self, batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
+        plan = ExecutionPlan(
+            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
         )
-        return executor.compute_batch(udf, list(input_distributions))
+        return self.compute_with_plan(udf, input_distributions, plan)
 
     def compute_parallel(
         self,
@@ -128,14 +194,18 @@ class UDFExecutionEngine:
         seed: int | None = None,
         async_inflight: int | None = None,
         oversubscribe: float = 1.0,
+        transport=None,
     ) -> list[ComputedOutput]:
         """Evaluate ``udf`` on many tuples sharded across a process pool.
 
         Convenience wrapper over
-        :class:`~repro.engine.parallel.ParallelExecutor`; see that class for
-        the merge policies, the determinism contract (``workers=1`` is
-        numerically identical to :meth:`compute_batch`), and the
-        ``async_inflight`` / ``oversubscribe`` latency-hiding knobs.
+        :class:`~repro.engine.parallel.ParallelExecutor` (kept direct
+        rather than plan-built: ``workers=None`` here means "the scaled
+        core-count default", which a plan expresses via ``oversubscribe``
+        alone); see that class for the merge policies, the determinism
+        contract (``workers=1`` is numerically identical to
+        :meth:`compute_batch`), and the ``async_inflight`` /
+        ``oversubscribe`` / ``transport`` latency-hiding knobs.
         """
         from repro.engine.batch import DEFAULT_BATCH_SIZE
         from repro.engine.parallel import ParallelExecutor
@@ -148,6 +218,7 @@ class UDFExecutionEngine:
             seed=seed,
             async_inflight=async_inflight,
             oversubscribe=oversubscribe,
+            transport=transport,
         )
         return executor.compute_batch(udf, list(input_distributions))
 
@@ -157,25 +228,29 @@ class UDFExecutionEngine:
         input_distributions,
         inflight: int | None = None,
         batch_size: int | None = None,
+        transport=None,
     ) -> list[ComputedOutput]:
         """Evaluate ``udf`` on many tuples with overlapped refinement calls.
 
-        Convenience wrapper over
+        Convenience plan shim over
         :class:`~repro.engine.async_exec.AsyncRefinementExecutor`: up to
-        ``inflight`` refinement-loop UDF evaluations run concurrently on a
-        bounded thread pool, hiding black-box latency inside GP inference.
-        ``inflight=1`` is bit-identical to :meth:`compute_batch` under the
-        same seed.
+        ``inflight`` refinement-loop UDF evaluations run concurrently on
+        the configured ``transport`` (a bounded thread pool by default; an
+        event loop with ``transport="asyncio"`` and an
+        :class:`~repro.udf.base.AsyncUDF`), hiding black-box latency
+        inside GP inference.  ``inflight=1`` is bit-identical to
+        :meth:`compute_batch` under the same seed.
         """
-        from repro.engine.async_exec import DEFAULT_ASYNC_INFLIGHT, AsyncRefinementExecutor
+        from repro.engine.async_exec import DEFAULT_ASYNC_INFLIGHT
         from repro.engine.batch import DEFAULT_BATCH_SIZE
+        from repro.engine.plan import ExecutionPlan
 
-        executor = AsyncRefinementExecutor(
-            self,
-            inflight=inflight if inflight is not None else DEFAULT_ASYNC_INFLIGHT,
+        plan = ExecutionPlan(
             batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+            async_inflight=inflight if inflight is not None else DEFAULT_ASYNC_INFLIGHT,
+            transport=transport if transport is not None else "threads",
         )
-        return executor.compute_batch(udf, list(input_distributions))
+        return self.compute_with_plan(udf, input_distributions, plan)
 
     def compute_pipelined(
         self,
@@ -184,28 +259,32 @@ class UDFExecutionEngine:
         lookahead: int | None = None,
         inflight: int | None = None,
         batch_size: int | None = None,
+        transport=None,
     ) -> list[ComputedOutput]:
         """Evaluate ``udf`` on many tuples with cross-tuple pipelining.
 
-        Convenience wrapper over
+        Convenience plan shim over
         :class:`~repro.engine.pipeline.PipelinedExecutor`: while one tuple's
         refinement waits on black-box UDF calls, the sampling, first GP
         inference and prefetched first refinement window of the next
         ``lookahead - 1`` tuples already run on a shared bounded pool.
-        ``inflight`` sets the within-tuple window (as in
-        :meth:`compute_async`); ``lookahead=1`` is bit-identical to
-        :meth:`compute_batch` under the same seed.
+        ``inflight`` sets the within-tuple window and ``transport`` the
+        evaluation carrier (as in :meth:`compute_async`); ``lookahead=1``
+        is bit-identical to :meth:`compute_batch` under the same seed.
         """
         from repro.engine.batch import DEFAULT_BATCH_SIZE
-        from repro.engine.pipeline import DEFAULT_PIPELINE_LOOKAHEAD, PipelinedExecutor
+        from repro.engine.pipeline import DEFAULT_PIPELINE_LOOKAHEAD
+        from repro.engine.plan import ExecutionPlan
 
-        executor = PipelinedExecutor(
-            self,
-            lookahead=lookahead if lookahead is not None else DEFAULT_PIPELINE_LOOKAHEAD,
-            inflight=inflight,
+        plan = ExecutionPlan(
             batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+            pipeline_lookahead=(
+                lookahead if lookahead is not None else DEFAULT_PIPELINE_LOOKAHEAD
+            ),
+            async_inflight=inflight,
+            transport=transport if transport is not None else "threads",
         )
-        return executor.compute_batch(udf, list(input_distributions))
+        return self.compute_with_plan(udf, input_distributions, plan)
 
     # -- evaluation without a predicate ------------------------------------------------
     def compute(self, udf: UDF, input_distribution: Distribution) -> ComputedOutput:

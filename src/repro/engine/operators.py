@@ -21,68 +21,36 @@ import abc
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.filtering import SelectionPredicate
-from repro.engine.async_exec import AsyncRefinementExecutor
-from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
+from repro.engine.batch import iter_batches
 from repro.engine.executor import UDFExecutionEngine
 from repro.engine.parallel import MergePolicy, ParallelExecutor
-from repro.engine.pipeline import PipelinedExecutor
+from repro.engine.plan import ExecutionPlan, resolve_plan_argument
 from repro.engine.schema import Attribute, AttributeKind, Schema
+from repro.engine.transport import TransportSpec
 from repro.engine.tuples import Relation, UncertainTuple
 from repro.exceptions import QueryError
 from repro.udf.base import UDF
 
 
-def _make_udf_executor(
+def _plan_and_executors(
+    plan: ExecutionPlan | None,
     engine: UDFExecutionEngine,
-    batch_size: int | None,
-    workers: int | None,
-    merge: MergePolicy,
-    parallel_seed: int | None,
-    async_inflight: int | None = None,
-    pipeline_lookahead: int | None = None,
-) -> tuple[
-    ParallelExecutor | None,
-    BatchExecutor | AsyncRefinementExecutor | PipelinedExecutor | None,
-]:
-    """Executor-selection policy shared by :class:`ApplyUDF` and :class:`SelectUDF`.
+    **legacy,
+) -> tuple[ExecutionPlan, ParallelExecutor | None, object | None]:
+    """Shared plan/executor setup of :class:`ApplyUDF` and :class:`SelectUDF`.
 
-    ``workers`` set → a :class:`ParallelExecutor` (``batch_size`` defaulting
-    to :data:`DEFAULT_BATCH_SIZE`, ``async_inflight`` and
-    ``pipeline_lookahead`` forwarded so each shard overlaps its UDF calls /
-    pipelines its tuples); otherwise ``pipeline_lookahead`` set → a
-    :class:`~repro.engine.pipeline.PipelinedExecutor` (``async_inflight``
-    becomes its within-tuple window); otherwise ``async_inflight`` set → an
-    :class:`AsyncRefinementExecutor`; otherwise ``batch_size`` set → a
-    :class:`BatchExecutor`; otherwise the classic per-tuple path (all
-    ``None``).
+    Resolves ``plan=``-or-legacy-kwargs to one validated plan, then the
+    plan to its executor, split into the two shapes the operators
+    iterate over: ``(plan, parallel, chunked)`` where ``parallel`` is a
+    :class:`~repro.engine.parallel.ParallelExecutor` (whole-input fan-out)
+    and ``chunked`` any chunk-wise executor (``None``/``None`` = the
+    per-tuple path).
     """
-    if workers is not None:
-        parallel = ParallelExecutor(
-            engine,
-            workers=workers,
-            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
-            merge=merge,
-            seed=parallel_seed,
-            async_inflight=async_inflight,
-            pipeline_lookahead=pipeline_lookahead,
-        )
-        return parallel, None
-    if pipeline_lookahead is not None:
-        return None, PipelinedExecutor(
-            engine,
-            lookahead=pipeline_lookahead,
-            inflight=async_inflight,
-            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
-        )
-    if async_inflight is not None:
-        return None, AsyncRefinementExecutor(
-            engine,
-            inflight=async_inflight,
-            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
-        )
-    if batch_size is not None:
-        return None, BatchExecutor(engine, batch_size)
-    return None, None
+    resolved = resolve_plan_argument(plan, warn_stacklevel=4, **legacy)
+    executor = resolved.resolve(engine)
+    if isinstance(executor, ParallelExecutor):
+        return resolved, executor, None
+    return resolved, None, executor
 
 
 class Operator(abc.ABC):
@@ -208,21 +176,15 @@ class ApplyUDF(Operator):
     claimed error bound is recorded in ``annotations[alias + "_error_bound"]``
     and the UDF cost in ``annotations[alias + "_udf_calls"]``.
 
-    When ``batch_size`` is set, the input stream is consumed in chunks of
-    that many tuples and each chunk is evaluated through the batched
-    pipeline (:class:`~repro.engine.batch.BatchExecutor`) instead of one
-    engine call per tuple.  When ``async_inflight`` is set, the refinement
-    loop's UDF calls are overlapped through the asynchronous pipeline
-    (:class:`~repro.engine.async_exec.AsyncRefinementExecutor`).  When
-    ``pipeline_lookahead`` is set, consecutive tuples are additionally
-    pipelined through the cross-tuple scheduler
-    (:class:`~repro.engine.pipeline.PipelinedExecutor`), with
-    ``async_inflight`` as its within-tuple window.  When ``workers`` is
-    set, the input is additionally sharded across a process pool
-    (:class:`~repro.engine.parallel.ParallelExecutor`); ``merge`` and
-    ``parallel_seed`` configure that executor's merge policy and per-shard
-    random streams, and ``async_inflight`` / ``pipeline_lookahead`` then
-    apply inside each shard.
+    How the evaluation executes is described by one
+    :class:`~repro.engine.plan.ExecutionPlan` (``plan=``): batching,
+    sharding, overlapped refinement windows, cross-tuple pipelining and
+    the evaluation transport, validated as a unit and resolved to the
+    composed executor stack.  The per-knob kwargs (``batch_size`` /
+    ``workers`` / ``merge`` / ``parallel_seed`` / ``async_inflight`` /
+    ``pipeline_lookahead`` / ``transport``) remain as a deprecation shim
+    that builds the same plan; passing both is a
+    :class:`~repro.exceptions.PlanError`.
     """
 
     def __init__(
@@ -232,12 +194,14 @@ class ApplyUDF(Operator):
         argument_names: Sequence[str],
         alias: str,
         engine: UDFExecutionEngine,
+        plan: ExecutionPlan | None = None,
         batch_size: int | None = None,
         workers: int | None = None,
         merge: MergePolicy = "union",
         parallel_seed: int | None = None,
         async_inflight: int | None = None,
         pipeline_lookahead: int | None = None,
+        transport: TransportSpec | None = None,
     ):
         """Validate the UDF call against the child's schema and pick executors.
 
@@ -246,7 +210,8 @@ class ApplyUDF(Operator):
         QueryError
             When ``argument_names`` is empty or references unknown
             attributes, when ``alias`` collides with an existing attribute,
-            or when an executor knob is invalid.
+            or (as :class:`~repro.exceptions.PlanError`) when the execution
+            plan — explicit or built from the legacy kwargs — is invalid.
         """
         if not argument_names:
             raise QueryError("a UDF call needs at least one argument attribute")
@@ -260,14 +225,15 @@ class ApplyUDF(Operator):
         self.argument_names = list(argument_names)
         self.alias = alias
         self.engine = engine
-        self.batch_size = batch_size
-        self.workers = workers
-        self.async_inflight = async_inflight
-        self.pipeline_lookahead = pipeline_lookahead
-        self._parallel, self._batch = _make_udf_executor(
-            engine, batch_size, workers, merge, parallel_seed, async_inflight,
-            pipeline_lookahead,
+        self.plan, self._parallel, self._batch = _plan_and_executors(
+            plan, engine, batch_size=batch_size, workers=workers, merge=merge,
+            parallel_seed=parallel_seed, async_inflight=async_inflight,
+            pipeline_lookahead=pipeline_lookahead, transport=transport,
         )
+        self.batch_size = self.plan.batch_size
+        self.workers = self.plan.workers
+        self.async_inflight = self.plan.async_inflight
+        self.pipeline_lookahead = self.plan.pipeline_lookahead
 
     def schema(self) -> Schema:
         """The child schema plus the derived uncertain output attribute."""
@@ -325,25 +291,27 @@ class SelectUDF(Operator):
         alias: str,
         predicate: SelectionPredicate,
         engine: UDFExecutionEngine,
+        plan: ExecutionPlan | None = None,
         batch_size: int | None = None,
         workers: int | None = None,
         merge: MergePolicy = "union",
         parallel_seed: int | None = None,
         async_inflight: int | None = None,
         pipeline_lookahead: int | None = None,
+        transport: TransportSpec | None = None,
     ):
         """Validate the predicated UDF call and pick executors.
 
-        The executor knobs (``batch_size`` / ``workers`` / ``merge`` /
-        ``parallel_seed`` / ``async_inflight`` / ``pipeline_lookahead``)
-        behave exactly as on :class:`ApplyUDF`.
+        The execution configuration (``plan=``, or the legacy per-knob
+        kwargs) behaves exactly as on :class:`ApplyUDF`.
 
         Raises
         ------
         QueryError
             When ``argument_names`` references unknown attributes, when
-            ``alias`` collides with an existing attribute, or when an
-            executor knob is invalid.
+            ``alias`` collides with an existing attribute, or (as
+            :class:`~repro.exceptions.PlanError`) when the execution plan
+            is invalid.
         """
         for name in argument_names:
             if name not in child.schema():
@@ -356,14 +324,15 @@ class SelectUDF(Operator):
         self.alias = alias
         self.predicate = predicate
         self.engine = engine
-        self.batch_size = batch_size
-        self.workers = workers
-        self.async_inflight = async_inflight
-        self.pipeline_lookahead = pipeline_lookahead
-        self._parallel, self._batch = _make_udf_executor(
-            engine, batch_size, workers, merge, parallel_seed, async_inflight,
-            pipeline_lookahead,
+        self.plan, self._parallel, self._batch = _plan_and_executors(
+            plan, engine, batch_size=batch_size, workers=workers, merge=merge,
+            parallel_seed=parallel_seed, async_inflight=async_inflight,
+            pipeline_lookahead=pipeline_lookahead, transport=transport,
         )
+        self.batch_size = self.plan.batch_size
+        self.workers = self.plan.workers
+        self.async_inflight = self.plan.async_inflight
+        self.pipeline_lookahead = self.plan.pipeline_lookahead
 
     def schema(self) -> Schema:
         """The child schema plus the predicate-restricted output attribute."""

@@ -125,8 +125,15 @@ def _shard_executor(
     batch_size: int,
     async_inflight: Optional[int],
     pipeline_lookahead: Optional[int] = None,
+    transport=None,
 ):
-    """The per-shard executor: batched, async-overlapped, or pipelined."""
+    """The per-shard executor: batched, async-overlapped, or pipelined.
+
+    ``transport`` (a registry name or an
+    :class:`~repro.engine.transport.EvaluationTransport`) selects how each
+    shard's refinement windows reach the black box; ``None`` keeps the
+    sub-executor's default (a bounded thread pool).
+    """
     if pipeline_lookahead is not None and pipeline_lookahead > 1:
         from repro.engine.pipeline import PipelinedExecutor
 
@@ -135,11 +142,14 @@ def _shard_executor(
             lookahead=pipeline_lookahead,
             inflight=async_inflight,
             batch_size=batch_size,
+            transport=transport,
         )
     if async_inflight is not None and async_inflight > 1:
         from repro.engine.async_exec import AsyncRefinementExecutor
 
-        return AsyncRefinementExecutor(engine, inflight=async_inflight, batch_size=batch_size)
+        return AsyncRefinementExecutor(
+            engine, inflight=async_inflight, batch_size=batch_size, transport=transport
+        )
     return BatchExecutor(engine, batch_size)
 
 
@@ -152,6 +162,7 @@ def _run_shard(
     predicate: Optional[SelectionPredicate],
     async_inflight: Optional[int] = None,
     pipeline_lookahead: Optional[int] = None,
+    transport=None,
 ) -> ShardResult:
     """Pool-worker entry point: one shard through the batched pipeline.
 
@@ -173,7 +184,9 @@ def _run_shard(
     calls_before = udf.call_count
     real_before = udf.real_time
 
-    executor = _shard_executor(engine, batch_size, async_inflight, pipeline_lookahead)
+    executor = _shard_executor(
+        engine, batch_size, async_inflight, pipeline_lookahead, transport
+    )
     if predicate is None:
         outputs = executor.compute_batch(udf, list(distributions))
     else:
@@ -262,16 +275,23 @@ class ParallelExecutor:
         async_inflight: Optional[int] = None,
         pipeline_lookahead: Optional[int] = None,
         oversubscribe: float = 1.0,
+        transport=None,
     ):
         """Validate the configuration; no pool is created until a compute call.
+
+        ``transport`` selects how each shard's refinement windows reach the
+        black box (forwarded to the per-shard sub-executor; ``None`` keeps
+        their default thread pool).  Transports are opened inside each
+        worker process — only the *spec* crosses the pickling boundary.
 
         Raises
         ------
         QueryError
             On a non-positive ``workers`` / ``batch_size`` / ``shard_size``
             / ``refit_threshold`` / ``async_inflight`` /
-            ``pipeline_lookahead``, an unknown ``merge`` policy, or
-            ``oversubscribe < 1``.
+            ``pipeline_lookahead``, an unknown ``merge`` policy or
+            ``transport``, a serial transport under an overlapped schedule,
+            or ``oversubscribe < 1``.
         """
         if workers is not None and workers < 1:
             raise QueryError(f"workers must be positive, got {workers}")
@@ -291,6 +311,18 @@ class ParallelExecutor:
             )
         if oversubscribe < 1.0:
             raise QueryError(f"oversubscribe must be at least 1, got {oversubscribe}")
+        if transport is not None:
+            from repro.engine.transport import transport_name
+
+            if transport_name(transport) == "serial" and (
+                (async_inflight is not None and async_inflight > 1)
+                or (pipeline_lookahead is not None and pipeline_lookahead > 1)
+            ):
+                raise QueryError(
+                    "transport='serial' cannot carry an overlapped per-shard "
+                    "schedule; use 'threads' or 'asyncio'"
+                )
+        self.transport = transport
         self.engine = engine
         self.async_inflight = int(async_inflight) if async_inflight is not None else None
         self.pipeline_lookahead = (
@@ -349,7 +381,8 @@ class ParallelExecutor:
         n_before = emulator.n_training if emulator is not None else 0
 
         executor = _shard_executor(
-            self.engine, self.batch_size, self.async_inflight, self.pipeline_lookahead
+            self.engine, self.batch_size, self.async_inflight,
+            self.pipeline_lookahead, self.transport,
         )
         if predicate is None:
             outputs = executor.compute_batch(udf, distributions)
@@ -417,6 +450,7 @@ class ParallelExecutor:
                     pool.submit(
                         _run_shard, payload, i, shard, self.batch_size, base_seed,
                         predicate, self.async_inflight, self.pipeline_lookahead,
+                        self.transport,
                     )
                     for i, shard in enumerate(shards)
                 ]

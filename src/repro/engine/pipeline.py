@@ -69,7 +69,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -91,6 +91,13 @@ from repro.engine.batch import (
     online_result_to_output,
 )
 from repro.engine.executor import ComputedOutput, UDFExecutionEngine
+from repro.engine.transport import (
+    DEFAULT_TRANSPORT,
+    EvaluationTransport,
+    TransportSpec,
+    make_transport,
+    transport_name,
+)
 from repro.exceptions import QueryError
 from repro.gp.regression import GaussianProcess
 from repro.index.bounding_box import BoundingBox
@@ -115,7 +122,7 @@ class SpeculativeValuePool:
     is complete — and deterministic — before a chunk finishes.
     """
 
-    def __init__(self, udf: UDF, executor: ThreadPoolExecutor):
+    def __init__(self, udf: UDF, executor: Union[ThreadPoolExecutor, EvaluationTransport]):
         self.udf = udf
         self.executor = executor
         self._lock = threading.Lock()
@@ -219,7 +226,12 @@ class PipelineEvaluationDriver(AsyncEvaluationDriver):
     refinement trajectory is bitwise the async driver's.
     """
 
-    def __init__(self, executor: ThreadPoolExecutor, inflight: int, pool: SpeculativeValuePool):
+    def __init__(
+        self,
+        executor: Union[ThreadPoolExecutor, EvaluationTransport],
+        inflight: int,
+        pool: SpeculativeValuePool,
+    ):
         super().__init__(executor, inflight)
         self.pool = pool
 
@@ -316,12 +328,21 @@ class PipelinedExecutor:
     batch_size:
         Chunk size of the underlying batched pipeline.  Speculation never
         crosses a chunk boundary (the kernel cache is per chunk).
+    transport:
+        How the refinement windows' and prefetch walks' evaluations reach
+        the black box (``"threads"`` default, ``"asyncio"`` for
+        natively-async UDFs, or an
+        :class:`~repro.engine.transport.EvaluationTransport` instance).
+        The speculative *stages* always run on a private thread pool —
+        they are GP work, not black-box calls — whatever the transport.
 
     Raises
     ------
     QueryError
-        On non-positive knobs, or when an evaluation driver is already
-        installed on the target processor (nested pipelined execution).
+        On non-positive knobs, an unusable transport (``"serial"`` cannot
+        carry an overlapped schedule), or when an evaluation driver is
+        already installed on the target processor (nested pipelined
+        execution).
     """
 
     def __init__(
@@ -330,6 +351,7 @@ class PipelinedExecutor:
         lookahead: int = DEFAULT_PIPELINE_LOOKAHEAD,
         inflight: Optional[int] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        transport: Optional[TransportSpec] = None,
     ):
         """Validate the configuration and bind the engine (pools are created
         per computation so the executor stays picklable and reusable)."""
@@ -339,6 +361,15 @@ class PipelinedExecutor:
             raise QueryError(f"inflight must be positive, got {inflight}")
         if batch_size < 1:
             raise QueryError(f"batch_size must be positive, got {batch_size}")
+        self.transport = transport if transport is not None else DEFAULT_TRANSPORT
+        if transport_name(self.transport) == "serial" and (
+            lookahead > 1 or (inflight is not None and inflight > 1)
+        ):
+            raise QueryError(
+                "transport='serial' evaluates inline and cannot carry the "
+                f"overlapped schedule (lookahead={lookahead}, inflight="
+                f"{inflight}); use 'threads' or 'asyncio'"
+            )
         self.engine = engine
         self.lookahead = int(lookahead)
         self.inflight = int(inflight) if inflight is not None else None
@@ -392,7 +423,8 @@ class PipelinedExecutor:
             inflight = DEFAULT_ASYNC_INFLIGHT
         if inflight is not None and inflight > 1:
             return AsyncRefinementExecutor(
-                self.engine, inflight=inflight, batch_size=self.batch_size
+                self.engine, inflight=inflight, batch_size=self.batch_size,
+                transport=self.transport,
             )
         return BatchExecutor(self.engine, self.batch_size)
 
@@ -407,6 +439,11 @@ class PipelinedExecutor:
         try:
             if not distributions:
                 return []
+            # Fail fast on an incompatible UDF/transport pair even on the
+            # degenerate paths (lookahead=1, predicate, mc) that delegate
+            # without opening the transport themselves (the async delegate
+            # re-checks, the batch delegate never would).
+            make_transport(self.transport).accepts(udf)
             if (
                 self.lookahead == 1
                 or predicate is not None
@@ -439,14 +476,14 @@ class PipelinedExecutor:
                 "driver installed (nested pipelined execution is not supported)"
             )
         window = self.inflight if self.inflight is not None else DEFAULT_ASYNC_INFLIGHT
-        # Two bounded pools, split by *blocking behaviour*.  Black-box
+        # Two bounded carriers, split by *blocking behaviour*.  Black-box
         # evaluations never block on anything, so a dedicated evaluation
-        # pool always makes progress; speculative stages and refinement
+        # transport always makes progress; speculative stages and refinement
         # walks DO block (on evaluation futures), so they get their own
-        # pool — a pile-up of blocked walks can delay other stages, never
-        # the evaluations they are waiting on.  Putting both kinds on one
-        # pool would deadlock once every worker held a blocked walk with
-        # the evaluations it awaits still queued behind it.
+        # thread pool — a pile-up of blocked walks can delay other stages,
+        # never the evaluations they are waiting on.  Putting both kinds on
+        # one carrier would deadlock once every worker held a blocked walk
+        # with the evaluations it awaits still queued behind it.
         # Eval sizing: the commit window plus each concurrent walk's padded
         # prefetches can sleep simultaneously; beyond that, queued
         # evaluations only add latency (never deadlock — eval tasks do not
@@ -458,8 +495,12 @@ class PipelinedExecutor:
         #: Calibrates both the walk-depth cap and the full-versus-cheap
         #: speculative inference choice (see :meth:`_run_chunk`).
         recent_depths: list[int] = []
-        with ThreadPoolExecutor(
-            max_workers=eval_workers, thread_name_prefix=f"udf-eval-{udf.name}"
+        transport = make_transport(self.transport)
+        transport.accepts(udf)
+        # The session closes the transport on every exit path (QueryError
+        # included), so a failed chunk never leaks evaluation threads.
+        with transport.session(
+            eval_workers, label=f"eval-{udf.name}"
         ) as eval_pool, ThreadPoolExecutor(
             max_workers=stage_workers, thread_name_prefix=f"udf-pipeline-{udf.name}"
         ) as stage_pool:
@@ -477,7 +518,7 @@ class PipelinedExecutor:
         udf: UDF,
         olgapro: OLGAPRO,
         chunk: list[Distribution],
-        eval_pool: ThreadPoolExecutor,
+        eval_pool: Union[ThreadPoolExecutor, EvaluationTransport],
         stage_pool: ThreadPoolExecutor,
         window: int,
         recent_depths: list[int],

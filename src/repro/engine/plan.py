@@ -1,0 +1,309 @@
+"""ExecutionPlan: one validated description of *how* a query executes.
+
+Four PRs grew four coexisting execution layers — batched
+(:mod:`repro.engine.batch`), sharded (:mod:`repro.engine.parallel`),
+async-overlapped (:mod:`repro.engine.async_exec`) and cross-tuple
+pipelined (:mod:`repro.engine.pipeline`) — and each threaded its own knob
+(``batch_size`` / ``workers`` / ``async_inflight`` /
+``pipeline_lookahead`` / ``merge`` / ``parallel_seed`` / ``transport``)
+separately through :class:`~repro.engine.operators.ApplyUDF`,
+:class:`~repro.engine.operators.SelectUDF`,
+:class:`~repro.engine.query.Query` and
+:class:`~repro.engine.executor.UDFExecutionEngine`.  The selection logic
+("``workers`` beats ``pipeline_lookahead`` beats ``async_inflight`` beats
+``batch_size``") lived in one place, but the knobs, their validation and
+their defaults were re-declared at every entry point, and an invalid
+combination was *silently resolved* rather than rejected.
+
+:class:`ExecutionPlan` collapses those paths: one frozen dataclass holding
+every knob, validated on construction (:class:`~repro.exceptions.PlanError`
+with the violated rule — and the precedence — in the message), resolved to
+a composed executor by :meth:`ExecutionPlan.resolve`.  The legacy kwargs
+on the operators, the query builder and the engine remain as a thin
+deprecation shim that builds a plan (see :func:`resolve_plan_argument`).
+
+Knob precedence (outermost first)
+---------------------------------
+The knobs *compose* rather than compete; precedence says which executor
+sits outermost:
+
+1. ``workers`` — process-pool sharding; everything below applies per shard.
+2. ``pipeline_lookahead`` — cross-tuple stage pipelining within a
+   process; ``async_inflight`` becomes its within-tuple window.
+3. ``async_inflight`` — within-tuple overlapped refinement windows,
+   carried by the configured ``transport``.
+4. ``batch_size`` — set-at-a-time chunking (always active underneath the
+   overlap layers; on its own when nothing above is set).
+5. none of the above — the classic per-tuple path.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Optional, Union
+
+from repro.engine.async_exec import AsyncRefinementExecutor
+from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor
+from repro.engine.parallel import MERGE_POLICIES, MergePolicy, ParallelExecutor
+from repro.engine.pipeline import PipelinedExecutor
+from repro.engine.transport import (
+    DEFAULT_TRANSPORT,
+    EvaluationTransport,
+    TransportSpec,
+    transport_name,
+)
+from repro.exceptions import PlanError
+
+#: One-line statement of the composition order, quoted by every
+#: conflict message so the caller sees the rule, not just the rejection.
+PRECEDENCE = (
+    "knob precedence (outermost first): workers > pipeline_lookahead > "
+    "async_inflight > batch_size > per-tuple; outer knobs compose with "
+    "inner ones (shards pipeline their tuples, pipelines window their "
+    "refinement calls, windows ride the transport, chunks batch the GP work)"
+)
+
+#: The executor types a plan can resolve to (``None`` = per-tuple path).
+PlannedExecutor = Union[
+    ParallelExecutor, PipelinedExecutor, AsyncRefinementExecutor, BatchExecutor
+]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A validated, resolvable description of the execution configuration.
+
+    Construct one and hand it to ``plan=`` on
+    :meth:`Query.apply_udf <repro.engine.query.Query.apply_udf>` /
+    :meth:`Query.where_udf <repro.engine.query.Query.where_udf>`, the
+    :class:`~repro.engine.operators.ApplyUDF` /
+    :class:`~repro.engine.operators.SelectUDF` operators, or
+    :meth:`UDFExecutionEngine.compute_with_plan
+    <repro.engine.executor.UDFExecutionEngine.compute_with_plan>`.
+    Validation happens in ``__post_init__`` — an invalid plan cannot be
+    constructed, so an invalid configuration can never reach an executor.
+
+    Parameters
+    ----------
+    batch_size:
+        Set-at-a-time chunk size.  ``None`` means per-tuple execution when
+        no overlap knob is set, and :data:`~repro.engine.batch
+        .DEFAULT_BATCH_SIZE` underneath any overlap layer.
+    workers:
+        Process-pool shard count.  ``None`` disables sharding.
+    merge:
+        Training-point merge policy for sharded execution
+        (``"discard" | "union" | "refit-threshold"``).  Only meaningful —
+        and only accepted — with ``workers`` set.
+    parallel_seed:
+        Base seed of the per-shard random streams.  Inert without
+        ``workers`` (historically accepted as a defensive default, so it
+        does not conflict).
+    async_inflight:
+        Within-tuple refinement window (concurrently in-flight UDF
+        calls).  ``1`` is bit-identical to the serial batched path.
+    pipeline_lookahead:
+        Cross-tuple lookahead of the stage scheduler.  ``1`` is
+        bit-identical to the serial batched path (or the async path when
+        ``async_inflight > 1``).
+    speculative_k:
+        Training points absorbed per refinement iteration by the OLGAPRO
+        processors (PR 2's speculative multi-point tuning).  A processor-
+        construction knob, not an executor knob: it is applied by
+        :class:`~repro.engine.executor.UDFExecutionEngine` when the engine
+        is built with ``plan=``, and must be left ``None`` in plans handed
+        to an already-built engine (resolution cannot reconfigure live
+        processors).
+    oversubscribe:
+        Scales the *default* shard count above the core count when
+        ``workers`` is ``None``.  Conflicts with an explicit ``workers``
+        (which would silently win) — set one or the other.
+    transport:
+        How refinement-window evaluations reach the black box:
+        ``"threads"`` (default, bounded pool), ``"serial"`` (the explicit
+        no-overlap spelling — legal with no window, or a window of one),
+        ``"asyncio"`` (event loop; requires an
+        :class:`~repro.udf.base.AsyncUDF` and a window to carry), or an
+        :class:`~repro.engine.transport.EvaluationTransport` instance.
+    """
+
+    batch_size: Optional[int] = None
+    workers: Optional[int] = None
+    merge: MergePolicy = "union"
+    parallel_seed: Optional[int] = None
+    async_inflight: Optional[int] = None
+    pipeline_lookahead: Optional[int] = None
+    speculative_k: Optional[int] = None
+    oversubscribe: float = 1.0
+    transport: TransportSpec = DEFAULT_TRANSPORT
+
+    def __post_init__(self) -> None:
+        """Validate values and cross-knob consistency (raises PlanError)."""
+        for knob in ("batch_size", "workers", "async_inflight",
+                     "pipeline_lookahead", "speculative_k"):
+            value = getattr(self, knob)
+            if value is not None and int(value) < 1:
+                raise PlanError(f"{knob} must be positive, got {value}")
+        if self.oversubscribe < 1.0:
+            raise PlanError(f"oversubscribe must be at least 1, got {self.oversubscribe}")
+        if self.merge not in MERGE_POLICIES:
+            raise PlanError(
+                f"unknown merge policy {self.merge!r}; choose from {MERGE_POLICIES}"
+            )
+        name = transport_name(self.transport)  # validates the spec
+        sharded = self.workers is not None or self.oversubscribe != 1.0
+        if self.merge != "union" and not sharded:
+            raise PlanError(
+                f"merge={self.merge!r} configures what worker-learned training "
+                "points do to the parent model, but the plan has no workers; "
+                "set workers (or drop merge) — " + PRECEDENCE
+            )
+        if self.workers is not None and self.oversubscribe != 1.0:
+            raise PlanError(
+                "workers and oversubscribe conflict: oversubscribe scales the "
+                "*default* shard count and an explicit workers would silently "
+                "win; set one or the other — " + PRECEDENCE
+            )
+        overlapped = (
+            (self.async_inflight is not None and self.async_inflight > 1)
+            or (self.pipeline_lookahead is not None and self.pipeline_lookahead > 1)
+        )
+        if name == "serial" and overlapped:
+            raise PlanError(
+                "transport='serial' evaluates inline and cannot overlap the "
+                f"requested window (async_inflight={self.async_inflight}, "
+                f"pipeline_lookahead={self.pipeline_lookahead}); use the "
+                "'threads' or 'asyncio' transport, or drop the overlap knobs — "
+                + PRECEDENCE
+            )
+        if name == "asyncio" and (
+            self.async_inflight is None and self.pipeline_lookahead is None
+        ):
+            raise PlanError(
+                f"transport={name!r} selects how refinement-window evaluations "
+                "are carried, but the plan requests no window; set "
+                "async_inflight (or pipeline_lookahead) — " + PRECEDENCE
+            )
+        if sharded and isinstance(self.transport, EvaluationTransport):
+            raise PlanError(
+                "a transport *instance* is process-local and cannot be shipped "
+                "to pool workers; name the transport (e.g. transport='asyncio') "
+                "when combining it with workers — " + PRECEDENCE
+            )
+
+    # -- resolution ---------------------------------------------------------------
+    def resolve(self, engine: Any) -> Optional[PlannedExecutor]:
+        """Compose the executor stack this plan describes, bound to ``engine``.
+
+        The single selection point previously hand-wired in
+        ``operators._make_udf_executor`` and the engine's ``compute_*``
+        shims.  Returns ``None`` for the all-default plan — the classic
+        per-tuple path (callers fall back to
+        :meth:`~repro.engine.executor.UDFExecutionEngine.compute`).
+
+        Raises
+        ------
+        PlanError
+            When ``speculative_k`` is set (an engine-construction knob —
+            see the field docs) on a plan resolved against an engine.
+        """
+        if self.speculative_k is not None:
+            configured = getattr(engine, "_processor_kwargs", {}).get("speculative_k")
+            if configured != self.speculative_k:
+                raise PlanError(
+                    "speculative_k configures the OLGAPRO processors at engine "
+                    "construction and cannot be applied by resolution; build "
+                    "the engine with UDFExecutionEngine(..., plan=plan) or "
+                    "pass speculative_k to the engine directly"
+                )
+        batch_size = self.batch_size if self.batch_size is not None else DEFAULT_BATCH_SIZE
+        if self.workers is not None or self.oversubscribe != 1.0:
+            return ParallelExecutor(
+                engine,
+                workers=self.workers,
+                batch_size=batch_size,
+                merge=self.merge,
+                seed=self.parallel_seed,
+                async_inflight=self.async_inflight,
+                pipeline_lookahead=self.pipeline_lookahead,
+                oversubscribe=self.oversubscribe,
+                transport=self.transport,
+            )
+        if self.pipeline_lookahead is not None:
+            return PipelinedExecutor(
+                engine,
+                lookahead=self.pipeline_lookahead,
+                inflight=self.async_inflight,
+                batch_size=batch_size,
+                transport=self.transport,
+            )
+        if self.async_inflight is not None:
+            return AsyncRefinementExecutor(
+                engine,
+                inflight=self.async_inflight,
+                batch_size=batch_size,
+                transport=self.transport,
+            )
+        if self.batch_size is not None:
+            return BatchExecutor(engine, self.batch_size)
+        return None
+
+    # -- introspection ------------------------------------------------------------
+    def describe(self) -> str:
+        """Compact human-readable summary (non-default knobs only)."""
+        parts = []
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value != field.default:
+                parts.append(f"{field.name}={value!r}")
+        return "ExecutionPlan(" + ", ".join(parts) + ")" if parts else "ExecutionPlan()"
+
+    def with_overrides(self, **overrides: Any) -> "ExecutionPlan":
+        """A copy with the given knobs replaced (re-validated)."""
+        return replace(self, **overrides)
+
+
+def resolve_plan_argument(
+    plan: Optional[ExecutionPlan],
+    *,
+    warn_stacklevel: int = 3,
+    **legacy: Any,
+) -> ExecutionPlan:
+    """The ``plan=``-or-legacy-kwargs shim shared by every entry point.
+
+    * ``plan`` given and every legacy kwarg at its default → ``plan``.
+    * ``plan`` ``None`` → a plan built from the legacy kwargs (their
+      documented deprecation path; a :class:`DeprecationWarning` is
+      emitted when any legacy knob is actually set).
+    * Both given → :class:`~repro.exceptions.PlanError`: two sources of
+      truth for the same knob cannot be reconciled silently.
+
+    ``legacy`` maps field names of :class:`ExecutionPlan` to values, with
+    ``None`` (or the field default) meaning "not set".
+    """
+    defaults = {field.name: field.default for field in fields(ExecutionPlan)}
+    unknown = set(legacy) - set(defaults)
+    if unknown:
+        raise PlanError(f"unknown execution knob(s): {sorted(unknown)}")
+    supplied = {
+        name: value
+        for name, value in legacy.items()
+        if value is not None and value != defaults[name]
+    }
+    if plan is not None:
+        if supplied:
+            raise PlanError(
+                "pass either plan= or the legacy executor kwargs, not both "
+                f"(got plan= and {sorted(supplied)})"
+            )
+        return plan
+    if supplied:
+        warnings.warn(
+            "per-knob executor kwargs (batch_size=, workers=, ...) are a "
+            "legacy shim; build an ExecutionPlan and pass plan= instead",
+            DeprecationWarning,
+            stacklevel=warn_stacklevel,
+        )
+    return ExecutionPlan(**{name: value for name, value in legacy.items()
+                            if value is not None})

@@ -38,6 +38,8 @@ from repro.engine.operators import (
     SelectUDF,
     SelectWhere,
 )
+from repro.engine.plan import ExecutionPlan, resolve_plan_argument
+from repro.engine.transport import TransportSpec
 from repro.engine.tuples import Relation, UncertainTuple
 from repro.exceptions import QueryError
 from repro.udf.base import UDF
@@ -97,12 +99,14 @@ class Query:
         udf: UDF,
         arguments: Sequence[str],
         alias: str,
+        plan: ExecutionPlan | None = None,
         batch_size: int | None = None,
         workers: int | None = None,
         merge: str = "union",
         parallel_seed: int | None = None,
         async_inflight: int | None = None,
         pipeline_lookahead: int | None = None,
+        transport: TransportSpec | None = None,
     ) -> "Query":
         """Evaluate a UDF on each tuple and keep its output distribution.
 
@@ -114,32 +118,19 @@ class Query:
             Input attribute names forming the UDF's argument vector.
         alias:
             Name of the derived output attribute.
-        batch_size:
-            Streams the input in chunks of that many tuples through the
-            batched execution pipeline; ``None`` keeps the classic
-            one-engine-call-per-tuple path.
-        workers:
-            Additionally shards the input across a process pool
-            (:class:`~repro.engine.parallel.ParallelExecutor`).
-        merge:
-            Training-point merge policy for sharded execution
-            (``"discard" | "union" | "refit-threshold"``).
-        parallel_seed:
-            Fixes the per-shard random streams of sharded execution.
-        async_inflight:
-            Overlaps up to this many refinement-loop UDF calls through the
-            asynchronous pipeline
-            (:class:`~repro.engine.async_exec.AsyncRefinementExecutor`);
-            with ``workers`` it applies inside each shard.  ``1`` is
-            bit-identical to the serial batched path.
-        pipeline_lookahead:
-            Pipelines consecutive tuples through the cross-tuple scheduler
-            (:class:`~repro.engine.pipeline.PipelinedExecutor`): while one
-            tuple refines, the sampling, first inference and prefetched
-            first UDF window of the next ``pipeline_lookahead - 1`` tuples
-            already run.  Composes with ``async_inflight`` (the within-tuple
-            window) and ``workers`` (applies inside each shard).  ``1`` is
-            bit-identical to the serial batched path.
+        plan:
+            One :class:`~repro.engine.plan.ExecutionPlan` describing the
+            whole execution configuration — batching, sharding, overlap
+            window, cross-tuple lookahead, merge policy, evaluation
+            transport — validated as a unit (knob conflicts raise a typed
+            :class:`~repro.exceptions.PlanError` naming the precedence
+            rule) and resolved to the composed executor stack.
+        batch_size, workers, merge, parallel_seed, async_inflight, \
+pipeline_lookahead, transport:
+            Legacy per-knob spellings of the same configuration; they
+            build the equivalent plan (deprecation shim — see the
+            migration note in the README).  Mutually exclusive with
+            ``plan=``.
 
         Returns
         -------
@@ -149,18 +140,24 @@ class Query:
         Raises
         ------
         QueryError
-            At plan-build time, for unknown argument attributes, an alias
-            collision, or invalid executor knobs.
+            For unknown argument attributes or an alias collision (at
+            plan-build time), or — as
+            :class:`~repro.exceptions.PlanError`, raised *here*, at the
+            builder call — an invalid execution plan.
         """
+        # Resolve eagerly: an invalid configuration fails at THIS call
+        # (where the user wrote it), and the legacy-kwargs deprecation
+        # warning points at the user's frame instead of the deferred
+        # operator construction inside run().
+        resolved_plan = resolve_plan_argument(
+            plan, batch_size=batch_size, workers=workers,
+            merge=merge, parallel_seed=parallel_seed,  # type: ignore[arg-type]
+            async_inflight=async_inflight,
+            pipeline_lookahead=pipeline_lookahead, transport=transport,
+        )
 
         def _build(child: Operator, engine: UDFExecutionEngine) -> Operator:
-            return ApplyUDF(
-                child, udf, arguments, alias, engine,
-                batch_size=batch_size, workers=workers,
-                merge=merge, parallel_seed=parallel_seed,  # type: ignore[arg-type]
-                async_inflight=async_inflight,
-                pipeline_lookahead=pipeline_lookahead,
-            )
+            return ApplyUDF(child, udf, arguments, alias, engine, plan=resolved_plan)
 
         self._steps.append(_build)
         return self
@@ -173,21 +170,22 @@ class Query:
         low: float,
         high: float,
         threshold: float = 0.1,
+        plan: ExecutionPlan | None = None,
         batch_size: int | None = None,
         workers: int | None = None,
         merge: str = "union",
         parallel_seed: int | None = None,
         async_inflight: int | None = None,
         pipeline_lookahead: int | None = None,
+        transport: TransportSpec | None = None,
     ) -> "Query":
         """Evaluate a UDF under a range predicate and drop improbable tuples.
 
         The UDF output distribution is restricted to ``[low, high]``; tuples
         whose probability mass inside that interval is confidently below
         ``threshold`` are dropped by the online-filtering machinery.  The
-        executor knobs (``batch_size`` / ``workers`` / ``merge`` /
-        ``parallel_seed`` / ``async_inflight`` / ``pipeline_lookahead``)
-        behave exactly as on :meth:`apply_udf` (the predicate path keeps
+        execution configuration (``plan=``, or the legacy per-knob kwargs)
+        behaves exactly as on :meth:`apply_udf` (the predicate path keeps
         tuple-sequential filtering semantics, so the cross-tuple scheduler
         stands down and only within-tuple overlap applies).
 
@@ -199,18 +197,24 @@ class Query:
         Raises
         ------
         QueryError
-            At plan-build time, for unknown argument attributes, an alias
-            collision, or invalid executor knobs.
+            For unknown argument attributes or an alias collision (at
+            plan-build time), or — as
+            :class:`~repro.exceptions.PlanError`, raised *here*, at the
+            builder call — an invalid execution plan.
         """
         predicate = SelectionPredicate(low=low, high=high, threshold=threshold)
+        # Eager resolution, exactly as in apply_udf: plan errors and the
+        # deprecation warning surface at the user's call site.
+        resolved_plan = resolve_plan_argument(
+            plan, batch_size=batch_size, workers=workers,
+            merge=merge, parallel_seed=parallel_seed,  # type: ignore[arg-type]
+            async_inflight=async_inflight,
+            pipeline_lookahead=pipeline_lookahead, transport=transport,
+        )
 
         def _build(child: Operator, engine: UDFExecutionEngine) -> Operator:
             return SelectUDF(
-                child, udf, arguments, alias, predicate, engine,
-                batch_size=batch_size, workers=workers,
-                merge=merge, parallel_seed=parallel_seed,  # type: ignore[arg-type]
-                async_inflight=async_inflight,
-                pipeline_lookahead=pipeline_lookahead,
+                child, udf, arguments, alias, predicate, engine, plan=resolved_plan
             )
 
         self._steps.append(_build)

@@ -71,3 +71,16 @@ class SchemaError(ReproError):
 
 class QueryError(ReproError):
     """Raised when a logical query plan is malformed or cannot be executed."""
+
+
+class PlanError(QueryError):
+    """Raised when an :class:`~repro.engine.plan.ExecutionPlan` is invalid.
+
+    Covers contradictory knob combinations (e.g. a merge policy without
+    sharded execution, a serial transport with an overlap window), values
+    outside their domain, and mixing ``plan=`` with legacy executor kwargs.
+    The message always states the violated rule — and, for conflicts, the
+    documented knob precedence — so the caller is never left guessing which
+    path the engine would have silently picked.  Subclasses
+    :class:`QueryError`, so existing error handling keeps working.
+    """

@@ -19,15 +19,26 @@ instrumentation the algorithms and experiments rely on:
   through a thread pool while the caller keeps doing GP work.  Charge
   accounting is therefore guarded by a lock, the number of *in-flight*
   evaluations is tracked, and :meth:`UDF.submit_rows` /
-  :meth:`UDF.evaluate_many` expose the concurrent entry points.
+  :meth:`UDF.evaluate_many` expose the concurrent entry points.  Both
+  accept either a plain :class:`concurrent.futures.Executor` or an
+  :class:`~repro.engine.transport.EvaluationTransport` (recognised by its
+  ``submit_rows`` method — duck-typed so this module never imports the
+  engine layer), which is how the pluggable-transport seam reaches every
+  existing evaluation path without changing its callers;
+* **natively-async UDFs** — :class:`AsyncUDF` wraps a coroutine function
+  (an HTTP-service client, an ``asyncio``-based simulator).  It remains a
+  drop-in :class:`UDF` — the blocking call path runs the coroutine to
+  completion — while exposing :meth:`AsyncUDF.evaluate_async` for the
+  event-loop transport, with identical validation and charge accounting.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from concurrent.futures import Executor, Future, ThreadPoolExecutor
-from typing import Callable, Optional
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -76,7 +87,7 @@ class UDF:
         self._max_inflight = 0
 
     # -- pickling ----------------------------------------------------------------
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> Dict[str, Any]:
         """Pickle support: locks are process-local and cannot be pickled.
 
         The in-flight gauges are process-local too: an evaluation in flight
@@ -96,7 +107,7 @@ class UDF:
         state["_max_inflight"] = 0
         return state
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         """Recreate the process-local charge lock after unpickling."""
         self.__dict__.update(state)
         self._charge_lock = threading.Lock()
@@ -247,14 +258,18 @@ class UDF:
         finally:
             self._exit_flight()
 
-    def submit_rows(self, executor: Executor, X: np.ndarray) -> list[Future]:
+    def submit_rows(self, executor: Any, X: np.ndarray) -> List[Future]:
         """Submit one evaluation per row of ``X`` to ``executor``.
 
         Parameters
         ----------
         executor:
             A :class:`concurrent.futures.Executor` (typically a bounded
-            thread pool) that runs the black-box calls.
+            thread pool) that runs the black-box calls, or an
+            :class:`~repro.engine.transport.EvaluationTransport` — any
+            non-Executor object with a ``submit_rows(udf, X)`` method —
+            which then carries the evaluations itself (its own gauge and
+            charge integration; e.g. coroutines on an event loop).
         X:
             Points to evaluate, shape ``(k, d)``.
 
@@ -275,7 +290,12 @@ class UDF:
             non-finite value (the submission itself never raises it).
         """
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        futures: list[Future] = []
+        if not isinstance(executor, Executor) and hasattr(executor, "submit_rows"):
+            # An EvaluationTransport: it owns submission, gauge and charge
+            # integration (the thread transport routes back through this
+            # method with its real pool, so dispatch terminates).
+            return executor.submit_rows(self, X)
+        futures: List[Future] = []
         for row in X:
             self._enter_flight()
             try:
@@ -288,7 +308,7 @@ class UDF:
     def evaluate_many(
         self,
         X: np.ndarray,
-        executor: Optional[Executor] = None,
+        executor: Optional[Any] = None,
         max_inflight: Optional[int] = None,
     ) -> np.ndarray:
         """Evaluate the rows of ``X``, overlapping the black-box calls.
@@ -304,8 +324,10 @@ class UDF:
         X:
             Points to evaluate, shape ``(k, d)``.
         executor:
-            Executor to run the calls on.  ``None`` creates a temporary
-            thread pool sized ``max_inflight``.
+            Executor — or :class:`~repro.engine.transport
+            .EvaluationTransport` (see :meth:`submit_rows`) — to run the
+            calls on.  ``None`` creates a temporary thread pool sized
+            ``max_inflight``.
         max_inflight:
             Bound on concurrently *submitted* evaluations, honoured whether
             or not an ``executor`` is supplied (submissions happen in waves
@@ -337,7 +359,7 @@ class UDF:
             return self._collect_in_waves(pool, X, max_inflight)
 
     def _collect_in_waves(
-        self, executor: Executor, X: np.ndarray, max_inflight: Optional[int]
+        self, executor: Any, X: np.ndarray, max_inflight: Optional[int]
     ) -> np.ndarray:
         """Submit rows in waves of at most ``max_inflight`` and gather values.
 
@@ -354,7 +376,7 @@ class UDF:
                 values[start + offset] = future.result()
         return values
 
-    def measure_eval_time(self, n_probes: int = 20, random_state=None) -> float:
+    def measure_eval_time(self, n_probes: int = 20, random_state: Any = None) -> float:
         """Estimate the real per-call evaluation time by probing the domain.
 
         The hybrid GP/MC selector (Section 5.4) measures evaluation time
@@ -381,6 +403,115 @@ class UDF:
     def __repr__(self) -> str:
         return (
             f"UDF(name={self.name!r}, dimension={self.dimension}, "
+            f"simulated_eval_time={self.simulated_eval_time:g})"
+        )
+
+
+class AsyncUDF(UDF):
+    """A UDF whose implementation is a native coroutine function.
+
+    Models black boxes that are *naturally* asynchronous — an HTTP service
+    behind an async client, an ``asyncio``-based simulation — where the
+    per-call latency is awaited rather than slept in a thread.  An
+    ``AsyncUDF`` is a drop-in :class:`UDF`: the blocking entry points
+    (:meth:`UDF.__call__`, :meth:`UDF.evaluate_batch`) run the coroutine to
+    completion on a private event loop, so every serial execution path —
+    and therefore every bit-identity contract against the serial batched
+    path — works unchanged.  The asynchronous entry point,
+    :meth:`evaluate_async`, is what the
+    :class:`~repro.engine.transport.AsyncioTransport` schedules on its
+    event-loop thread: a refinement window of ``k`` calls then awaits its
+    latencies concurrently, without ``k`` pool threads.
+
+    Validation and instrumentation are identical on both paths: the same
+    shape check, the same non-finite rejection, the same thread-safe
+    per-call charge (each call charges its own awaited duration — the same
+    rule threaded calls follow), the same in-flight gauge (maintained by
+    the transports around submission/completion).
+
+    Parameters
+    ----------
+    coro_func:
+        ``async def f(x: ndarray) -> float`` — the black box.  Must be
+        picklable (a module-level coroutine function or a callable object)
+        for the UDF to ship into pool workers.
+    dimension, name, simulated_eval_time, domain:
+        As on :class:`UDF`.  ``vectorized`` is not offered: the service
+        model is one request per point, concurrency comes from the
+        transport.
+    """
+
+    def __init__(
+        self,
+        coro_func: Callable[[np.ndarray], Awaitable[float]],
+        dimension: int,
+        name: str = "async_udf",
+        simulated_eval_time: float = 0.0,
+        domain: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ):
+        self._coro_func = coro_func
+        super().__init__(
+            self._run_blocking,
+            dimension,
+            name=name,
+            vectorized=False,
+            simulated_eval_time=simulated_eval_time,
+            domain=domain,
+        )
+
+    def _run_blocking(self, x: np.ndarray) -> float:
+        """Bridge for the blocking paths: run the coroutine to completion.
+
+        Runs on whatever thread called it (a refinement loop, a pool
+        worker), each call on a fresh private event loop —
+        :func:`asyncio.run` — so blocking callers never need a loop of
+        their own and concurrent blocking calls stay independent.
+        """
+        return float(asyncio.run(self._coro_func(np.asarray(x, dtype=float))))
+
+    async def evaluate_async(self, x: np.ndarray) -> float:
+        """Evaluate one point on the *current* event loop.
+
+        The coroutine counterpart of :meth:`UDF.__call__`: identical
+        validation, identical charging (the awaited duration of this call),
+        identical failure wrapping.  Scheduled by
+        :class:`~repro.engine.transport.AsyncioTransport`; await it
+        directly when composing with user-owned loops.
+
+        Raises
+        ------
+        UDFError
+            When the input shape is wrong, the black box raises, or the
+            value is non-finite.
+        """
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        if x.shape != (self.dimension,):
+            raise UDFError(
+                f"{self.name}: input has shape {x.shape}, expected ({self.dimension},)"
+            )
+        start = time.perf_counter()
+        try:
+            value = float(await self._coro_func(x))
+        except Exception as exc:  # noqa: BLE001 - black-box code can raise anything
+            raise UDFError(f"{self.name}: evaluation failed at {x!r}: {exc}") from exc
+        self._charge(1, time.perf_counter() - start)
+        if not np.isfinite(value):
+            raise UDFError(f"{self.name}: evaluation returned non-finite value {value}")
+        return value
+
+    def with_simulated_eval_time(self, seconds: float) -> "AsyncUDF":
+        """Copy of this UDF charged at a different simulated per-call cost."""
+        return AsyncUDF(
+            self._coro_func,
+            self.dimension,
+            name=self.name,
+            simulated_eval_time=seconds,
+            domain=self.domain,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncUDF(name={self.name!r}, dimension={self.dimension}, "
             f"simulated_eval_time={self.simulated_eval_time:g})"
         )
 

@@ -13,6 +13,7 @@ The evaluation-time knob ``T`` of Expt 5 maps to
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import time
 from dataclasses import dataclass
@@ -23,7 +24,26 @@ import numpy as np
 from repro.config import DEFAULT_DOMAIN_HIGH, DEFAULT_DOMAIN_LOW
 from repro.exceptions import UDFError
 from repro.rng import RandomState, as_generator
-from repro.udf.base import UDF
+from repro.udf.base import AsyncUDF, UDF
+
+
+def _jitter_factor(row: np.ndarray, jitter: float) -> float:
+    """Deterministic per-point latency factor ``1 + jitter * u(x)``.
+
+    ``u(x) in [-1, 1)`` is a stable 64-bit hash of the raw float bytes, so
+    the latency of a given point is reproducible while concurrent
+    evaluations of *different* points genuinely complete out of submission
+    order — the adversarial schedule the overlap layers' determinism
+    contracts are tested against.  Shared by the blocking
+    (:class:`RealCostFunction`) and async (:class:`SimulatedServiceFunction`)
+    cost models so the two spread latency identically.
+    """
+    if jitter == 0.0:
+        return 1.0
+    digest = int.from_bytes(
+        hashlib.blake2b(row.tobytes(), digest_size=8).digest(), "little"
+    )
+    return 1.0 + jitter * (digest / 2.0**63 - 1.0)
 
 
 @dataclass(frozen=True)
@@ -147,15 +167,7 @@ class RealCostFunction:
         rows = np.atleast_2d(X)
         if self.jitter == 0.0:
             return self.eval_time * rows.shape[0]
-        total = 0.0
-        for row in rows:
-            # Stable 64-bit hash of the raw float bytes -> u in [-1, 1).
-            digest = int.from_bytes(
-                hashlib.blake2b(row.tobytes(), digest_size=8).digest(), "little"
-            )
-            u = digest / 2.0**63 - 1.0
-            total += self.eval_time * (1.0 + self.jitter * u)
-        return total
+        return sum(self.eval_time * _jitter_factor(row, self.jitter) for row in rows)
 
     def __call__(self, X: np.ndarray):
         X = np.asarray(X)
@@ -164,21 +176,56 @@ class RealCostFunction:
         return self.inner(X)
 
 
-def make_mixture_udf(
-    spec: MixtureSpec,
-    simulated_eval_time: float = 0.0,
-    real_eval_time: float = 0.0,
-    real_eval_jitter: float = 0.0,
-    name: Optional[str] = None,
-    random_state: RandomState = 0,
-) -> UDF:
-    """Build an instrumented :class:`UDF` from a :class:`MixtureSpec`.
+class SimulatedServiceFunction:
+    """HTTP-style *async* black box: awaits a per-request latency, then answers.
 
-    ``simulated_eval_time`` charges the accounting clock only (Expt 5);
-    ``real_eval_time`` makes every call *occupy* that much wall-clock via
-    :class:`RealCostFunction` (the parallel-scaling and async-overlap
-    workloads), and ``real_eval_jitter`` spreads that latency per point so
-    concurrent calls complete out of submission order.
+    The natively-async sibling of :class:`RealCostFunction`: where that
+    wrapper ``time.sleep``\\ s its per-call cost (so only extra threads or
+    processes can overlap it), this one ``await asyncio.sleep``\\ s it — the
+    cost model of a remote UDF service whose round-trip time dominates and
+    whose client is a coroutine.  The event-loop transport
+    (:class:`~repro.engine.transport.AsyncioTransport`) can then hold many
+    such requests in flight on a single thread.
+
+    The *value* is computed by the wrapped deterministic function, so an
+    async-service UDF built from the same mixture spec returns bit-identical
+    observations to its blocking twin — which is what lets the transport
+    acceptance contract compare the asyncio path against the serial batched
+    path at all.  ``jitter`` spreads the latency per point exactly like
+    :class:`RealCostFunction` does (same hash, same factor).
+
+    Defined at module level (not a closure) so UDFs built from it pickle
+    cleanly into pool workers.
+    """
+
+    def __init__(self, inner, latency: float, jitter: float = 0.0):
+        if latency < 0:
+            raise UDFError("latency must be non-negative")
+        if not 0.0 <= jitter <= 1.0:
+            raise UDFError("jitter must be within [0, 1]")
+        self.inner = inner
+        self.latency = float(latency)
+        self.jitter = float(jitter)
+
+    async def __call__(self, x: np.ndarray) -> float:
+        """One simulated request: await the round trip, return the value."""
+        x = np.asarray(x, dtype=float)
+        if self.latency > 0.0:
+            await asyncio.sleep(self.latency * _jitter_factor(x, self.jitter))
+        return float(self.inner(x))
+
+
+def _build_mixture_function(
+    spec: MixtureSpec, random_state: RandomState
+) -> GaussianMixtureFunction:
+    """Draw a :class:`GaussianMixtureFunction` from a spec's random stream.
+
+    The single source of the mixture's random draws (centres, then
+    amplitudes — in that order), shared by :func:`make_mixture_udf` and
+    :func:`async_service_udf` so a blocking UDF and its async-service twin
+    built from the same ``(spec, random_state)`` compute the bit-identical
+    function — the property the transport identity contracts compare
+    against.
     """
     if spec.dimension <= 0:
         raise UDFError("dimension must be positive")
@@ -197,7 +244,57 @@ def make_mixture_udf(
     )
     stds = np.full(spec.n_components, spec.component_std)
     amplitudes = spec.amplitude * rng.uniform(0.5, 1.5, size=spec.n_components)
-    function = GaussianMixtureFunction(centers, stds, amplitudes, domain=(low, high))
+    return GaussianMixtureFunction(centers, stds, amplitudes, domain=(low, high))
+
+
+def async_service_udf(
+    name: str,
+    latency: float = 0.0,
+    jitter: float = 0.0,
+    random_state: RandomState = 7,
+) -> AsyncUDF:
+    """A reference function served as a simulated-latency async service.
+
+    Builds the same Gaussian-mixture function as
+    :func:`reference_function` (same spec, same ``random_state``, through
+    the shared :func:`_build_mixture_function` draw — so the observed
+    *values* are bit-identical) but wraps it as an
+    :class:`~repro.udf.base.AsyncUDF` whose every evaluation awaits
+    ``latency`` seconds — the workload of the asyncio UDF transport.
+    ``jitter`` varies the latency per point so concurrent requests complete
+    out of submission order (determinism must survive; see
+    ``tests/test_transport.py``).
+    """
+    key = name.upper()
+    if key not in _F_SPECS:
+        raise UDFError(f"unknown reference function {name!r}; choose from F1..F4")
+    spec = _F_SPECS[key]
+    function = _build_mixture_function(spec, random_state)
+    return AsyncUDF(
+        SimulatedServiceFunction(function, latency, jitter=jitter),
+        dimension=spec.dimension,
+        name=f"{key}-service",
+        domain=function.domain,
+    )
+
+
+def make_mixture_udf(
+    spec: MixtureSpec,
+    simulated_eval_time: float = 0.0,
+    real_eval_time: float = 0.0,
+    real_eval_jitter: float = 0.0,
+    name: Optional[str] = None,
+    random_state: RandomState = 0,
+) -> UDF:
+    """Build an instrumented :class:`UDF` from a :class:`MixtureSpec`.
+
+    ``simulated_eval_time`` charges the accounting clock only (Expt 5);
+    ``real_eval_time`` makes every call *occupy* that much wall-clock via
+    :class:`RealCostFunction` (the parallel-scaling and async-overlap
+    workloads), and ``real_eval_jitter`` spreads that latency per point so
+    concurrent calls complete out of submission order.
+    """
+    function = _build_mixture_function(spec, random_state)
     implementation = (
         RealCostFunction(function, real_eval_time, jitter=real_eval_jitter)
         if real_eval_time > 0.0
@@ -209,7 +306,7 @@ def make_mixture_udf(
         name=name or f"gmm_d{spec.dimension}_k{spec.n_components}",
         vectorized=True,
         simulated_eval_time=simulated_eval_time,
-        domain=(low, high),
+        domain=function.domain,
     )
 
 

@@ -9,18 +9,37 @@ baseline artifact.  Contracts under test:
   smoke driver turns that into a *failure* unless
   ``--allow-missing-baseline`` is passed, because a renamed metric would
   otherwise disarm the gate forever while reporting OK;
-* the override environment variable only applies to genuine regressions.
+* the override environment variable only applies to genuine regressions;
+* the parallel-scaling gp speedup at ``workers=4`` is gated the same way,
+  but only on machines with at least ``PARALLEL_GATE_MIN_CPUS`` cores —
+  the guard that keeps single-core runners from turning a hardware
+  limitation into a reported code regression (ROADMAP item).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.bench.run_all import DEFAULT_MAX_REGRESSION, check_regression, main
+from repro.bench.run_all import (
+    DEFAULT_MAX_REGRESSION,
+    PARALLEL_GATE_MIN_CPUS,
+    check_parallel_regression,
+    check_regression,
+    gated_verdicts,
+    main,
+)
 
 
 def _report(speedup):
     return {"batch_pipeline": {"speedup": {"gp": speedup}}}
+
+
+def _parallel_report(speedup, batch_speedup=2.0):
+    report = _report(batch_speedup)
+    report["parallel_scaling"] = {
+        "speedup_at_4": {"gp": {"workers": 4, "speedup": speedup}}
+    }
+    return report
 
 
 class TestCheckRegression:
@@ -55,6 +74,73 @@ class TestCheckRegression:
         assert verdict.get("missing") is True
         assert verdict["regressed"] is False
         assert "skipped" in verdict
+
+
+class TestParallelGate:
+    def test_pass_records_relative_change(self):
+        verdict = check_parallel_regression(
+            _parallel_report(2.5), _parallel_report(2.5), 0.25
+        )
+        assert verdict["regressed"] is False
+        assert "missing" not in verdict
+        assert verdict["relative_change"] == 0.0
+        assert verdict["metric"] == "parallel_scaling gp speedup at workers=4"
+
+    def test_regression_detected(self):
+        verdict = check_parallel_regression(
+            _parallel_report(1.0), _parallel_report(2.5), 0.25
+        )
+        assert verdict["regressed"] is True
+        assert verdict["overridden"] is False
+
+    def test_override_env_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_OVERRIDE", "1")
+        verdict = check_parallel_regression(
+            _parallel_report(1.0), _parallel_report(2.5), 0.25
+        )
+        assert verdict["regressed"] is True
+        assert verdict["overridden"] is True
+
+    @pytest.mark.parametrize(
+        "report, baseline",
+        [
+            (_report(2.0), _parallel_report(2.5)),      # metric dropped from report
+            (_parallel_report(2.5), _report(2.0)),      # baseline lacks metric
+            (_parallel_report(None), _parallel_report(2.5)),
+            (_parallel_report(2.5), _parallel_report(0.0)),
+        ],
+    )
+    def test_missing_metric_is_flagged(self, report, baseline):
+        verdict = check_parallel_regression(report, baseline, DEFAULT_MAX_REGRESSION)
+        assert verdict.get("missing") is True
+        assert verdict["regressed"] is False
+
+
+class TestCoreCountGuard:
+    """The parallel gate only arms with enough real cores to scale on."""
+
+    def test_single_core_runner_gates_batch_only(self):
+        verdicts = gated_verdicts(
+            _parallel_report(2.5), _parallel_report(2.5), 0.25, cpu_count=1
+        )
+        assert [key for key, _ in verdicts] == ["gate"]
+
+    def test_just_below_threshold_still_skips(self):
+        verdicts = gated_verdicts(
+            _parallel_report(2.5), _parallel_report(2.5), 0.25,
+            cpu_count=PARALLEL_GATE_MIN_CPUS - 1,
+        )
+        assert [key for key, _ in verdicts] == ["gate"]
+
+    def test_multi_core_runner_gates_both(self):
+        verdicts = gated_verdicts(
+            _parallel_report(1.0), _parallel_report(2.5), 0.25,
+            cpu_count=PARALLEL_GATE_MIN_CPUS,
+        )
+        assert [key for key, _ in verdicts] == ["gate", "gate_parallel"]
+        by_key = dict(verdicts)
+        assert by_key["gate"]["regressed"] is False
+        assert by_key["gate_parallel"]["regressed"] is True
 
 
 class TestCliFlag:

@@ -1,0 +1,363 @@
+"""Evaluation transports and the AsyncUDF: values, gauges, shutdown, pickling.
+
+Contracts under test (see :mod:`repro.engine.transport` and
+:class:`repro.udf.base.AsyncUDF`):
+
+* every transport returns one future per row, in row order, resolving to
+  the same values the blocking path computes, with exact charge accounting
+  and a zeroed in-flight gauge afterwards;
+* the asyncio transport genuinely overlaps awaited latencies, requires an
+  ``AsyncUDF`` (typed error otherwise), and ``async_inflight=1`` over it
+  is bit-identical to the serial batched path;
+* **shutdown**: no pool or event-loop thread survives a computation —
+  including one that fails with a ``UDFError``/``QueryError`` — and every
+  transport-started thread is non-daemon and joined;
+* **pickling**: a pickled transport arrives closed (live resources
+  dropped) and can be opened fresh, while the original keeps running;
+  an ``AsyncUDF`` pickles and evaluates in the copy.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracyRequirement
+from repro.engine import (
+    AsyncioTransport,
+    AsyncRefinementExecutor,
+    BatchExecutor,
+    PipelinedExecutor,
+    SerialTransport,
+    ThreadPoolTransport,
+    make_transport,
+)
+from repro.engine.executor import UDFExecutionEngine
+from repro.engine.transport import transport_name
+from repro.exceptions import PlanError, QueryError, UDFError
+from repro.udf.base import AsyncUDF
+from repro.udf.synthetic import async_service_udf, reference_function
+from repro.workloads.generators import input_stream, workload_for_udf
+
+REQUIREMENT = AccuracyRequirement(epsilon=0.15, delta=0.05)
+
+
+def _points(n=6, seed=0):
+    return np.random.default_rng(seed).uniform(1.0, 9.0, size=(n, 2))
+
+
+def _engine_fixture(latency=0.0, jitter=0.0, n_tuples=4, seed=31, stream_seed=4):
+    udf = async_service_udf("F4", latency=latency, jitter=jitter)
+    engine = UDFExecutionEngine(
+        strategy="gp", requirement=REQUIREMENT, random_state=seed, n_samples=120
+    )
+    dists = list(
+        input_stream(
+            workload_for_udf(udf), n_tuples, random_state=np.random.default_rng(stream_seed)
+        )
+    )
+    return udf, engine, dists
+
+
+def _transport_threads():
+    """Names of live threads created by any evaluation transport."""
+    return [
+        thread.name
+        for thread in threading.enumerate()
+        if thread.name.startswith(("udf-", "udf-asyncio-", "udf-eval-"))
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Registry and spec handling
+# ---------------------------------------------------------------------------
+
+def test_registry_resolution():
+    assert isinstance(make_transport("serial"), SerialTransport)
+    assert isinstance(make_transport("threads"), ThreadPoolTransport)
+    assert isinstance(make_transport("asyncio"), AsyncioTransport)
+    instance = ThreadPoolTransport()
+    assert make_transport(instance) is instance
+    assert transport_name("asyncio") == "asyncio"
+    assert transport_name(instance) == "threads"
+    with pytest.raises(PlanError):
+        make_transport("carrier-pigeon")
+
+
+# ---------------------------------------------------------------------------
+# Value and accounting parity across transports
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["serial", "threads", "asyncio"])
+def test_submit_rows_matches_blocking_evaluation(name):
+    udf_ref = async_service_udf("F4")
+    points = _points()
+    expected = udf_ref.evaluate_batch(points)
+
+    udf = async_service_udf("F4")
+    transport = make_transport(name)
+    with transport.session(4, label="test"):
+        futures = transport.submit_rows(udf, points)
+        values = np.array([future.result() for future in futures])
+    assert np.array_equal(values, expected)
+    assert udf.call_count == udf_ref.call_count == points.shape[0]
+    assert udf.in_flight == 0
+    assert _transport_threads() == []
+
+
+def test_udf_submit_rows_dispatches_to_a_transport():
+    # The duck-typed seam: passing a transport where an Executor was
+    # expected routes the submission through the transport.
+    udf = async_service_udf("F4")
+    points = _points(4)
+    transport = AsyncioTransport()
+    with transport.session(4, label="dispatch"):
+        futures = udf.submit_rows(transport, points)
+        values = np.array([future.result() for future in futures])
+    assert values.shape == (4,)
+    assert udf.call_count == 4
+
+
+def test_evaluate_many_over_a_transport():
+    udf = async_service_udf("F4", latency=1e-3)
+    points = _points(8, seed=3)
+    serial = async_service_udf("F4").evaluate_batch(points)
+    transport = AsyncioTransport()
+    with transport.session(8, label="many"):
+        values = udf.evaluate_many(points, executor=transport, max_inflight=4)
+    assert np.array_equal(values, serial)
+    assert udf.max_in_flight > 1
+
+
+def test_serial_transport_resolves_inline_and_captures_failures():
+    async def boom(x):
+        raise RuntimeError("service down")
+
+    udf = AsyncUDF(boom, dimension=2, name="boom")
+    transport = SerialTransport()
+    with transport.session(1):
+        futures = transport.submit_rows(udf, _points(2))
+    assert all(isinstance(f, Future) and f.done() for f in futures)
+    with pytest.raises(UDFError, match="service down"):
+        futures[0].result()
+
+
+def test_transports_require_open():
+    with pytest.raises(QueryError, match="not open"):
+        ThreadPoolTransport().submit_rows(async_service_udf("F4"), _points(1))
+    with pytest.raises(QueryError, match="not open"):
+        AsyncioTransport().submit_rows(async_service_udf("F4"), _points(1))
+    transport = ThreadPoolTransport()
+    with transport.session(2):
+        with pytest.raises(QueryError, match="already open"):
+            transport.open(2)
+    transport.close()  # idempotent
+
+
+def test_asyncio_transport_rejects_blocking_udfs():
+    blocking = reference_function("F4")
+    with pytest.raises(QueryError, match="AsyncUDF"):
+        AsyncioTransport().accepts(blocking)
+    # ... and the executor surfaces it before any work happens.
+    _, engine, dists = _engine_fixture()
+    executor = AsyncRefinementExecutor(engine, inflight=4, batch_size=4,
+                                       transport="asyncio")
+    with pytest.raises(QueryError, match="AsyncUDF"):
+        executor.compute_batch(blocking, dists)
+    # ... including on the degenerate paths that never open the transport:
+    # a misconfiguration must not surface only once the window is raised.
+    degenerate = AsyncRefinementExecutor(engine, inflight=1, batch_size=4,
+                                         transport="asyncio")
+    with pytest.raises(QueryError, match="AsyncUDF"):
+        degenerate.compute_batch(blocking, dists)
+    pipelined = PipelinedExecutor(engine, lookahead=1, batch_size=4,
+                                  transport="asyncio")
+    with pytest.raises(QueryError, match="AsyncUDF"):
+        pipelined.compute_batch(blocking, dists)
+    assert _transport_threads() == []
+
+
+def test_serial_transport_cannot_carry_an_overlap_window():
+    _, engine, _ = _engine_fixture(n_tuples=1)
+    with pytest.raises(QueryError, match="serial"):
+        AsyncRefinementExecutor(engine, inflight=4, transport="serial")
+    with pytest.raises(QueryError, match="serial"):
+        PipelinedExecutor(engine, lookahead=4, transport="serial")
+
+
+# ---------------------------------------------------------------------------
+# AsyncUDF semantics
+# ---------------------------------------------------------------------------
+
+def test_async_udf_blocking_call_validates_and_charges():
+    udf = async_service_udf("F4")
+    value = udf(np.array([5.0, 5.0]))
+    assert np.isfinite(value)
+    assert udf.call_count == 1
+    with pytest.raises(UDFError, match="shape"):
+        udf(np.array([1.0, 2.0, 3.0]))
+
+
+def test_async_udf_non_finite_value_raises():
+    async def nan_service(x):
+        return float("nan")
+
+    udf = AsyncUDF(nan_service, dimension=2, name="nan")
+    with pytest.raises(UDFError, match="non-finite"):
+        udf(np.array([1.0, 2.0]))
+
+
+def test_async_udf_pickles_and_evaluates_in_the_copy():
+    udf = async_service_udf("F4", latency=0.0)
+    point = np.array([4.0, 6.0])
+    expected = udf(point)
+    clone = pickle.loads(pickle.dumps(udf))
+    assert clone(point) == expected
+    # Counters carried over at pickling time, then advanced by the copy's
+    # own evaluation; the original's stay untouched.
+    assert clone.call_count == udf.call_count + 1
+
+
+def test_async_udf_with_simulated_eval_time_stays_async():
+    udf = async_service_udf("F4").with_simulated_eval_time(0.5)
+    assert isinstance(udf, AsyncUDF)
+    udf(np.array([5.0, 5.0]))
+    assert udf.charged_time >= 0.5
+
+
+# ---------------------------------------------------------------------------
+# Overlap and bit-identity through the executors
+# ---------------------------------------------------------------------------
+
+def test_asyncio_inflight_1_is_bit_identical_to_serial_batched():
+    udf_a, engine_a, dists_a = _engine_fixture()
+    serial = BatchExecutor(engine_a, batch_size=4).compute_batch(udf_a, dists_a)
+    udf_b, engine_b, dists_b = _engine_fixture()
+    overlapped = AsyncRefinementExecutor(
+        engine_b, inflight=1, batch_size=4, transport="asyncio"
+    ).compute_batch(udf_b, dists_b)
+    assert len(serial) == len(overlapped)
+    for a, b in zip(serial, overlapped):
+        assert np.array_equal(a.distribution.samples, b.distribution.samples)
+        assert a.error_bound == b.error_bound
+    assert udf_a.call_count == udf_b.call_count
+
+
+def test_asyncio_transport_genuinely_overlaps():
+    udf, engine, dists = _engine_fixture(latency=2e-3)
+    AsyncRefinementExecutor(
+        engine, inflight=4, batch_size=4, transport="asyncio"
+    ).compute_batch(udf, dists)
+    assert udf.max_in_flight > 1
+    assert udf.in_flight == 0
+    assert _transport_threads() == []
+
+
+def test_asyncio_run_is_repeatable_and_jitter_invariant():
+    def run(jitter):
+        udf, engine, dists = _engine_fixture(latency=2e-3, jitter=jitter)
+        outputs = AsyncRefinementExecutor(
+            engine, inflight=4, batch_size=4, transport="asyncio"
+        ).compute_batch(udf, dists)
+        return outputs, udf.call_count
+
+    reference, reference_calls = run(0.0)
+    for jitter in (0.5, 0.95):
+        outputs, calls = run(jitter)
+        assert calls == reference_calls
+        for a, b in zip(reference, outputs):
+            assert np.array_equal(a.distribution.samples, b.distribution.samples)
+            assert a.error_bound == b.error_bound
+
+
+def test_pipelined_executor_rides_the_asyncio_transport():
+    udf, engine, dists = _engine_fixture(latency=1e-3, n_tuples=6)
+    executor = PipelinedExecutor(
+        engine, lookahead=2, inflight=2, batch_size=6, transport="asyncio"
+    )
+    outputs = executor.compute_batch(udf, dists)
+    assert len(outputs) == 6
+    assert udf.in_flight == 0
+    assert _transport_threads() == []
+
+
+# ---------------------------------------------------------------------------
+# Shutdown: the no-leaked-threads regression contract
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("transport", ["threads", "asyncio"])
+def test_failed_query_leaks_no_threads(transport):
+    """A UDF that starts failing mid-query must not leave pool or
+    event-loop threads behind: the transport session closes (joining all
+    non-daemon threads) on the error path."""
+    state = {"calls": 0}
+
+    async def flaky(x):
+        state["calls"] += 1
+        if state["calls"] > 30:
+            raise RuntimeError("service went away")
+        return float(np.sum(x))
+
+    udf = AsyncUDF(flaky, dimension=2, name="flaky")
+    engine = UDFExecutionEngine(
+        strategy="gp", requirement=REQUIREMENT, random_state=3, n_samples=120
+    )
+    dists = list(
+        input_stream(workload_for_udf(udf), 4, random_state=np.random.default_rng(2))
+    )
+    executor = AsyncRefinementExecutor(engine, inflight=4, batch_size=4,
+                                       transport=transport)
+    with pytest.raises(UDFError):
+        executor.compute_batch(udf, dists)
+    leaked = _transport_threads()
+    assert leaked == [], leaked
+    # Every thread in the process is either the main thread or daemonic
+    # housekeeping — nothing the transports started survives.
+    assert all(
+        thread is threading.main_thread() or thread.daemon or
+        not thread.name.startswith("udf")
+        for thread in threading.enumerate()
+    )
+    assert udf.in_flight == 0
+
+
+def test_transport_close_is_idempotent_and_joins_the_loop_thread():
+    transport = AsyncioTransport()
+    transport.open(2, label="join-check")
+    names_open = _transport_threads()
+    assert any("join-check" in name for name in names_open)
+    transport.close()
+    transport.close()
+    assert _transport_threads() == []
+
+
+# ---------------------------------------------------------------------------
+# Pickling: live resources dropped, copy opens fresh, original unharmed
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["threads", "asyncio"])
+def test_pickling_an_open_transport_ships_a_closed_copy(name):
+    udf = async_service_udf("F4")
+    points = _points(3, seed=5)
+    transport = make_transport(name)
+    with transport.session(2, label="pickle"):
+        payload = pickle.dumps(transport)
+        # The original keeps working after being pickled...
+        values = np.array(
+            [f.result() for f in transport.submit_rows(udf, points)]
+        )
+    assert values.shape == (3,)
+    clone = pickle.loads(payload)
+    # ...and the copy arrives closed but opens fresh.
+    with pytest.raises(QueryError, match="not open"):
+        clone.submit_rows(udf, points)
+    with clone.session(2, label="pickle-clone"):
+        clone_values = np.array(
+            [f.result() for f in clone.submit_rows(udf, points)]
+        )
+    assert np.array_equal(clone_values, values)
+    assert _transport_threads() == []

@@ -25,6 +25,7 @@ from repro.bench.experiments_profiles import (
     profile2_error_bound,
     profile3_error_allocation,
 )
+from repro.bench.experiments_serving import serving_load, serving_report
 from repro.bench.experiments_synthetic import (
     expt1_local_inference,
     expt2_online_tuning,
@@ -51,6 +52,8 @@ __all__ = [
     "transport_report",
     "udf_pipeline",
     "pipeline_report",
+    "serving_load",
+    "serving_report",
     "profile1_function_fitting",
     "profile2_error_bound",
     "profile3_error_allocation",

@@ -1,0 +1,219 @@
+"""Serving-layer benchmark: closed-loop load against the QueryService.
+
+Measures the always-on serving layer (:mod:`repro.engine.service`) under a
+closed-loop load generator: ``clients`` concurrent client threads each
+submit a query through one shared :class:`~repro.engine.session.Session`,
+block for the final result, and immediately submit the next — the classic
+closed loop whose offered load tracks service capacity.  The workload is
+the 20 ms simulated async UDF service
+(:func:`~repro.udf.synthetic.async_service_udf`), so each query's cost is
+dominated by awaited request latency — the regime where concurrent queries
+overlap on the shared worker budget even on a single-core runner (what is
+being overlapped is sleep, not CPU).
+
+The table reports, per client count, wall-clock, throughput
+(queries/second) and the client-observed p50/p99 latency.  Two headline
+numbers feed the CI perf gate:
+
+* ``scaling_at_4`` — throughput at 4 clients over the 1-client closed
+  loop (the acceptance criterion is ≥2× on this workload), and
+* ``p99_at_4`` — the 4-client p99 latency (sleep-dominated, hence
+  comparable across runners).
+
+The run also executes one served query and the same query (same seed,
+same plan) directly, and records whether the two were **bit-identical**
+(``identical_to_serial``) — the serving determinism contract, enforced
+non-overridably by the smoke driver exactly like the other identity
+gates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.bench.harness import ExperimentTable
+from repro.core.accuracy import AccuracyRequirement
+from repro.engine.executor import UDFExecutionEngine
+from repro.engine.plan import ExecutionPlan
+from repro.engine.query import Query
+from repro.engine.sdss import generate_galaxy_relation
+from repro.engine.session import Session
+from repro.udf.synthetic import async_service_udf
+
+
+def serving_load(
+    function_name: str = "F4",
+    clients_list: tuple[int, ...] = (1, 4, 16),
+    queries_per_client: int = 3,
+    n_tuples: int = 2,
+    batch_size: int = 2,
+    service_latency: float = 2e-2,
+    service_jitter: float = 0.0,
+    epsilon: float = 0.15,
+    n_samples: int | None = 120,
+    worker_budget: int = 8,
+    queue_limit: int = 64,
+    random_state=7,
+    relation_seed: int = 11,
+) -> ExperimentTable:
+    """Closed-loop throughput/latency table for the serving layer.
+
+    Each client thread runs ``queries_per_client`` queries back to back
+    through one shared session (fresh engine and UDF instance per query,
+    fixed ``random_state``, so every query is the same deterministic unit
+    of work).  ``service_latency`` is the simulated per-request await of
+    the async UDF service; with ``n_tuples`` small the whole query is one
+    evaluation chunk, and concurrency comes purely from the service
+    overlapping chunks of *different* queries on its ``worker_budget``.
+
+    The first row (``clients=0``) is the direct serial reference: the
+    same query run without the service, timed once, with its
+    bit-identity verdict against the served result in
+    ``identical_to_serial``.
+    """
+    table = ExperimentTable(
+        experiment_id="serving",
+        paper_artifact="always-on concurrent query serving (beyond the paper)",
+        description=(
+            "Closed-loop client load vs QueryService throughput/latency on a "
+            f"simulated async UDF service ({function_name}, "
+            f"{service_latency * 1e3:g} ms/request, n_tuples={n_tuples}, "
+            f"worker_budget={worker_budget})"
+        ),
+    )
+    requirement = AccuracyRequirement(epsilon=epsilon, delta=0.05)
+    relation = generate_galaxy_relation(max(2, n_tuples), random_state=relation_seed)
+    plan = ExecutionPlan(batch_size=batch_size)
+    engine_kwargs = {"n_samples": n_samples} if n_samples else {}
+
+    def make_udf():
+        return async_service_udf(
+            function_name, latency=service_latency, jitter=service_jitter,
+            random_state=random_state,
+        )
+
+    def make_engine() -> UDFExecutionEngine:
+        return UDFExecutionEngine(
+            strategy="gp", requirement=requirement, random_state=random_state,
+            **engine_kwargs,
+        )
+
+    def make_query() -> Query:
+        return Query(relation).apply_udf(
+            make_udf(), ["ra_offset", "dec_offset"], alias="f"
+        )
+
+    # -- serial reference + bit-identity verdict ----------------------------------
+    started = time.perf_counter()
+    serial_result = (
+        Query(relation)
+        .apply_udf(make_udf(), ["ra_offset", "dec_offset"], alias="f", plan=plan)
+        .run(make_engine())
+    )
+    serial_wall = time.perf_counter() - started
+
+    with Session(
+        make_engine, plan=plan, worker_budget=worker_budget, queue_limit=queue_limit
+    ) as session:
+        served_result = session.run(make_query())
+        identical = _relations_identical(served_result, serial_result, alias="f")
+        table.add_row(
+            clients=0,
+            queries=1,
+            wall_s=float(serial_wall),
+            throughput_qps=float(1.0 / max(serial_wall, 1e-12)),
+            p50_ms=float(serial_wall * 1000.0),
+            p99_ms=float(serial_wall * 1000.0),
+            identical_to_serial=identical,
+        )
+
+        # -- closed-loop sweep ----------------------------------------------------
+        for clients in clients_list:
+            latencies: list[float] = []
+            lock = threading.Lock()
+
+            def client_loop() -> None:
+                for _ in range(queries_per_client):
+                    begun = time.perf_counter()
+                    session.run(make_query())
+                    elapsed = time.perf_counter() - begun
+                    with lock:
+                        latencies.append(elapsed)
+
+            threads = [
+                threading.Thread(target=client_loop, name=f"client-{i}")
+                for i in range(clients)
+            ]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - started
+            total = clients * queries_per_client
+            table.add_row(
+                clients=clients,
+                queries=total,
+                wall_s=float(wall),
+                throughput_qps=float(total / max(wall, 1e-12)),
+                p50_ms=float(np.percentile(latencies, 50) * 1000.0),
+                p99_ms=float(np.percentile(latencies, 99) * 1000.0),
+                identical_to_serial=identical,
+            )
+    return table
+
+
+def _relations_identical(a, b, alias: str) -> bool:
+    """Bit-identity of two query results' derived distributions and bounds."""
+    a_rel, b_rel = a.relation, b.relation
+    if len(a_rel.tuples) != len(b_rel.tuples):
+        return False
+    for ra, rb in zip(a_rel.tuples, b_rel.tuples):
+        if not np.array_equal(ra[alias].samples, rb[alias].samples):
+            return False
+        if ra.annotations.get(f"{alias}_error_bound") != rb.annotations.get(
+            f"{alias}_error_bound"
+        ):
+            return False
+    return True
+
+
+def serving_report(table: ExperimentTable) -> dict:
+    """JSON-ready summary of a :func:`serving_load` run.
+
+    ``throughput`` / ``p50`` / ``p99`` map ``clients -> value``;
+    ``scaling_at_4`` is the 4-client-over-1-client throughput ratio (the
+    gated acceptance number, ``None`` when either row is missing),
+    ``p99_at_4`` the 4-client p99 in milliseconds, and
+    ``identical_to_serial`` the bit-identity verdict of the served run
+    against the direct serial run — enforced by the smoke driver.
+    """
+    throughput: dict[int, float] = {}
+    p50: dict[int, float] = {}
+    p99: dict[int, float] = {}
+    identical = None
+    for row in table.rows:
+        clients = int(row["clients"])
+        if clients == 0:
+            identical = bool(row["identical_to_serial"])
+            continue
+        throughput[clients] = float(row["throughput_qps"])
+        p50[clients] = float(row["p50_ms"])
+        p99[clients] = float(row["p99_ms"])
+    scaling_at_4 = None
+    if 1 in throughput and 4 in throughput and throughput[1] > 0:
+        scaling_at_4 = throughput[4] / throughput[1]
+    return {
+        "experiment_id": table.experiment_id,
+        "description": table.description,
+        "rows": list(table.rows),
+        "throughput": {str(k): v for k, v in sorted(throughput.items())},
+        "p50": {str(k): v for k, v in sorted(p50.items())},
+        "p99": {str(k): v for k, v in sorted(p99.items())},
+        "scaling_at_4": scaling_at_4,
+        "p99_at_4": p99.get(4),
+        "identical_to_serial": identical,
+    }

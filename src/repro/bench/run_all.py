@@ -7,8 +7,8 @@ Usage::
     python -m repro.bench.run_all --only expt5_eval_time astro_gp_vs_mc
     python -m repro.bench.run_all --output results.txt
     python -m repro.bench.run_all --smoke      # CI smoke: batched + parallel +
-                                               # async + pipeline + transport
-                                               # wall-clock -> BENCH_smoke.json
+                                               # async + pipeline + transport +
+                                               # serving -> BENCH_smoke.json
 
 Each experiment prints an :class:`~repro.bench.harness.ExperimentTable`; the
 ``--output`` option additionally writes the combined report to a file so it
@@ -64,6 +64,7 @@ from repro.bench.experiments_async import (
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
 from repro.bench.experiments_parallel import parallel_report, parallel_scaling
 from repro.bench.experiments_pipeline import pipeline_report, udf_pipeline
+from repro.bench.experiments_serving import serving_load, serving_report
 from repro.bench.harness import ExperimentTable
 
 #: Scaled-down parameter overrides, mirroring the pytest-benchmark wrappers.
@@ -104,6 +105,8 @@ _SCALED_OVERRIDES: dict[str, dict] = {
                       "n_samples": 120},
     "udf_pipeline": {"lookahead_list": (1, 4), "inflight": 2, "n_tuples": 8,
                      "batch_size": 8, "real_eval_time": 1e-2, "n_samples": 120},
+    "serving": {"clients_list": (1, 4), "queries_per_client": 2, "n_tuples": 2,
+                "batch_size": 2, "service_latency": 1e-2, "n_samples": 120},
 }
 
 #: Parameters of the CI smoke invocation (`--smoke`): large enough that the
@@ -158,6 +161,19 @@ _SMOKE_TRANSPORT_KWARGS = {"transports": ("threads", "asyncio"),
                            "n_tuples": 6, "batch_size": 6, "service_latency": 2e-2,
                            "epsilon": 0.12, "n_samples": 120}
 
+#: Parameters of the smoke serving run: the closed-loop load generator on
+#: the 20 ms/request simulated async UDF service.  Each query's cost is
+#: dominated by awaited service latency, so the 4-client throughput clears
+#: 2x the 1-client closed loop even on a single-core runner (the serving
+#: layer overlaps sleeps on its shared worker budget — no cores needed),
+#: and the p50/p99 latencies are sleep-dominated and therefore comparable
+#: across runner hardware.  The ``clients=0`` reference row doubles as the
+#: served-vs-direct bit-identity check, enforced like the other identity
+#: gates.
+_SMOKE_SERVING_KWARGS = {"clients_list": (1, 4, 16), "queries_per_client": 3,
+                         "n_tuples": 2, "batch_size": 2, "service_latency": 2e-2,
+                         "epsilon": 0.15, "n_samples": 120, "worker_budget": 8}
+
 #: Relative drop of the gp batched speedup that fails the CI gate.
 DEFAULT_MAX_REGRESSION = 0.25
 
@@ -186,6 +202,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "udf_overlap": udf_overlap,
     "udf_transport": udf_transport,
     "udf_pipeline": udf_pipeline,
+    "serving": serving_load,
 }
 
 
@@ -266,22 +283,80 @@ def check_parallel_regression(
     )
 
 
+def check_serving_regression(
+    report: dict, baseline: dict, max_regression: float
+) -> dict:
+    """Gate verdict for the serving throughput scaling at 4 clients.
+
+    The ratio — 4-client closed-loop throughput over 1-client — is
+    hardware-normalised like the other gated speedups, and the smoke
+    workload is sleep-dominated, so the gate arms on every runner (no
+    core-count guard: overlapping awaited service latency needs no
+    cores).
+    """
+    return _metric_verdict(
+        "serving throughput scaling at 4 clients",
+        report.get("serving", {}).get("scaling_at_4"),
+        baseline.get("serving", {}).get("scaling_at_4"),
+        max_regression,
+    )
+
+
+def _inverse_p99(artifact: dict):
+    """1/p99 (in 1/ms) of the 4-client serving row, or ``None``.
+
+    Inverted so :func:`_metric_verdict`'s lower-is-regression convention
+    gates a latency *increase*: a p99 that grows past the allowed margin
+    shrinks ``1/p99`` below the baseline threshold.
+    """
+    p99 = artifact.get("serving", {}).get("p99_at_4")
+    if not isinstance(p99, (int, float)) or p99 <= 0:
+        return None
+    return 1.0 / float(p99)
+
+
+def check_serving_latency_regression(
+    report: dict, baseline: dict, max_regression: float
+) -> dict:
+    """Gate verdict for the 4-client p99 latency (as its inverse).
+
+    On the smoke workload the p99 is dominated by the UDF service's
+    simulated 20 ms/request await, so — unlike raw CPU wall-clock — the
+    absolute number transfers across runner hardware well enough to gate.
+    """
+    return _metric_verdict(
+        "serving 4-client p99 latency (inverse, 1/ms)",
+        _inverse_p99(report),
+        _inverse_p99(baseline),
+        max_regression,
+    )
+
+
 def gated_verdicts(
     report: dict, baseline: dict, max_regression: float, cpu_count: int
 ) -> list[tuple[str, dict]]:
     """Every perf-gate verdict that applies on a ``cpu_count``-core machine.
 
-    Always the batched-speedup gate; plus the parallel-scaling gate when
-    the machine has at least :data:`PARALLEL_GATE_MIN_CPUS` cores — the
-    core-count guard that keeps single-core CI runners from disarming (or
-    spuriously failing) that metric.  Returns ``(report_key, verdict)``
-    pairs in evaluation order.
+    Always the batched-speedup gate and both serving gates (throughput
+    scaling and p99 latency — the smoke serving workload overlaps awaited
+    latency, so those arm regardless of cores); plus the parallel-scaling
+    gate when the machine has at least :data:`PARALLEL_GATE_MIN_CPUS`
+    cores — the core-count guard that keeps single-core CI runners from
+    disarming (or spuriously failing) that metric.  Returns
+    ``(report_key, verdict)`` pairs in evaluation order.
     """
     verdicts = [("gate", check_regression(report, baseline, max_regression))]
     if cpu_count >= PARALLEL_GATE_MIN_CPUS:
         verdicts.append(
             ("gate_parallel", check_parallel_regression(report, baseline, max_regression))
         )
+    verdicts.append(
+        ("gate_serving", check_serving_regression(report, baseline, max_regression))
+    )
+    verdicts.append(
+        ("gate_serving_p99",
+         check_serving_latency_regression(report, baseline, max_regression))
+    )
     return verdicts
 
 
@@ -373,9 +448,24 @@ def run_smoke(
     for name, identical in sorted(transport["identical_at_1"].items()):
         print(f"transport [{name}] inflight=1 bit-identical to serial batched: "
               f"{identical}")
+    started = time.perf_counter()
+    serving_table = serving_load(**_SMOKE_SERVING_KWARGS)
+    serving_elapsed = time.perf_counter() - started
+    serving = serving_report(serving_table)
+    print()
+    print(serving_table.to_text())
+    print(f"(ran serving smoke in {serving_elapsed:.1f} s)")
+    if serving["scaling_at_4"] is not None:
+        print(f"serving throughput scaling at 4 clients: "
+              f"{serving['scaling_at_4']:.2f}x")
+    for clients, p99 in sorted(serving["p99"].items(), key=lambda kv: int(kv[0])):
+        print(f"serving p99 latency at {clients} client(s): {p99:.0f} ms")
+    print(f"served query bit-identical to direct serial run: "
+          f"{serving['identical_to_serial']}")
+
     report = {"batch_pipeline": batch, "parallel_scaling": parallel,
               "udf_overlap": overlap, "udf_pipeline": pipeline,
-              "udf_transport": transport}
+              "udf_transport": transport, "serving": serving}
 
     identity_failures = []
     if overlap["identical_at_1"] is not True:
@@ -400,6 +490,10 @@ def run_smoke(
                 f"transport {name!r} at async_inflight=1 diverged from the "
                 "serial batched path"
             )
+    if serving["identical_to_serial"] is not True:
+        identity_failures.append(
+            "served query diverged from the direct serial run"
+        )
     if identity_failures:
         # Determinism half of the async/pipeline acceptance contracts.
         # These are correctness properties, not perf ratios, so they are
@@ -496,7 +590,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="run only the fast smoke benchmarks (batched pipeline + "
                              "parallel scaling + async udf overlap + pipeline + "
-                             "udf transports) and write a JSON artifact")
+                             "udf transports + serving load) and write a JSON "
+                             "artifact")
     parser.add_argument("--smoke-output", metavar="PATH", default="BENCH_smoke.json",
                         help="where --smoke writes its JSON artifact")
     parser.add_argument("--baseline", metavar="PATH", default="BENCH_baseline.json",

@@ -27,6 +27,7 @@ from repro.engine.parallel import (
     MERGE_POLICIES,
     MergePolicy,
     ParallelExecutor,
+    default_worker_count,
 )
 from repro.engine.pipeline import (
     DEFAULT_PIPELINE_LOOKAHEAD,
@@ -36,8 +37,25 @@ from repro.engine.pipeline import (
 )
 from repro.engine.plan import PRECEDENCE, ExecutionPlan, resolve_plan_argument
 from repro.engine.query import Query
+from repro.engine.result import (
+    VERDICT_CERTAIN,
+    VERDICT_EXCLUDED,
+    VERDICT_POSSIBLE,
+    QueryResult,
+    TupleVerdict,
+    classify_outputs,
+    classify_rows,
+)
 from repro.engine.schema import Attribute, AttributeKind, Schema
 from repro.engine.sdss import galaxy_schema, generate_galaxy_relation
+from repro.engine.service import (
+    DEFAULT_QUEUE_LIMIT,
+    DEFAULT_WORKER_BUDGET,
+    QueryEvent,
+    QueryHandle,
+    QueryService,
+)
+from repro.engine.session import Session
 from repro.engine.transport import (
     DEFAULT_TRANSPORT,
     TRANSPORTS,
@@ -93,4 +111,18 @@ __all__ = [
     "SelectUDF",
     "materialize",
     "Query",
+    "QueryResult",
+    "TupleVerdict",
+    "VERDICT_CERTAIN",
+    "VERDICT_POSSIBLE",
+    "VERDICT_EXCLUDED",
+    "classify_outputs",
+    "classify_rows",
+    "default_worker_count",
+    "QueryService",
+    "QueryHandle",
+    "QueryEvent",
+    "DEFAULT_WORKER_BUDGET",
+    "DEFAULT_QUEUE_LIMIT",
+    "Session",
 ]

@@ -12,6 +12,7 @@ strategies are available, mirroring the paper's evaluation:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Literal, Optional
 
@@ -24,10 +25,29 @@ from repro.distributions.base import Distribution
 from repro.distributions.empirical import EmpiricalDistribution
 from repro.exceptions import PlanError, QueryError
 from repro.rng import RandomState, as_generator
+from repro.timing import PhaseTimings
 from repro.udf.base import UDF
 
 if TYPE_CHECKING:  # imported lazily at runtime (plan.py imports this module)
     from repro.engine.plan import ExecutionPlan
+    from repro.engine.result import QueryResult
+
+
+def _warn_legacy_shim(name: str) -> None:
+    """One deprecation warning per legacy ``compute_*`` entry point.
+
+    The supported paths are ``compute_with_plan(plan=...)`` for direct
+    engine use and :meth:`repro.engine.session.Session.submit` for served
+    queries; the per-layer shims remain only so existing call sites keep
+    working while they migrate.
+    """
+    warnings.warn(
+        f"UDFExecutionEngine.{name}() is a legacy shim; build an "
+        "ExecutionPlan and call compute_with_plan(..., plan=plan), or "
+        "submit the query through repro.engine.session.Session",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 Strategy = Literal["mc", "gp", "hybrid"]
 
@@ -131,7 +151,7 @@ class UDFExecutionEngine:
         input_distributions,
         plan: "ExecutionPlan | None" = None,
         predicate: SelectionPredicate | None = None,
-    ) -> list[ComputedOutput]:
+    ) -> "QueryResult":
         """Evaluate ``udf`` on many tuples as one ExecutionPlan describes.
 
         The single plan-driven entry point: ``plan`` (or, when ``None``,
@@ -140,7 +160,16 @@ class UDFExecutionEngine:
         over ``input_distributions``, optionally under a selection
         ``predicate``.  The per-layer convenience methods below
         (:meth:`compute_batch`, :meth:`compute_async`,
-        :meth:`compute_pipelined`) are thin shims over this.
+        :meth:`compute_pipelined`, :meth:`compute_parallel`) are
+        deprecated shims over this.
+
+        Returns
+        -------
+        QueryResult
+            Wrapping the per-tuple :class:`ComputedOutput` list (the
+            result iterates/indexes like that list), plus the executed
+            plan, per-phase timings and per-tuple
+            :class:`~repro.engine.result.TupleVerdict` records.
 
         Raises
         ------
@@ -149,33 +178,53 @@ class UDFExecutionEngine:
             plus whatever the resolved executor raises.
         """
         from repro.engine.plan import ExecutionPlan
+        from repro.engine.result import QueryResult, classify_outputs
 
         resolved_plan = plan if plan is not None else self.plan
         if resolved_plan is None:
             resolved_plan = ExecutionPlan()
         executor = resolved_plan.resolve(self)
         distributions = list(input_distributions)
-        if executor is None:
-            if predicate is None:
-                return [self.compute(udf, dist) for dist in distributions]
-            return [
-                self.compute_with_predicate(udf, dist, predicate)
-                for dist in distributions
-            ]
-        if predicate is None:
-            return executor.compute_batch(udf, distributions)
-        return executor.compute_batch_with_predicate(udf, distributions, predicate)
+        timings = PhaseTimings()
+        with timings.measure("execute"):
+            if executor is None:
+                if predicate is None:
+                    outputs = [self.compute(udf, dist) for dist in distributions]
+                else:
+                    outputs = [
+                        self.compute_with_predicate(udf, dist, predicate)
+                        for dist in distributions
+                    ]
+            elif predicate is None:
+                outputs = executor.compute_batch(udf, distributions)
+            else:
+                outputs = executor.compute_batch_with_predicate(
+                    udf, distributions, predicate
+                )
+        executor_timings = getattr(executor, "timings", None)
+        if isinstance(executor_timings, PhaseTimings):
+            timings.merge(executor_timings)
+        return QueryResult(
+            outputs,
+            plan=resolved_plan,
+            timings=timings,
+            verdicts=classify_outputs(outputs, self.requirement.epsilon),
+        )
 
-    # -- batched evaluation -------------------------------------------------------------
+    # -- deprecated per-layer shims -----------------------------------------------------
     def compute_batch(
         self, udf: UDF, input_distributions, batch_size: int | None = None
-    ) -> list[ComputedOutput]:
+    ) -> "QueryResult":
         """Evaluate ``udf`` on many tuples through the batched pipeline.
 
-        Convenience wrapper over :class:`~repro.engine.batch.BatchExecutor`;
-        under the same seed and a deterministic tuning strategy the results
-        match calling :meth:`compute` once per tuple, in order.
+        .. deprecated::
+            Legacy shim over :meth:`compute_with_plan` (a
+            :class:`DeprecationWarning` is emitted); pass
+            ``ExecutionPlan(batch_size=...)`` instead.  Under the same
+            seed and a deterministic tuning strategy the results match
+            calling :meth:`compute` once per tuple, in order.
         """
+        _warn_legacy_shim("compute_batch")
         from repro.engine.batch import DEFAULT_BATCH_SIZE
         from repro.engine.plan import ExecutionPlan
 
@@ -195,32 +244,40 @@ class UDFExecutionEngine:
         async_inflight: int | None = None,
         oversubscribe: float = 1.0,
         transport=None,
-    ) -> list[ComputedOutput]:
+    ) -> "QueryResult":
         """Evaluate ``udf`` on many tuples sharded across a process pool.
 
-        Convenience wrapper over
-        :class:`~repro.engine.parallel.ParallelExecutor` (kept direct
-        rather than plan-built: ``workers=None`` here means "the scaled
-        core-count default", which a plan expresses via ``oversubscribe``
-        alone); see that class for the merge policies, the determinism
-        contract (``workers=1`` is numerically identical to
-        :meth:`compute_batch`), and the ``async_inflight`` /
-        ``oversubscribe`` / ``transport`` latency-hiding knobs.
+        .. deprecated::
+            Legacy shim over :meth:`compute_with_plan` (a
+            :class:`DeprecationWarning` is emitted); pass
+            ``ExecutionPlan(workers=...)`` instead.  A plan has no
+            "scaled core-count default" spelling of ``workers=None``, so
+            the shim materialises it via
+            :func:`~repro.engine.parallel.default_worker_count` — the
+            built plan is explicit about the shard count it runs.  Knob
+            conflicts the old direct path resolved silently (an explicit
+            ``workers`` with ``oversubscribe``, a transport *instance*
+            with workers) now raise a typed
+            :class:`~repro.exceptions.PlanError`.
         """
+        _warn_legacy_shim("compute_parallel")
         from repro.engine.batch import DEFAULT_BATCH_SIZE
-        from repro.engine.parallel import ParallelExecutor
+        from repro.engine.parallel import default_worker_count
+        from repro.engine.plan import ExecutionPlan
+        from repro.engine.transport import DEFAULT_TRANSPORT
 
-        executor = ParallelExecutor(
-            self,
-            workers=workers,
+        if workers is None and oversubscribe == 1.0:
+            workers = default_worker_count()
+        plan = ExecutionPlan(
             batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+            workers=workers,
             merge=merge,  # type: ignore[arg-type]
-            seed=seed,
+            parallel_seed=seed,
             async_inflight=async_inflight,
             oversubscribe=oversubscribe,
-            transport=transport,
+            transport=transport if transport is not None else DEFAULT_TRANSPORT,
         )
-        return executor.compute_batch(udf, list(input_distributions))
+        return self.compute_with_plan(udf, input_distributions, plan)
 
     def compute_async(
         self,
@@ -229,18 +286,18 @@ class UDFExecutionEngine:
         inflight: int | None = None,
         batch_size: int | None = None,
         transport=None,
-    ) -> list[ComputedOutput]:
+    ) -> "QueryResult":
         """Evaluate ``udf`` on many tuples with overlapped refinement calls.
 
-        Convenience plan shim over
-        :class:`~repro.engine.async_exec.AsyncRefinementExecutor`: up to
-        ``inflight`` refinement-loop UDF evaluations run concurrently on
-        the configured ``transport`` (a bounded thread pool by default; an
-        event loop with ``transport="asyncio"`` and an
-        :class:`~repro.udf.base.AsyncUDF`), hiding black-box latency
-        inside GP inference.  ``inflight=1`` is bit-identical to
-        :meth:`compute_batch` under the same seed.
+        .. deprecated::
+            Legacy shim over :meth:`compute_with_plan` (a
+            :class:`DeprecationWarning` is emitted); pass
+            ``ExecutionPlan(async_inflight=...)`` instead.  Up to
+            ``inflight`` refinement-loop UDF evaluations run concurrently
+            on the configured ``transport``; ``inflight=1`` is
+            bit-identical to the serial batched path under the same seed.
         """
+        _warn_legacy_shim("compute_async")
         from repro.engine.async_exec import DEFAULT_ASYNC_INFLIGHT
         from repro.engine.batch import DEFAULT_BATCH_SIZE
         from repro.engine.plan import ExecutionPlan
@@ -260,18 +317,19 @@ class UDFExecutionEngine:
         inflight: int | None = None,
         batch_size: int | None = None,
         transport=None,
-    ) -> list[ComputedOutput]:
+    ) -> "QueryResult":
         """Evaluate ``udf`` on many tuples with cross-tuple pipelining.
 
-        Convenience plan shim over
-        :class:`~repro.engine.pipeline.PipelinedExecutor`: while one tuple's
-        refinement waits on black-box UDF calls, the sampling, first GP
-        inference and prefetched first refinement window of the next
-        ``lookahead - 1`` tuples already run on a shared bounded pool.
-        ``inflight`` sets the within-tuple window and ``transport`` the
-        evaluation carrier (as in :meth:`compute_async`); ``lookahead=1``
-        is bit-identical to :meth:`compute_batch` under the same seed.
+        .. deprecated::
+            Legacy shim over :meth:`compute_with_plan` (a
+            :class:`DeprecationWarning` is emitted); pass
+            ``ExecutionPlan(pipeline_lookahead=...)`` instead.  While one
+            tuple's refinement waits on black-box UDF calls, the next
+            ``lookahead - 1`` tuples' stages already run; ``lookahead=1``
+            is bit-identical to the serial batched path under the same
+            seed.
         """
+        _warn_legacy_shim("compute_pipelined")
         from repro.engine.batch import DEFAULT_BATCH_SIZE
         from repro.engine.pipeline import DEFAULT_PIPELINE_LOOKAHEAD
         from repro.engine.plan import ExecutionPlan

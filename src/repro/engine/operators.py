@@ -18,6 +18,7 @@ They cover what queries Q1 and Q2 of the paper need:
 from __future__ import annotations
 
 import abc
+from dataclasses import fields
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.filtering import SelectionPredicate
@@ -25,11 +26,30 @@ from repro.engine.batch import iter_batches
 from repro.engine.executor import UDFExecutionEngine
 from repro.engine.parallel import MergePolicy, ParallelExecutor
 from repro.engine.plan import ExecutionPlan, resolve_plan_argument
+from repro.engine.result import QueryResult, classify_rows
 from repro.engine.schema import Attribute, AttributeKind, Schema
 from repro.engine.transport import TransportSpec
 from repro.engine.tuples import Relation, UncertainTuple
 from repro.exceptions import QueryError
+from repro.timing import PhaseTimings
 from repro.udf.base import UDF
+
+
+def legacy_knobs_supplied(**legacy) -> bool:
+    """Whether any legacy per-knob kwarg was actually set.
+
+    "Set" means different from the corresponding
+    :class:`~repro.engine.plan.ExecutionPlan` field default (``None`` for
+    most knobs, ``"union"`` for ``merge``) — the same rule
+    :func:`~repro.engine.plan.resolve_plan_argument` applies when deciding
+    whether to warn.  Shared by the operators and the query builder to
+    decide when the engine's default plan may stand in.
+    """
+    defaults = {field.name: field.default for field in fields(ExecutionPlan)}
+    return any(
+        value is not None and value != defaults.get(name)
+        for name, value in legacy.items()
+    )
 
 
 def _plan_and_executors(
@@ -45,7 +65,15 @@ def _plan_and_executors(
     :class:`~repro.engine.parallel.ParallelExecutor` (whole-input fan-out)
     and ``chunked`` any chunk-wise executor (``None``/``None`` = the
     per-tuple path).
+
+    When neither ``plan=`` nor any legacy knob was given, the engine's
+    default plan (installed at engine construction, or by
+    :meth:`~repro.engine.session.Session.submit`) applies — the seam that
+    lets one plan configure a whole served query without threading it
+    through every builder call.
     """
+    if plan is None and engine.plan is not None and not legacy_knobs_supplied(**legacy):
+        plan = engine.plan
     resolved = resolve_plan_argument(plan, warn_stacklevel=4, **legacy)
     executor = resolved.resolve(engine)
     if isinstance(executor, ParallelExecutor):
@@ -64,12 +92,53 @@ class Operator(abc.ABC):
     def __iter__(self) -> Iterator[UncertainTuple]:
         """Produce the output tuples."""
 
-    def execute(self, name: str = "result") -> Relation:
-        """Materialise the operator's output into a relation."""
+    def _tree_nodes(self) -> Iterator["Operator"]:
+        """This operator and every descendant, preorder."""
+        yield self
+        for attr in ("child", "left", "right"):
+            node = getattr(self, attr, None)
+            if isinstance(node, Operator):
+                yield from node._tree_nodes()
+
+    def _tree_epsilon(self) -> float | None:
+        """The accuracy requirement's epsilon of the first engine-bound
+        node in the tree (``None`` for plain relational plans)."""
+        for node in self._tree_nodes():
+            engine = getattr(node, "engine", None)
+            if engine is not None:
+                return engine.requirement.epsilon
+        return None
+
+    def _tree_plan(self) -> ExecutionPlan | None:
+        """The resolved plan of the first UDF node in the tree, if any."""
+        for node in self._tree_nodes():
+            plan = getattr(node, "plan", None)
+            if isinstance(plan, ExecutionPlan):
+                return plan
+        return None
+
+    def execute(self, name: str = "result") -> QueryResult:
+        """Materialise the operator's output into a typed query result.
+
+        Returns a :class:`~repro.engine.result.QueryResult` wrapping the
+        relation (iteration, ``len``, attribute access all delegate to
+        it, so pre-existing consumers of the bare relation keep working)
+        plus the executed plan, wall-clock timings and one
+        certain/possible :class:`~repro.engine.result.TupleVerdict` per
+        row — classified against the accuracy requirement of the plan's
+        engine, when the tree has one.
+        """
+        timings = PhaseTimings()
         result = Relation(name=name, schema=self.schema())
-        for row in self:
-            result.insert(row)
-        return result
+        with timings.measure("execute"):
+            for row in self:
+                result.insert(row)
+        return QueryResult(
+            result,
+            plan=self._tree_plan(),
+            timings=timings,
+            verdicts=classify_rows(result.tuples, self._tree_epsilon()),
+        )
 
 
 class Scan(Operator):

@@ -93,6 +93,19 @@ MERGE_POLICIES: tuple[str, ...] = ("discard", "union", "refit-threshold")
 DEFAULT_REFIT_THRESHOLD = 16
 
 
+def default_worker_count(oversubscribe: float = 1.0) -> int:
+    """The shard count used when ``workers`` is left unset.
+
+    The core count scaled by ``oversubscribe`` (floored at one worker) —
+    shared by :class:`ParallelExecutor` and the engine's
+    ``compute_parallel`` deprecation shim, which needs the same number to
+    build the equivalent :class:`~repro.engine.plan.ExecutionPlan` (a plan
+    has no "default worker count" spelling of its own: ``workers=None``
+    means *unsharded* there).
+    """
+    return max(1, round((os.cpu_count() or 1) * oversubscribe))
+
+
 @dataclass
 class ShardResult:
     """What one pool worker sends back for its shard (picklable)."""
@@ -332,7 +345,7 @@ class ParallelExecutor:
         if workers is not None:
             self.workers = int(workers)
         else:
-            self.workers = max(1, round((os.cpu_count() or 1) * self.oversubscribe))
+            self.workers = default_worker_count(self.oversubscribe)
         self.batch_size = int(batch_size)
         self.shard_size = int(shard_size) if shard_size is not None else self.batch_size
         self.merge: MergePolicy = merge

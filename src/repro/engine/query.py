@@ -37,8 +37,10 @@ from repro.engine.operators import (
     Scan,
     SelectUDF,
     SelectWhere,
+    legacy_knobs_supplied,
 )
 from repro.engine.plan import ExecutionPlan, resolve_plan_argument
+from repro.engine.result import QueryResult
 from repro.engine.transport import TransportSpec
 from repro.engine.tuples import Relation, UncertainTuple
 from repro.exceptions import QueryError
@@ -145,16 +147,21 @@ pipeline_lookahead, transport:
             :class:`~repro.exceptions.PlanError`, raised *here*, at the
             builder call — an invalid execution plan.
         """
-        # Resolve eagerly: an invalid configuration fails at THIS call
-        # (where the user wrote it), and the legacy-kwargs deprecation
-        # warning points at the user's frame instead of the deferred
-        # operator construction inside run().
-        resolved_plan = resolve_plan_argument(
-            plan, batch_size=batch_size, workers=workers,
-            merge=merge, parallel_seed=parallel_seed,  # type: ignore[arg-type]
-            async_inflight=async_inflight,
+        # Resolve eagerly when anything was supplied: an invalid
+        # configuration fails at THIS call (where the user wrote it), and
+        # the legacy-kwargs deprecation warning points at the user's frame
+        # instead of the deferred operator construction inside run().
+        # When neither plan= nor any legacy knob was given, None is kept
+        # so the operator can fall back to the engine's default plan (the
+        # Session.submit seam) at plan-build time.
+        legacy = dict(
+            batch_size=batch_size, workers=workers, merge=merge,
+            parallel_seed=parallel_seed, async_inflight=async_inflight,
             pipeline_lookahead=pipeline_lookahead, transport=transport,
         )
+        resolved_plan: ExecutionPlan | None = None
+        if plan is not None or legacy_knobs_supplied(**legacy):
+            resolved_plan = resolve_plan_argument(plan, **legacy)  # type: ignore[arg-type]
 
         def _build(child: Operator, engine: UDFExecutionEngine) -> Operator:
             return ApplyUDF(child, udf, arguments, alias, engine, plan=resolved_plan)
@@ -204,13 +211,16 @@ pipeline_lookahead, transport:
         """
         predicate = SelectionPredicate(low=low, high=high, threshold=threshold)
         # Eager resolution, exactly as in apply_udf: plan errors and the
-        # deprecation warning surface at the user's call site.
-        resolved_plan = resolve_plan_argument(
-            plan, batch_size=batch_size, workers=workers,
-            merge=merge, parallel_seed=parallel_seed,  # type: ignore[arg-type]
-            async_inflight=async_inflight,
+        # deprecation warning surface at the user's call site, and an
+        # unconfigured call defers to the engine's default plan.
+        legacy = dict(
+            batch_size=batch_size, workers=workers, merge=merge,
+            parallel_seed=parallel_seed, async_inflight=async_inflight,
             pipeline_lookahead=pipeline_lookahead, transport=transport,
         )
+        resolved_plan: ExecutionPlan | None = None
+        if plan is not None or legacy_knobs_supplied(**legacy):
+            resolved_plan = resolve_plan_argument(plan, **legacy)  # type: ignore[arg-type]
 
         def _build(child: Operator, engine: UDFExecutionEngine) -> Operator:
             return SelectUDF(
@@ -237,6 +247,12 @@ pipeline_lookahead, transport:
             operator = step(operator, engine)
         return operator
 
-    def run(self, engine: UDFExecutionEngine, name: str = "result") -> Relation:
-        """Execute the query and materialise the result relation."""
+    def run(self, engine: UDFExecutionEngine, name: str = "result") -> QueryResult:
+        """Execute the query and materialise the result.
+
+        Returns a :class:`~repro.engine.result.QueryResult` wrapping the
+        materialised relation together with phase timings, per-tuple
+        verdicts and the executed plan; it iterates/indexes exactly like
+        the bare :class:`~repro.engine.tuples.Relation` it wraps.
+        """
         return self.plan(engine).execute(name=name)

@@ -84,3 +84,36 @@ class PlanError(QueryError):
     path the engine would have silently picked.  Subclasses
     :class:`QueryError`, so existing error handling keeps working.
     """
+
+
+class ServiceError(QueryError):
+    """Raised for misuse of the serving layer itself.
+
+    Covers lifecycle violations of
+    :class:`~repro.engine.service.QueryService` (submitting to a closed
+    service, invalid service configuration).  Subclasses
+    :class:`QueryError` so a serving deployment can reuse the library's
+    existing error handling.
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """Raised when admission control rejects a query.
+
+    The service bounds the number of admitted (queued plus running)
+    queries; a submit beyond ``queue_limit`` is rejected *immediately*
+    with this error rather than queued without bound — the caller decides
+    whether to retry, shed load, or escalate.
+    """
+
+
+class QueryCancelledError(ServiceError):
+    """Raised by :meth:`~repro.engine.service.QueryHandle.result` after a
+    query was cancelled (explicitly, or by service shutdown) before it
+    produced its final relation."""
+
+
+class QueryTimeoutError(ServiceError):
+    """Raised when a query exceeded its per-query timeout (server side) or
+    a :meth:`~repro.engine.service.QueryHandle.result` wait expired
+    (client side) — the message states which deadline was missed."""

@@ -13,7 +13,11 @@ baseline artifact.  Contracts under test:
 * the parallel-scaling gp speedup at ``workers=4`` is gated the same way,
   but only on machines with at least ``PARALLEL_GATE_MIN_CPUS`` cores —
   the guard that keeps single-core runners from turning a hardware
-  limitation into a reported code regression (ROADMAP item).
+  limitation into a reported code regression (ROADMAP item);
+* the serving gates — 4-client throughput scaling and 4-client p99
+  latency (gated as its inverse, so a latency *increase* regresses) —
+  arm on every runner, because the smoke serving workload overlaps
+  awaited service latency rather than CPU.
 """
 
 from __future__ import annotations
@@ -25,6 +29,8 @@ from repro.bench.run_all import (
     PARALLEL_GATE_MIN_CPUS,
     check_parallel_regression,
     check_regression,
+    check_serving_latency_regression,
+    check_serving_regression,
     gated_verdicts,
     main,
 )
@@ -39,6 +45,12 @@ def _parallel_report(speedup, batch_speedup=2.0):
     report["parallel_scaling"] = {
         "speedup_at_4": {"gp": {"workers": 4, "speedup": speedup}}
     }
+    return report
+
+
+def _serving_report(scaling, p99=500.0, batch_speedup=2.0):
+    report = _report(batch_speedup)
+    report["serving"] = {"scaling_at_4": scaling, "p99_at_4": p99}
     return report
 
 
@@ -116,28 +128,81 @@ class TestParallelGate:
         assert verdict["regressed"] is False
 
 
-class TestCoreCountGuard:
-    """The parallel gate only arms with enough real cores to scale on."""
+class TestServingGate:
+    """Serving throughput scaling and p99 latency gates."""
 
-    def test_single_core_runner_gates_batch_only(self):
+    def test_scaling_pass_records_relative_change(self):
+        verdict = check_serving_regression(
+            _serving_report(3.0), _serving_report(3.0), 0.25
+        )
+        assert verdict["regressed"] is False
+        assert "missing" not in verdict
+        assert verdict["metric"] == "serving throughput scaling at 4 clients"
+
+    def test_scaling_regression_detected(self):
+        verdict = check_serving_regression(
+            _serving_report(1.2), _serving_report(3.0), 0.25
+        )
+        assert verdict["regressed"] is True
+        assert verdict["overridden"] is False
+
+    def test_p99_increase_is_a_regression(self):
+        # p99 grew 2x: the inverse shrinks below the 25% margin.
+        verdict = check_serving_latency_regression(
+            _serving_report(3.0, p99=1000.0), _serving_report(3.0, p99=500.0), 0.25
+        )
+        assert verdict["regressed"] is True
+
+    def test_p99_decrease_passes(self):
+        verdict = check_serving_latency_regression(
+            _serving_report(3.0, p99=400.0), _serving_report(3.0, p99=500.0), 0.25
+        )
+        assert verdict["regressed"] is False
+
+    @pytest.mark.parametrize(
+        "report, baseline",
+        [
+            (_report(2.0), _serving_report(3.0)),     # metric dropped from report
+            (_serving_report(3.0), _report(2.0)),     # baseline lacks metric
+            (_serving_report(None), _serving_report(3.0)),
+            (_serving_report(3.0, p99=0.0), _serving_report(3.0)),  # degenerate p99
+        ],
+    )
+    def test_missing_metric_is_flagged(self, report, baseline):
+        scaling = check_serving_regression(report, baseline, DEFAULT_MAX_REGRESSION)
+        latency = check_serving_latency_regression(
+            report, baseline, DEFAULT_MAX_REGRESSION
+        )
+        assert scaling.get("missing") is True or latency.get("missing") is True
+
+
+class TestCoreCountGuard:
+    """The parallel gate only arms with enough real cores to scale on;
+    the batch and serving gates arm everywhere."""
+
+    ALWAYS_ON = ["gate", "gate_serving", "gate_serving_p99"]
+
+    def test_single_core_runner_skips_parallel_gate(self):
         verdicts = gated_verdicts(
             _parallel_report(2.5), _parallel_report(2.5), 0.25, cpu_count=1
         )
-        assert [key for key, _ in verdicts] == ["gate"]
+        assert [key for key, _ in verdicts] == self.ALWAYS_ON
 
     def test_just_below_threshold_still_skips(self):
         verdicts = gated_verdicts(
             _parallel_report(2.5), _parallel_report(2.5), 0.25,
             cpu_count=PARALLEL_GATE_MIN_CPUS - 1,
         )
-        assert [key for key, _ in verdicts] == ["gate"]
+        assert [key for key, _ in verdicts] == self.ALWAYS_ON
 
-    def test_multi_core_runner_gates_both(self):
+    def test_multi_core_runner_gates_parallel_too(self):
         verdicts = gated_verdicts(
             _parallel_report(1.0), _parallel_report(2.5), 0.25,
             cpu_count=PARALLEL_GATE_MIN_CPUS,
         )
-        assert [key for key, _ in verdicts] == ["gate", "gate_parallel"]
+        assert [key for key, _ in verdicts] == [
+            "gate", "gate_parallel", "gate_serving", "gate_serving_p99"
+        ]
         by_key = dict(verdicts)
         assert by_key["gate"]["regressed"] is False
         assert by_key["gate_parallel"]["regressed"] is True

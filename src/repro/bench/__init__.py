@@ -17,6 +17,7 @@ from repro.bench.experiments_async import (
     udf_transport,
 )
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
+from repro.bench.experiments_faults import fault_injection, faults_report
 from repro.bench.experiments_parallel import parallel_report, parallel_scaling
 from repro.bench.experiments_pipeline import pipeline_report, udf_pipeline
 from repro.bench.experiments_profiles import (
@@ -54,6 +55,8 @@ __all__ = [
     "pipeline_report",
     "serving_load",
     "serving_report",
+    "fault_injection",
+    "faults_report",
     "profile1_function_fitting",
     "profile2_error_bound",
     "profile3_error_allocation",

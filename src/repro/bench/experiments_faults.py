@@ -1,0 +1,187 @@
+"""Fault-injection benchmark: determinism under retries (CI smoke gate).
+
+The robustness contract of the retry machinery
+(:class:`~repro.udf.retry.RetryPolicy`, :mod:`repro.udf.faults`) is that a
+recovered run is indistinguishable from a lucky one: a retried evaluation
+re-issues the *same* input point to a deterministic black box, failed
+attempts charge nothing, and Monte-Carlo sampling is the only random-stream
+consumer — so a run that survived injected transient faults must be
+**bit-identical** to the fault-free run under the same seed.
+
+Protocol: the same tuple stream (identical seeds, cold model) runs twice
+per execution mode — once fault-free, once with a
+:class:`~repro.udf.faults.FaultSchedule` injecting
+:class:`~repro.exceptions.TransientUDFError` at a configured rate from a
+seeded counter-based generator (replayable, no wall-clock randomness) —
+and the outputs are compared sample-for-sample.  The sweep covers the
+three transports of the unified runtime: the serial batched path, the
+thread-pool overlapped path, and the asyncio-native path (whose black box
+is a natively-async simulated service wrapped by
+:class:`~repro.udf.faults.FaultInjectingAsyncUDF`).
+
+The schedule caps consecutive failures per point at ``max_attempts - 1``
+so every streak is recoverable by construction; without the cap a streak
+of ``max_attempts`` failures (probability ``rate ** max_attempts`` per
+attempt chain) would quarantine a tuple and legitimately diverge — that
+regime is exercised by the quarantine tests, not this identity gate.
+
+The ``fault_injection`` smoke entry enforces ``identical == True`` for
+every mode **non-overridably** (unlike the perf gates, there is no
+``REPRO_PERF_OVERRIDE`` escape hatch: a bit-identity break under retries
+is a correctness bug, never noise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import ExperimentTable
+from repro.core.accuracy import AccuracyRequirement
+from repro.engine.executor import UDFExecutionEngine
+from repro.engine.plan import ExecutionPlan
+from repro.rng import as_generator
+from repro.udf.faults import FaultInjectingAsyncUDF, FaultInjectingUDF, FaultSchedule
+from repro.udf.retry import RetryPolicy
+from repro.udf.synthetic import async_service_udf, reference_function
+from repro.workloads.generators import input_stream, workload_for_udf
+
+#: The execution modes the identity gate sweeps (unified-runtime transports).
+FAULT_MODES: tuple[str, ...] = ("serial", "threads", "asyncio")
+
+
+def fault_injection(
+    function_name: str = "F4",
+    modes: tuple[str, ...] = FAULT_MODES,
+    fault_rate: float = 0.3,
+    fault_seed: int = 1234,
+    max_attempts: int = 3,
+    n_tuples: int = 6,
+    batch_size: int = 6,
+    inflight: int = 4,
+    service_latency: float = 5e-3,
+    epsilon: float = 0.12,
+    n_samples: int | None = 120,
+    random_state=7,
+    stream_seed: int = 3,
+) -> ExperimentTable:
+    """Bit-identity-under-injected-faults table across execution modes.
+
+    Each mode contributes one row comparing the faulty run (transient
+    faults injected at ``fault_rate`` from seed ``fault_seed``, retried up
+    to ``max_attempts`` times per evaluation) against the fault-free run
+    of the very same configuration: ``identical`` is the sample-for-sample
+    output comparison, ``calls_match`` checks that failed attempts charged
+    nothing (the UDF call counters agree), and ``injected_failures`` /
+    ``attempts_seen`` record how much chaos the schedule actually dealt —
+    a zero there would make the gate vacuous, so the smoke driver checks
+    it too.
+    """
+    table = ExperimentTable(
+        experiment_id="fault_injection",
+        paper_artifact="fault-tolerant evaluation (beyond the paper)",
+        description=(
+            "Fault-free vs transient-fault-injected runs under deterministic "
+            f"retries ({function_name}, rate={fault_rate:g}, "
+            f"max_attempts={max_attempts}, batch_size={batch_size})"
+        ),
+    )
+    requirement = AccuracyRequirement(epsilon=epsilon, delta=0.05)
+    policy = RetryPolicy(max_attempts=max_attempts, backoff_base=0.0)
+
+    def run(mode: str, inject: bool):
+        """One full run of ``mode``; returns (outputs, call_count, schedule)."""
+        schedule = None
+        if inject:
+            # Cap consecutive failures below the attempt budget so every
+            # injected streak is recoverable — the precondition of the
+            # bit-identity contract this experiment gates.
+            schedule = FaultSchedule(
+                fault_rate, seed=fault_seed,
+                max_failures_per_point=max_attempts - 1,
+            )
+        if mode == "asyncio":
+            inner = async_service_udf(
+                function_name, latency=service_latency, random_state=random_state
+            )
+            udf = FaultInjectingAsyncUDF(inner, schedule) if inject else inner
+            plan = ExecutionPlan(
+                batch_size=batch_size, async_inflight=inflight,
+                transport="asyncio", retry=policy,
+            )
+        else:
+            inner = reference_function(function_name)
+            udf = FaultInjectingUDF(inner, schedule) if inject else inner
+            if mode == "threads":
+                plan = ExecutionPlan(
+                    batch_size=batch_size, async_inflight=inflight,
+                    transport="threads", retry=policy,
+                )
+            else:
+                plan = ExecutionPlan(batch_size=batch_size, retry=policy)
+        kwargs = {"n_samples": n_samples} if n_samples else {}
+        engine = UDFExecutionEngine(
+            strategy="gp", requirement=requirement, random_state=random_state,
+            **kwargs,
+        )
+        dists = list(
+            input_stream(
+                workload_for_udf(udf), n_tuples, random_state=as_generator(stream_seed)
+            )
+        )
+        result = engine.compute_with_plan(udf, dists, plan=plan)
+        return list(result.outputs), udf.call_count, schedule
+
+    for mode in modes:
+        clean_outputs, clean_calls, _ = run(mode, inject=False)
+        faulty_outputs, faulty_calls, schedule = run(mode, inject=True)
+        assert schedule is not None
+        table.add_row(
+            mode=mode,
+            n_tuples=n_tuples,
+            fault_rate=fault_rate,
+            max_attempts=max_attempts,
+            injected_failures=schedule.injected_failures,
+            attempts_seen=schedule.attempts_seen,
+            identical=_outputs_identical(clean_outputs, faulty_outputs),
+            calls_match=bool(clean_calls == faulty_calls),
+            udf_calls=faulty_calls,
+        )
+    return table
+
+
+def faults_report(table: ExperimentTable) -> dict:
+    """JSON-ready summary of a :func:`fault_injection` run.
+
+    ``identical`` maps ``mode -> bool`` (the non-overridable smoke gate),
+    ``calls_match`` the cost-accounting half of the same contract, and
+    ``injected`` maps ``mode -> injected fault count`` so the driver can
+    reject a vacuous run where no fault actually fired.
+    """
+    identical: dict[str, bool] = {}
+    calls_match: dict[str, bool] = {}
+    injected: dict[str, int] = {}
+    for row in table.rows:
+        mode = str(row["mode"])
+        identical[mode] = bool(row["identical"])
+        calls_match[mode] = bool(row["calls_match"])
+        injected[mode] = int(row["injected_failures"])
+    return {
+        "experiment_id": table.experiment_id,
+        "description": table.description,
+        "rows": list(table.rows),
+        "identical": identical,
+        "calls_match": calls_match,
+        "injected": injected,
+    }
+
+
+def _outputs_identical(a_outputs, b_outputs) -> bool:
+    """Whether two runs produced bit-identical distributions and bounds."""
+    if a_outputs is None or b_outputs is None or len(a_outputs) != len(b_outputs):
+        return False
+    for a, b in zip(a_outputs, b_outputs):
+        if not np.array_equal(a.distribution.samples, b.distribution.samples):
+            return False
+        if a.error_bound != b.error_bound:
+            return False
+    return True

@@ -8,7 +8,8 @@ Usage::
     python -m repro.bench.run_all --output results.txt
     python -m repro.bench.run_all --smoke      # CI smoke: batched + parallel +
                                                # async + pipeline + transport +
-                                               # serving -> BENCH_smoke.json
+                                               # serving + fault injection
+                                               # -> BENCH_smoke.json
 
 Each experiment prints an :class:`~repro.bench.harness.ExperimentTable`; the
 ``--output`` option additionally writes the combined report to a file so it
@@ -62,6 +63,7 @@ from repro.bench.experiments_async import (
     udf_transport,
 )
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
+from repro.bench.experiments_faults import fault_injection, faults_report
 from repro.bench.experiments_parallel import parallel_report, parallel_scaling
 from repro.bench.experiments_pipeline import pipeline_report, udf_pipeline
 from repro.bench.experiments_serving import serving_load, serving_report
@@ -107,6 +109,8 @@ _SCALED_OVERRIDES: dict[str, dict] = {
                      "batch_size": 8, "real_eval_time": 1e-2, "n_samples": 120},
     "serving": {"clients_list": (1, 4), "queries_per_client": 2, "n_tuples": 2,
                 "batch_size": 2, "service_latency": 1e-2, "n_samples": 120},
+    "fault_injection": {"n_tuples": 4, "batch_size": 4, "fault_rate": 0.3,
+                        "service_latency": 5e-3, "n_samples": 120},
 }
 
 #: Parameters of the CI smoke invocation (`--smoke`): large enough that the
@@ -174,6 +178,17 @@ _SMOKE_SERVING_KWARGS = {"clients_list": (1, 4, 16), "queries_per_client": 3,
                          "n_tuples": 2, "batch_size": 2, "service_latency": 2e-2,
                          "epsilon": 0.15, "n_samples": 120, "worker_budget": 8}
 
+#: Parameters of the smoke fault_injection run: transient faults injected at
+#: rate 0.3 (≥ the 0.2 the acceptance contract demands) on every execution
+#: mode (serial / threads / asyncio), with consecutive failures capped at
+#: ``max_attempts - 1`` so every streak is recoverable by construction.  The
+#: gate asserts *bit-identity* of each recovered run against the fault-free
+#: same-seed run plus matching UDF charge counters — correctness properties,
+#: enforced non-overridably like the other identity checks.
+_SMOKE_FAULTS_KWARGS = {"fault_rate": 0.3, "max_attempts": 3, "n_tuples": 6,
+                        "batch_size": 6, "inflight": 4, "service_latency": 5e-3,
+                        "epsilon": 0.12, "n_samples": 120}
+
 #: Relative drop of the gp batched speedup that fails the CI gate.
 DEFAULT_MAX_REGRESSION = 0.25
 
@@ -203,6 +218,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "udf_transport": udf_transport,
     "udf_pipeline": udf_pipeline,
     "serving": serving_load,
+    "fault_injection": fault_injection,
 }
 
 
@@ -463,9 +479,23 @@ def run_smoke(
     print(f"served query bit-identical to direct serial run: "
           f"{serving['identical_to_serial']}")
 
+    started = time.perf_counter()
+    faults_table = fault_injection(**_SMOKE_FAULTS_KWARGS)
+    faults_elapsed = time.perf_counter() - started
+    faults = faults_report(faults_table)
+    print()
+    print(faults_table.to_text())
+    print(f"(ran fault_injection smoke in {faults_elapsed:.1f} s)")
+    for mode in sorted(faults["identical"]):
+        print(f"fault-injected [{mode}] bit-identical to fault-free run: "
+              f"{faults['identical'][mode]} "
+              f"({faults['injected'][mode]} fault(s) injected, "
+              f"charge counters match: {faults['calls_match'][mode]})")
+
     report = {"batch_pipeline": batch, "parallel_scaling": parallel,
               "udf_overlap": overlap, "udf_pipeline": pipeline,
-              "udf_transport": transport, "serving": serving}
+              "udf_transport": transport, "serving": serving,
+              "fault_injection": faults}
 
     identity_failures = []
     if overlap["identical_at_1"] is not True:
@@ -494,6 +524,27 @@ def run_smoke(
         identity_failures.append(
             "served query diverged from the direct serial run"
         )
+    if not faults["identical"]:
+        identity_failures.append(
+            "fault_injection ran no execution mode's identity row"
+        )
+    for mode in sorted(faults["identical"]):
+        if faults["injected"].get(mode, 0) <= 0:
+            identity_failures.append(
+                f"fault_injection mode {mode!r} injected no faults — the "
+                "recovery gate would be vacuous"
+            )
+        if faults["identical"][mode] is not True:
+            identity_failures.append(
+                f"fault-injected {mode!r} run with retries diverged from "
+                "the fault-free same-seed run"
+            )
+        if faults["calls_match"].get(mode) is not True:
+            identity_failures.append(
+                f"fault-injected {mode!r} run charged a different UDF call "
+                "count than the fault-free run (failed attempts must charge "
+                "nothing)"
+            )
     if identity_failures:
         # Determinism half of the async/pipeline acceptance contracts.
         # These are correctness properties, not perf ratios, so they are
@@ -590,8 +641,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="run only the fast smoke benchmarks (batched pipeline + "
                              "parallel scaling + async udf overlap + pipeline + "
-                             "udf transports + serving load) and write a JSON "
-                             "artifact")
+                             "udf transports + serving load + fault injection) "
+                             "and write a JSON artifact")
     parser.add_argument("--smoke-output", metavar="PATH", default="BENCH_smoke.json",
                         help="where --smoke writes its JSON artifact")
     parser.add_argument("--baseline", metavar="PATH", default="BENCH_baseline.json",

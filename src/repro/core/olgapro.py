@@ -59,7 +59,7 @@ from repro.core.online_tuning import LargestVarianceStrategy, TuningStrategy
 from repro.core.retraining import RetrainingPolicy, ThresholdRetrain
 from repro.distributions.base import Distribution
 from repro.distributions.empirical import EmpiricalDistribution
-from repro.exceptions import GPError
+from repro.exceptions import GPError, UDFError
 from repro.gp.kernels import Kernel
 from repro.index.bounding_box import BoundingBox
 from repro.rng import RandomState, as_generator
@@ -92,6 +92,12 @@ class OnlineTupleResult:
     elapsed_time: float
     #: Whether a full hyperparameter retrain was performed for this tuple.
     retrained: bool
+    #: Whether the tuple was quarantined: its refinement UDF calls kept
+    #: failing after the installed retry policy was exhausted, so the
+    #: result carries the last bound the algorithm had (recomputed from
+    #: the surviving GP state — a pure-inference step, no UDF calls)
+    #: instead of a converged one.
+    quarantined: bool = False
 
 
 @dataclass(frozen=True)
@@ -350,7 +356,20 @@ class OLGAPRO:
         samples = input_distribution.sample(m, random_state=rng)
         box = BoundingBox.from_points(samples)
 
-        envelope, gp_bound, points_added, converged = self._tune_until_bounded(samples, box, rng)
+        quarantined = False
+        try:
+            envelope, gp_bound, points_added, converged = self._tune_until_bounded(
+                samples, box, rng
+            )
+        except UDFError:
+            if not self._quarantine_enabled():
+                raise
+            # Quarantine: the refinement loop died on a terminal UDF
+            # failure, but the GP state it left behind is consistent —
+            # recompute the honest (unconverged) bound from it with pure
+            # inference, no further UDF calls.
+            envelope, gp_bound = self._infer_and_bound(samples, box)
+            points_added, converged, quarantined = 0, False, True
 
         retrained = self._maybe_retrain(points_added)
         if retrained:
@@ -368,6 +387,7 @@ class OLGAPRO:
             charged_time=self.udf.charged_time - charged_before + elapsed,
             elapsed_time=elapsed,
             retrained=retrained,
+            quarantined=quarantined,
         )
 
     def process_batch(
@@ -423,11 +443,22 @@ class OLGAPRO:
                 timings.add("inference", time.perf_counter() - phase_started)
             points_added = 0
             converged = True
+            quarantined = False
             if bound > self.budget.epsilon_gp:
                 refine_started = time.perf_counter()
-                envelope, bound, points_added, converged = self._tune_until_bounded(
-                    samples, boxes[i], rng, initial=(envelope, bound)
-                )
+                try:
+                    envelope, bound, points_added, converged = self._tune_until_bounded(
+                        samples, boxes[i], rng, initial=(envelope, bound)
+                    )
+                except UDFError:
+                    if not self._quarantine_enabled():
+                        raise
+                    # Per-tuple quarantine inside a chunk: keep the honest
+                    # bound recomputed from the surviving GP state (fresh
+                    # stock inference — the cache may lag points the failed
+                    # refinement absorbed) and carry on with the next tuple.
+                    envelope, bound = self._infer_and_bound(samples, boxes[i])
+                    points_added, converged, quarantined = 0, False, True
                 if timings is not None:
                     timings.add("refinement", time.perf_counter() - refine_started)
             retrained = self._maybe_retrain(points_added)
@@ -453,6 +484,7 @@ class OLGAPRO:
                     + (init_charged if i == 0 else 0.0),
                     elapsed_time=elapsed,
                     retrained=retrained,
+                    quarantined=quarantined,
                 )
             )
         return results
@@ -834,6 +866,7 @@ class OLGAPRO:
         charged_time: float,
         elapsed_time: float,
         retrained: bool,
+        quarantined: bool = False,
     ) -> OnlineTupleResult:
         """Assemble one tuple's result record.
 
@@ -859,7 +892,13 @@ class OLGAPRO:
             charged_time=charged_time,
             elapsed_time=elapsed_time,
             retrained=retrained,
+            quarantined=quarantined,
         )
+
+    def _quarantine_enabled(self) -> bool:
+        """Whether the UDF's installed retry policy quarantines failures."""
+        policy = getattr(self.udf, "_retry_policy", None)
+        return policy is not None and bool(policy.quarantine)
 
     # -- refinement-loop steps shared with the async evaluation driver ---------------
     def _absorb_candidate(self, x: np.ndarray) -> float:

@@ -12,6 +12,7 @@ from repro.engine.async_exec import (
 )
 from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
 from repro.engine.executor import ComputedOutput, Strategy, UDFExecutionEngine
+from repro.engine.faults import FaultInjectingTransport
 from repro.engine.operators import (
     ApplyUDF,
     CrossJoin,
@@ -39,6 +40,7 @@ from repro.engine.plan import PRECEDENCE, ExecutionPlan, resolve_plan_argument
 from repro.engine.query import Query
 from repro.engine.result import (
     VERDICT_CERTAIN,
+    VERDICT_DEGRADED,
     VERDICT_EXCLUDED,
     VERDICT_POSSIBLE,
     QueryResult,
@@ -116,6 +118,8 @@ __all__ = [
     "VERDICT_CERTAIN",
     "VERDICT_POSSIBLE",
     "VERDICT_EXCLUDED",
+    "VERDICT_DEGRADED",
+    "FaultInjectingTransport",
     "classify_outputs",
     "classify_rows",
     "default_worker_count",

@@ -34,7 +34,7 @@ from repro.core.mc_baseline import mc_sample_count
 from repro.distributions.base import Distribution
 from repro.distributions.empirical import EmpiricalDistribution
 from repro.engine.executor import ComputedOutput, UDFExecutionEngine
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, UDFError
 from repro.timing import PhaseTimings
 from repro.udf.base import UDF
 
@@ -60,6 +60,7 @@ def online_result_to_output(result) -> ComputedOutput:
         dropped=False,
         udf_calls=result.udf_calls,
         charged_time=result.charged_time,
+        failed=getattr(result, "quarantined", False),
     )
 
 
@@ -128,6 +129,20 @@ class BatchExecutor:
         chunk = list(chunk)
         if not chunk:
             return []
+        try:
+            return self._compute_chunk_inner(udf, chunk)
+        except UDFError:
+            # Backstop for failures the per-tuple quarantine inside OLGAPRO
+            # cannot reach (the stacked pilot evaluation of a whole chunk, or
+            # the plain-MC path): quarantine the chunk wholesale rather than
+            # abort the query.
+            if not UDFExecutionEngine._quarantine_enabled(udf):
+                raise
+            return [UDFExecutionEngine.quarantined_output() for _ in chunk]
+
+    def _compute_chunk_inner(
+        self, udf: UDF, chunk: list[Distribution]
+    ) -> list[ComputedOutput]:
         strategy = self.engine.strategy
         if strategy == "mc":
             return self._mc_chunk(udf, chunk, self.engine.requirement, self.engine._rng)

@@ -23,7 +23,7 @@ from repro.core.mc_baseline import monte_carlo_output, monte_carlo_with_filter
 from repro.core.olgapro import OLGAPRO
 from repro.distributions.base import Distribution
 from repro.distributions.empirical import EmpiricalDistribution
-from repro.exceptions import PlanError, QueryError
+from repro.exceptions import PlanError, QueryError, UDFError
 from repro.rng import RandomState, as_generator
 from repro.timing import PhaseTimings
 from repro.udf.base import UDF
@@ -70,6 +70,13 @@ class ComputedOutput:
     udf_calls: int
     #: Charged time (wall clock + simulated UDF cost) in seconds.
     charged_time: float
+    #: Whether the tuple was quarantined: its UDF evaluations kept failing
+    #: after the retry policy was exhausted, so the query carried on and
+    #: this output holds the last (unconverged) state instead of a
+    #: converged answer.  ``error_bound`` is the last bound the online
+    #: algorithm had (NaN when it failed before any bound existed) and
+    #: ``distribution`` the matching envelope samples, or ``None``.
+    failed: bool = False
 
 
 class UDFExecutionEngine:
@@ -186,21 +193,32 @@ class UDFExecutionEngine:
         executor = resolved_plan.resolve(self)
         distributions = list(input_distributions)
         timings = PhaseTimings()
-        with timings.measure("execute"):
-            if executor is None:
-                if predicate is None:
-                    outputs = [self.compute(udf, dist) for dist in distributions]
+        # The retry policy rides the UDF for the duration of this one
+        # computation: every execution layer — and the pickled UDF copies
+        # inside pool workers — funnels evaluations through the UDF's
+        # chokepoints, so installing it here is what makes serial, thread,
+        # asyncio and sharded paths retry identically.
+        if resolved_plan.retry is not None:
+            udf._install_retry_policy(resolved_plan.retry)
+        try:
+            with timings.measure("execute"):
+                if executor is None:
+                    if predicate is None:
+                        outputs = [self.compute(udf, dist) for dist in distributions]
+                    else:
+                        outputs = [
+                            self.compute_with_predicate(udf, dist, predicate)
+                            for dist in distributions
+                        ]
+                elif predicate is None:
+                    outputs = executor.compute_batch(udf, distributions)
                 else:
-                    outputs = [
-                        self.compute_with_predicate(udf, dist, predicate)
-                        for dist in distributions
-                    ]
-            elif predicate is None:
-                outputs = executor.compute_batch(udf, distributions)
-            else:
-                outputs = executor.compute_batch_with_predicate(
-                    udf, distributions, predicate
-                )
+                    outputs = executor.compute_batch_with_predicate(
+                        udf, distributions, predicate
+                    )
+        finally:
+            if resolved_plan.retry is not None:
+                udf._install_retry_policy(None)
         executor_timings = getattr(executor, "timings", None)
         if isinstance(executor_timings, PhaseTimings):
             timings.merge(executor_timings)
@@ -344,9 +362,47 @@ class UDFExecutionEngine:
         )
         return self.compute_with_plan(udf, input_distributions, plan)
 
+    # -- quarantine ----------------------------------------------------------------
+    @staticmethod
+    def _quarantine_enabled(udf: UDF) -> bool:
+        """Whether the UDF's installed retry policy quarantines failures."""
+        policy = getattr(udf, "_retry_policy", None)
+        return policy is not None and bool(policy.quarantine)
+
+    @staticmethod
+    def quarantined_output(
+        error_bound: float = float("nan"), charged_time: float = 0.0
+    ) -> ComputedOutput:
+        """A ``failed`` output for a tuple whose evaluation stayed failing."""
+        return ComputedOutput(
+            distribution=None,
+            error_bound=error_bound,
+            existence_probability=1.0,
+            dropped=False,
+            udf_calls=0,
+            charged_time=charged_time,
+            failed=True,
+        )
+
     # -- evaluation without a predicate ------------------------------------------------
     def compute(self, udf: UDF, input_distribution: Distribution) -> ComputedOutput:
-        """Full output distribution of ``udf`` on one tuple's input vector."""
+        """Full output distribution of ``udf`` on one tuple's input vector.
+
+        Under a quarantining retry policy a tuple whose evaluations stay
+        failing yields a ``failed=True`` output (classified *degraded*)
+        instead of raising — the per-tuple backstop of the fault-tolerance
+        contract; the GP path usually quarantines inside OLGAPRO with the
+        last bound it had.
+        """
+        if self._quarantine_enabled(udf):
+            try:
+                return self._compute_inner(udf, input_distribution)
+            except UDFError:
+                return self.quarantined_output()
+        return self._compute_inner(udf, input_distribution)
+
+    def _compute_inner(self, udf: UDF, input_distribution: Distribution) -> ComputedOutput:
+        """The strategy dispatch of :meth:`compute` (no quarantine catch)."""
         if self.strategy == "mc":
             result = monte_carlo_output(
                 udf, input_distribution, requirement=self.requirement, random_state=self._rng
@@ -387,13 +443,33 @@ class UDFExecutionEngine:
             dropped=False,
             udf_calls=result.udf_calls,
             charged_time=result.charged_time,
+            failed=getattr(result, "quarantined", False),
         )
 
     # -- evaluation with a selection predicate ------------------------------------------
     def compute_with_predicate(
         self, udf: UDF, input_distribution: Distribution, predicate: SelectionPredicate
     ) -> ComputedOutput:
-        """Evaluate ``udf`` under a predicate, using online filtering (§2.2B, §5.5)."""
+        """Evaluate ``udf`` under a predicate, using online filtering (§2.2B, §5.5).
+
+        Quarantine applies exactly as on :meth:`compute`: under a
+        quarantining retry policy, a tuple whose evaluations stay failing
+        becomes a ``failed`` output (neither dropped nor kept — the
+        predicate was never decided) instead of aborting the query.
+        """
+        if self._quarantine_enabled(udf):
+            try:
+                return self._compute_with_predicate_inner(
+                    udf, input_distribution, predicate
+                )
+            except UDFError:
+                return self.quarantined_output()
+        return self._compute_with_predicate_inner(udf, input_distribution, predicate)
+
+    def _compute_with_predicate_inner(
+        self, udf: UDF, input_distribution: Distribution, predicate: SelectionPredicate
+    ) -> ComputedOutput:
+        """The strategy dispatch of :meth:`compute_with_predicate`."""
         if self.strategy == "mc":
             result = monte_carlo_with_filter(
                 udf,
@@ -450,4 +526,5 @@ class UDFExecutionEngine:
             dropped=False,
             udf_calls=filtered.result.udf_calls,
             charged_time=filtered.charged_time,
+            failed=getattr(filtered.result, "quarantined", False),
         )

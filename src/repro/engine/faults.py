@@ -1,0 +1,130 @@
+"""Chaos transport: deterministic fault injection at the transport seam.
+
+:class:`FaultInjectingTransport` wraps any real
+:class:`~repro.engine.transport.EvaluationTransport` and injects
+:class:`~repro.exceptions.TransientUDFError` failures into the submission
+path, driven by the same replayable
+:class:`~repro.udf.faults.FaultSchedule` machinery the UDF-layer injectors
+use.  Where the UDF wrappers fail *inside*
+the retry loop, this transport models an unreliable carrier — the network
+hop between the engine and the black box — and applies the installed
+:class:`~repro.udf.retry.RetryPolicy` right at the seam: a streak of
+scheduled failures shorter than the policy's attempt cap is absorbed
+(consuming retry budget) and the evaluation is delegated to the wrapped
+transport, so the returned value — and therefore the whole run — is
+bit-identical to a fault-free run; a streak that exhausts the attempts or
+the budget surfaces as a failed future carrying the typed error, exactly
+as a terminal transient failure from the UDF layer would.
+
+The injected backoff delays are *not* slept: they are a deterministic
+function of the attempt number (see
+:meth:`~repro.udf.retry.RetryPolicy.delay_for`), so skipping them changes
+no values and keeps chaos runs fast.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import List, Optional
+
+import numpy as np
+
+from repro.engine.transport import (
+    DEFAULT_TRANSPORT,
+    EvaluationTransport,
+    TransportSpec,
+    make_transport,
+)
+from repro.exceptions import TransientUDFError
+from repro.udf.base import UDF
+from repro.udf.faults import FaultSchedule, point_key
+
+
+class FaultInjectingTransport(EvaluationTransport):
+    """An unreliable carrier around a real transport, for chaos testing.
+
+    Parameters
+    ----------
+    schedule:
+        The deterministic failure schedule.  Shared with the caller so a
+        test can assert faults actually fired
+        (:attr:`~repro.udf.faults.FaultSchedule.injected_failures`).
+    inner:
+        The transport that carries the evaluations that survive injection
+        — a registry name or an instance; defaults to the engine's default
+        (``"threads"``).
+
+    Notes
+    -----
+    Lifecycle (``open``/``close``/``session``), pickling, and UDF
+    compatibility all delegate to the wrapped transport, so the chaos
+    wrapper composes with the executors exactly like the transport it
+    wraps — including the close-on-every-exit-path guarantee.
+    """
+
+    name = "fault-injecting"
+
+    def __init__(
+        self, schedule: FaultSchedule, inner: TransportSpec = DEFAULT_TRANSPORT
+    ) -> None:
+        self.schedule = schedule
+        self._inner = make_transport(inner)
+
+    @property
+    def inner(self) -> EvaluationTransport:
+        """The wrapped transport that carries surviving evaluations."""
+        return self._inner
+
+    def accepts(self, udf: UDF) -> None:
+        """Delegate compatibility to the wrapped transport."""
+        self._inner.accepts(udf)
+
+    def open(self, max_workers: int, label: str = "udf") -> None:
+        """Open the wrapped transport."""
+        self._inner.open(max_workers, label)
+
+    def close(self) -> None:
+        """Close the wrapped transport (joining every thread it started)."""
+        self._inner.close()
+
+    def drain(self, futures: List[Future], timeout: Optional[float] = None) -> None:
+        """Drain through the wrapped transport's settle machinery."""
+        self._inner.drain(futures, timeout)
+
+    def submit_rows(self, udf: UDF, X: np.ndarray) -> List[Future]:
+        """Inject scheduled failures per row, delegating the survivors.
+
+        For each row, the schedule's streak of consecutive failures is
+        consumed up to the retry policy's attempt cap.  A streak the
+        policy can absorb spends one budgeted retry per failure and the
+        row rides the wrapped transport (same value as a fault-free run);
+        otherwise the row's future fails with a typed
+        :class:`~repro.exceptions.TransientUDFError` naming the point and
+        what was exhausted, and the engine's quarantine (or the caller)
+        takes over.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        policy = getattr(udf, "_retry_policy", None)
+        allowed = 1 if policy is None else int(policy.max_attempts)
+        futures: List[Future] = []
+        for row in X:
+            failures = self.schedule.consume_failures(point_key(row), limit=allowed)
+            granted = 0
+            while granted < failures and udf._consume_retry():
+                granted += 1
+            if failures >= allowed or granted < failures:
+                reason = (
+                    "retry budget exhausted"
+                    if failures < allowed
+                    else f"all {allowed} attempt(s) failed"
+                )
+                failed: Future = Future()
+                failed.set_exception(
+                    TransientUDFError(
+                        f"{udf.name}: injected transport fault at {row!r}: {reason}"
+                    )
+                )
+                futures.append(failed)
+            else:
+                futures.extend(self._inner.submit_rows(udf, row.reshape(1, -1)))
+        return futures

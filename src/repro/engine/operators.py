@@ -18,6 +18,7 @@ They cover what queries Q1 and Q2 of the paper need:
 from __future__ import annotations
 
 import abc
+from contextlib import contextmanager
 from dataclasses import fields
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -50,6 +51,27 @@ def legacy_knobs_supplied(**legacy) -> bool:
         value is not None and value != defaults.get(name)
         for name, value in legacy.items()
     )
+
+
+@contextmanager
+def _installed_retry(udf: UDF, plan: ExecutionPlan) -> Iterator[None]:
+    """Install ``plan.retry`` on the UDF for the duration of one operator scan.
+
+    The operators drive their executors directly rather than through
+    :meth:`~repro.engine.executor.UDFExecutionEngine.compute_with_plan`,
+    so they must perform the same install/uninstall dance around the
+    whole scan: the policy rides the UDF's evaluation chokepoints (and
+    its pickled pool-worker copies), which is what makes the per-tuple,
+    chunked and sharded iteration paths retry identically.
+    """
+    if plan.retry is None:
+        yield
+        return
+    udf._install_retry_policy(plan.retry)
+    try:
+        yield
+    finally:
+        udf._install_retry_policy(None)
 
 
 def _plan_and_executors(
@@ -318,28 +340,35 @@ class ApplyUDF(Operator):
         out.annotations[f"{self.alias}_error_bound"] = output.error_bound
         out.annotations[f"{self.alias}_udf_calls"] = output.udf_calls
         out.annotations[f"{self.alias}_charged_time"] = output.charged_time
+        if getattr(output, "failed", False):
+            # Quarantined evaluation: the row keeps the last distribution /
+            # bound OLGAPRO had (``None`` / NaN when it failed before any
+            # existed) and the annotation routes it to a ``degraded``
+            # verdict instead of aborting the query.
+            out.annotations[f"{self.alias}_degraded"] = True
         return out
 
     def __iter__(self) -> Iterator[UncertainTuple]:
-        if self._parallel is not None:
-            # Sharding needs the whole input: materialise, fan out, re-attach.
-            rows = list(self.child)
-            distributions = [row.input_distribution(self.argument_names) for row in rows]
-            outputs = self._parallel.compute_batch(self.udf, distributions)
-            for row, output in zip(rows, outputs):
-                yield self._annotated(row, output)
-            return
-        if self._batch is None:
-            for row in self.child:
-                input_distribution = row.input_distribution(self.argument_names)
-                output = self.engine.compute(self.udf, input_distribution)
-                yield self._annotated(row, output)
-            return
-        for rows in iter_batches(self.child, self._batch.batch_size):
-            distributions = [row.input_distribution(self.argument_names) for row in rows]
-            outputs = self._batch.compute_batch(self.udf, distributions)
-            for row, output in zip(rows, outputs):
-                yield self._annotated(row, output)
+        with _installed_retry(self.udf, self.plan):
+            if self._parallel is not None:
+                # Sharding needs the whole input: materialise, fan out, re-attach.
+                rows = list(self.child)
+                distributions = [row.input_distribution(self.argument_names) for row in rows]
+                outputs = self._parallel.compute_batch(self.udf, distributions)
+                for row, output in zip(rows, outputs):
+                    yield self._annotated(row, output)
+                return
+            if self._batch is None:
+                for row in self.child:
+                    input_distribution = row.input_distribution(self.argument_names)
+                    output = self.engine.compute(self.udf, input_distribution)
+                    yield self._annotated(row, output)
+                return
+            for rows in iter_batches(self.child, self._batch.batch_size):
+                distributions = [row.input_distribution(self.argument_names) for row in rows]
+                outputs = self._batch.compute_batch(self.udf, distributions)
+                for row, output in zip(rows, outputs):
+                    yield self._annotated(row, output)
 
 
 class SelectUDF(Operator):
@@ -416,6 +445,17 @@ class SelectUDF(Operator):
         return self.child.schema().with_attribute(derived)
 
     def _filtered(self, row: UncertainTuple, output) -> UncertainTuple | None:
+        if getattr(output, "failed", False):
+            # Quarantined evaluation: the predicate could not be decided, so
+            # the tuple is *retained* as degraded — online filtering only
+            # excludes tuples it has confidently ruled out, and a failed
+            # evaluation rules out nothing.
+            out = row.with_value(self.alias, output.distribution)
+            out.annotations[f"{self.alias}_error_bound"] = output.error_bound
+            out.annotations[f"{self.alias}_udf_calls"] = output.udf_calls
+            out.annotations[f"{self.alias}_charged_time"] = output.charged_time
+            out.annotations[f"{self.alias}_degraded"] = True
+            return out
         if output.dropped or output.distribution is None:
             return None
         truncation = output.distribution.truncate(self.predicate.low, self.predicate.high)
@@ -430,36 +470,37 @@ class SelectUDF(Operator):
         return out
 
     def __iter__(self) -> Iterator[UncertainTuple]:
-        if self._parallel is not None:
-            rows = list(self.child)
-            distributions = [row.input_distribution(self.argument_names) for row in rows]
-            outputs = self._parallel.compute_batch_with_predicate(
-                self.udf, distributions, self.predicate
-            )
-            for row, output in zip(rows, outputs):
-                survivor = self._filtered(row, output)
-                if survivor is not None:
-                    yield survivor
-            return
-        if self._batch is None:
-            for row in self.child:
-                input_distribution = row.input_distribution(self.argument_names)
-                output = self.engine.compute_with_predicate(
-                    self.udf, input_distribution, self.predicate
+        with _installed_retry(self.udf, self.plan):
+            if self._parallel is not None:
+                rows = list(self.child)
+                distributions = [row.input_distribution(self.argument_names) for row in rows]
+                outputs = self._parallel.compute_batch_with_predicate(
+                    self.udf, distributions, self.predicate
                 )
-                survivor = self._filtered(row, output)
-                if survivor is not None:
-                    yield survivor
-            return
-        for rows in iter_batches(self.child, self._batch.batch_size):
-            distributions = [row.input_distribution(self.argument_names) for row in rows]
-            outputs = self._batch.compute_batch_with_predicate(
-                self.udf, distributions, self.predicate
-            )
-            for row, output in zip(rows, outputs):
-                survivor = self._filtered(row, output)
-                if survivor is not None:
-                    yield survivor
+                for row, output in zip(rows, outputs):
+                    survivor = self._filtered(row, output)
+                    if survivor is not None:
+                        yield survivor
+                return
+            if self._batch is None:
+                for row in self.child:
+                    input_distribution = row.input_distribution(self.argument_names)
+                    output = self.engine.compute_with_predicate(
+                        self.udf, input_distribution, self.predicate
+                    )
+                    survivor = self._filtered(row, output)
+                    if survivor is not None:
+                        yield survivor
+                return
+            for rows in iter_batches(self.child, self._batch.batch_size):
+                distributions = [row.input_distribution(self.argument_names) for row in rows]
+                outputs = self._batch.compute_batch_with_predicate(
+                    self.udf, distributions, self.predicate
+                )
+                for row, output in zip(rows, outputs):
+                    survivor = self._filtered(row, output)
+                    if survivor is not None:
+                        yield survivor
 
 
 def materialize(rows: Iterable[UncertainTuple], schema: Schema, name: str = "result") -> Relation:

@@ -79,10 +79,11 @@ from repro.core.hybrid import HybridExecutor
 from repro.distributions.base import Distribution
 from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
 from repro.engine.executor import ComputedOutput, UDFExecutionEngine
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, ShardFailureError
 from repro.rng import derive_seed, spawn_keyed
 from repro.timing import PhaseTimings
 from repro.udf.base import UDF
+from repro.udf.retry import RetryPolicy
 
 MergePolicy = Literal["discard", "union", "refit-threshold"]
 
@@ -274,6 +275,21 @@ class ParallelExecutor:
         spends most of its time sleeping in the black box, so running more
         shards than cores (e.g. ``oversubscribe=2.0``) keeps the CPUs busy.
         Ignored when ``workers`` is set explicitly.
+    retry:
+        A :class:`~repro.udf.retry.RetryPolicy` enabling *shard-level
+        recovery*: when a worker process dies (the pool reports
+        :class:`concurrent.futures.BrokenExecutor`), the dead worker's
+        shard is re-executed on a fresh pool up to
+        ``retry.shard_attempts`` total attempts.  Re-execution is exact —
+        the shard re-derives the same :func:`~repro.rng.spawn_keyed`
+        stream from ``(base_seed, shard_index)`` and starts from the same
+        pickled snapshot, so a recovered run is bit-identical to one that
+        never crashed.  ``None`` (default) keeps the single-attempt
+        fail-fast behaviour.  Exhausted attempts (and every
+        non-crash worker failure) surface as
+        :class:`~repro.exceptions.ShardFailureError` whose message carries
+        the shard index, tuple range, base seed and spawn key — enough to
+        re-run the failing shard in isolation from the message alone.
     """
 
     def __init__(
@@ -289,6 +305,7 @@ class ParallelExecutor:
         pipeline_lookahead: Optional[int] = None,
         oversubscribe: float = 1.0,
         transport=None,
+        retry: Optional[RetryPolicy] = None,
     ):
         """Validate the configuration; no pool is created until a compute call.
 
@@ -304,7 +321,8 @@ class ParallelExecutor:
             / ``refit_threshold`` / ``async_inflight`` /
             ``pipeline_lookahead``, an unknown ``merge`` policy or
             ``transport``, a serial transport under an overlapped schedule,
-            or ``oversubscribe < 1``.
+            ``oversubscribe < 1``, or a ``retry`` that is not a
+            :class:`~repro.udf.retry.RetryPolicy`.
         """
         if workers is not None and workers < 1:
             raise QueryError(f"workers must be positive, got {workers}")
@@ -335,6 +353,11 @@ class ParallelExecutor:
                     "transport='serial' cannot carry an overlapped per-shard "
                     "schedule; use 'threads' or 'asyncio'"
                 )
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise QueryError(
+                f"retry must be a RetryPolicy or None, got {type(retry).__name__}"
+            )
+        self.retry = retry
         self.transport = transport
         self.engine = engine
         self.async_inflight = int(async_inflight) if async_inflight is not None else None
@@ -455,30 +478,84 @@ class ParallelExecutor:
             ) from exc
 
         shards = list(iter_batches(distributions, self.shard_size))
-        results: list[ShardResult] = []
-        pool_workers = min(self.workers, len(shards))
+        results_by_shard: dict[int, ShardResult] = {}
+        shard_attempts = 1 if self.retry is None else int(self.retry.shard_attempts)
+        pending = list(range(len(shards)))
+        attempt = 0
+        while pending:
+            attempt += 1
+            crashed = self._run_round(
+                pending, shards, payload, base_seed, predicate, results_by_shard
+            )
+            if crashed and attempt >= shard_attempts:
+                raise self._shard_failure(
+                    crashed[0],
+                    len(distributions),
+                    base_seed,
+                    f"worker process died and the shard still failed after "
+                    f"{attempt} attempt(s) (pool crash; raise "
+                    f"retry.shard_attempts to re-execute the shard more times)",
+                )
+            pending = crashed
+
+        outputs: list[ComputedOutput] = []
+        results = [results_by_shard[i] for i in range(len(shards))]  # shard order
+        for result in results:
+            outputs.extend(result.outputs)
+            self.timings.merge(result.timings)
+            udf.absorb_charges(result.udf_calls, result.udf_real_time)
+        self._merge_training_points(udf, results)
+        return outputs
+
+    def _run_round(
+        self,
+        pending: list[int],
+        shards: list[list[Distribution]],
+        payload: bytes,
+        base_seed: int,
+        predicate,
+        results_by_shard: dict[int, "ShardResult"],
+    ) -> list[int]:
+        """One pool round over ``pending`` shard indices.
+
+        Completed shards land in ``results_by_shard``; the indices whose
+        worker process died (a :class:`BrokenExecutor` crash — retryable,
+        because re-running a shard under the same ``spawn_keyed`` stream is
+        bit-identical) are returned for the caller's recovery loop.  Every
+        *in-process* failure (a UDF raising inside the black box) is not
+        retryable at shard granularity — the per-call retry policy already
+        ran inside the worker — and raises a typed
+        :class:`~repro.exceptions.ShardFailureError` immediately.  Each
+        round uses a fresh pool: a crashed :class:`ProcessPoolExecutor` is
+        permanently broken and cannot accept resubmissions.
+        """
+        n_tuples = sum(len(shard) for shard in shards)
+        crashed: list[int] = []
         try:
-            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
-                futures = [
-                    pool.submit(
-                        _run_shard, payload, i, shard, self.batch_size, base_seed,
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
+                futures = {
+                    i: pool.submit(
+                        _run_shard, payload, i, shards[i], self.batch_size, base_seed,
                         predicate, self.async_inflight, self.pipeline_lookahead,
                         self.transport,
                     )
-                    for i, shard in enumerate(shards)
-                ]
+                    for i in pending
+                }
                 try:
-                    for i, future in enumerate(futures):
+                    for i, future in futures.items():
                         try:
-                            results.append(future.result())
-                        except BrokenExecutor as exc:
-                            raise QueryError(
-                                f"parallel worker pool crashed while computing shard {i}: {exc}"
-                            ) from exc
+                            results_by_shard[i] = future.result()
+                        except BrokenExecutor:
+                            # The pool is dead: this shard (and every other
+                            # still-outstanding one, which fails the same
+                            # way) goes back to the recovery loop.
+                            crashed.append(i)
                         except QueryError:
                             raise
                         except Exception as exc:  # ReproError from the black box included
-                            raise QueryError(f"parallel shard {i} failed: {exc}") from exc
+                            raise self._shard_failure(
+                                i, n_tuples, base_seed, exc
+                            ) from exc
                 except QueryError:
                     # Fail fast: drop every shard still queued so the typed
                     # error is not delayed behind the remaining real-cost UDF
@@ -487,16 +564,29 @@ class ParallelExecutor:
                     raise
         except QueryError:
             raise
-        except BrokenExecutor as exc:
-            raise QueryError(f"parallel worker pool crashed: {exc}") from exc
+        except BrokenExecutor:
+            # The crash surfaced at pool shutdown rather than through a
+            # future: everything not yet collected goes back to the loop.
+            crashed = [i for i in pending if i not in results_by_shard]
+        return crashed
 
-        outputs: list[ComputedOutput] = []
-        for result in results:  # futures gathered in shard order
-            outputs.extend(result.outputs)
-            self.timings.merge(result.timings)
-            udf.absorb_charges(result.udf_calls, result.udf_real_time)
-        self._merge_training_points(udf, results)
-        return outputs
+    def _shard_failure(
+        self, shard_index: int, n_tuples: int, base_seed: int, cause
+    ) -> ShardFailureError:
+        """A typed shard failure whose message alone reproduces the shard.
+
+        ``parallel shard <i> failed`` plus the half-open maths to rebuild the
+        failing slice: the tuple range ``shard_index * shard_size ..``, the
+        base seed, and the :func:`~repro.rng.spawn_keyed` key (the shard
+        index itself) that re-derives the worker's exact random stream.
+        """
+        lo = shard_index * self.shard_size
+        hi = min((shard_index + 1) * self.shard_size, n_tuples) - 1
+        return ShardFailureError(
+            f"parallel shard {shard_index} failed "
+            f"(tuples {lo}..{hi} of {n_tuples}, base_seed={base_seed}, "
+            f"spawn_key={shard_index}): {cause}"
+        )
 
     # -- merge step ---------------------------------------------------------------
     def _merge_training_points(self, udf: UDF, results: list[ShardResult]) -> None:

@@ -54,6 +54,7 @@ from repro.engine.transport import (
     transport_name,
 )
 from repro.exceptions import PlanError
+from repro.udf.retry import RetryPolicy
 
 #: One-line statement of the composition order, quoted by every
 #: conflict message so the caller sees the rule, not just the rejection.
@@ -126,6 +127,16 @@ class ExecutionPlan:
         ``"asyncio"`` (event loop; requires an
         :class:`~repro.udf.base.AsyncUDF` and a window to carry), or an
         :class:`~repro.engine.transport.EvaluationTransport` instance.
+    retry:
+        Fault-tolerance policy (:class:`~repro.udf.retry.RetryPolicy`):
+        how transient UDF failures are retried (deterministic capped
+        backoff, per-point attempt cap, cross-point budget) and whether
+        tuples that stay failing are quarantined as *degraded* results
+        instead of aborting the query.  Installed on the UDF for the
+        duration of the computation, so the serial, thread-pool, asyncio
+        and process-pool paths all inherit it; also caps shard
+        re-execution after a dead pool worker (``shard_attempts``).
+        ``None`` (the default) keeps the fail-fast behaviour.
     """
 
     batch_size: Optional[int] = None
@@ -137,6 +148,7 @@ class ExecutionPlan:
     speculative_k: Optional[int] = None
     oversubscribe: float = 1.0
     transport: TransportSpec = DEFAULT_TRANSPORT
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         """Validate values and cross-knob consistency (raises PlanError)."""
@@ -185,6 +197,11 @@ class ExecutionPlan:
                 "are carried, but the plan requests no window; set "
                 "async_inflight (or pipeline_lookahead) — " + PRECEDENCE
             )
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise PlanError(
+                f"retry must be a repro.udf.retry.RetryPolicy (or None), got "
+                f"{type(self.retry).__name__}"
+            )
         if sharded and isinstance(self.transport, EvaluationTransport):
             raise PlanError(
                 "a transport *instance* is process-local and cannot be shipped "
@@ -229,6 +246,7 @@ class ExecutionPlan:
                 pipeline_lookahead=self.pipeline_lookahead,
                 oversubscribe=self.oversubscribe,
                 transport=self.transport,
+                retry=self.retry,
             )
         if self.pipeline_lookahead is not None:
             return PipelinedExecutor(

@@ -40,10 +40,13 @@ if TYPE_CHECKING:  # avoid a runtime cycle (executor/plan import this module)
 
 #: The anytime answer vocabulary: a tuple the query *proved* (existence
 #: certain and the claimed error bound within the accuracy requirement),
-#: one it can only *suggest*, or one that was filtered out.
+#: one it can only *suggest*, one that was filtered out, or one whose UDF
+#: evaluation was quarantined after the retry policy was exhausted (a
+#: *degraded* answer carrying the last bound the online algorithm had).
 VERDICT_CERTAIN = "certain"
 VERDICT_POSSIBLE = "possible"
 VERDICT_EXCLUDED = "excluded"
+VERDICT_DEGRADED = "degraded"
 
 
 @dataclass(frozen=True)
@@ -55,7 +58,12 @@ class TupleVerdict:
     accuracy requirement; ``"possible"`` when it survives but one of those
     guarantees is open (sub-unit existence probability, a bound above the
     requirement, or a plain-MC NaN bound whose guarantee is a-priori);
-    ``"excluded"`` when online filtering dropped it.  ``bound`` is the
+    ``"excluded"`` when online filtering dropped it; ``"degraded"`` when
+    the tuple was quarantined — its UDF evaluations kept failing after the
+    retry policy was exhausted, so the answer is the last (unconverged)
+    state the online algorithm had rather than a converged one, with the
+    matching honest bound (NaN when it failed before any bound existed).
+    ``bound`` is the
     claimed error bound backing the verdict (the largest bound annotation
     for relation rows) and ``version`` a per-result monotonic sequence
     number — the same quadruple the serving layer streams as
@@ -80,8 +88,15 @@ def _bound_within(bound: float, epsilon: Optional[float]) -> bool:
 def classify_output(
     output: "ComputedOutput", epsilon: Optional[float], tuple_id: int, version: int
 ) -> TupleVerdict:
-    """Verdict for one :class:`~repro.engine.executor.ComputedOutput`."""
+    """Verdict for one :class:`~repro.engine.executor.ComputedOutput`.
+
+    ``failed`` is checked before ``dropped``/missing-distribution: a
+    quarantined tuple often has no distribution either, but it was never
+    *excluded* — its answer is degraded, not ruled out.
+    """
     bound = float(output.error_bound)
+    if getattr(output, "failed", False):
+        return TupleVerdict(tuple_id, VERDICT_DEGRADED, bound, version)
     if output.dropped or output.distribution is None:
         return TupleVerdict(tuple_id, VERDICT_EXCLUDED, bound, version)
     if output.existence_probability >= 1.0 and _bound_within(bound, epsilon):
@@ -97,7 +112,9 @@ def classify_row(
     The bound is the largest ``*_error_bound`` annotation the UDF
     operators recorded (0 when the row carries none — plain relational
     work makes no approximation claim).  Excluded tuples never reach a
-    relation, so this classifier only distinguishes certain from possible.
+    relation; a quarantined evaluation reaches it carrying a
+    ``*_degraded`` annotation and classifies as ``degraded``, like its
+    :class:`ComputedOutput` counterpart.
     """
     bounds = [
         float(value)
@@ -105,6 +122,10 @@ def classify_row(
         if key.endswith("_error_bound")
     ]
     bound = max(bounds) if bounds else 0.0
+    if any(
+        value for key, value in row.annotations.items() if key.endswith("_degraded")
+    ):
+        return TupleVerdict(tuple_id, VERDICT_DEGRADED, bound, version)
     closed = _bound_within(bound, epsilon) if bounds else True
     if row.existence_probability >= 1.0 and closed:
         return TupleVerdict(tuple_id, VERDICT_CERTAIN, bound, version)
@@ -193,6 +214,10 @@ class QueryResult:
     def possible(self) -> List[TupleVerdict]:
         """The verdicts classified ``possible``."""
         return [v for v in self.verdicts if v.verdict == VERDICT_POSSIBLE]
+
+    def degraded(self) -> List[TupleVerdict]:
+        """The verdicts classified ``degraded`` (quarantined tuples)."""
+        return [v for v in self.verdicts if v.verdict == VERDICT_DEGRADED]
 
     # -- payload protocol delegation (back-compat) --------------------------------
     def __iter__(self) -> Iterator[Any]:

@@ -20,6 +20,12 @@ operator iterator one row at a time through the pool, so
   :class:`~repro.engine.result.TupleVerdict` — the moment OLGAPRO's
   per-tuple bounds settle, before the final bit-identical-to-serial
   :class:`~repro.engine.result.QueryResult` materialises;
+* **failure isolation** is typed — ``breaker_threshold`` consecutive
+  failed queries naming the same UDF open that UDF's circuit breaker, so
+  later submissions fast-fail with
+  :class:`~repro.exceptions.CircuitOpenError` (no queue slot, no engine
+  work) until a cooldown elapses and a single half-open probe query
+  decides whether the black box recovered;
 * **cancellation and timeouts** provably release transport resources:
   evaluation transports open and close *inside* each chunk computation
   (the close-on-every-exit-path contract of
@@ -46,6 +52,7 @@ import asyncio
 import itertools
 import queue
 import threading
+import time
 from concurrent.futures import Future as ConcurrentFuture
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, fields
@@ -54,6 +61,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 from repro.engine.result import QueryResult, TupleVerdict, classify_row
 from repro.engine.tuples import Relation
 from repro.exceptions import (
+    CircuitOpenError,
     QueryCancelledError,
     QueryTimeoutError,
     ServiceError,
@@ -72,9 +80,28 @@ DEFAULT_WORKER_BUDGET = 4
 DEFAULT_QUEUE_LIMIT = 16
 #: How long close() waits for in-flight queries before force-finishing them.
 DEFAULT_CLOSE_TIMEOUT = 30.0
+#: Consecutive same-UDF query failures before the circuit breaker opens.
+DEFAULT_BREAKER_THRESHOLD = 5
+#: Seconds an open breaker fast-fails before admitting a half-open probe.
+DEFAULT_BREAKER_COOLDOWN = 30.0
 
 #: Sentinel marking the end of a handle's event stream / an exhausted iterator.
 _DONE = object()
+
+
+@dataclass
+class _BreakerState:
+    """Per-UDF-name circuit-breaker bookkeeping (guarded by the service lock).
+
+    ``failures`` counts *consecutive* failed queries naming the UDF (any
+    success resets it).  ``opened_at`` is the monotonic instant the breaker
+    tripped (``None`` while closed); ``probing`` marks that the single
+    half-open probe query has been admitted and its outcome is pending.
+    """
+
+    failures: int = 0
+    opened_at: Optional[float] = None
+    probing: bool = False
 
 
 @dataclass(frozen=True)
@@ -237,15 +264,38 @@ class QueryService:
         worker_budget: int = DEFAULT_WORKER_BUDGET,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         share_models: bool = False,
+        breaker_threshold: Optional[int] = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
     ) -> None:
-        """Start the service loop thread and worker pool immediately."""
+        """Start the service loop thread and worker pool immediately.
+
+        ``breaker_threshold`` consecutive failed queries naming the same
+        UDF trip that UDF's circuit breaker: further submissions fast-fail
+        with :class:`~repro.exceptions.CircuitOpenError` (no engine work,
+        no queue slot) until ``breaker_cooldown`` seconds pass, after
+        which exactly one *half-open* probe query is admitted — its
+        success closes the breaker, its failure re-opens the cooldown.
+        ``breaker_threshold=None`` disables the breaker entirely.
+        """
         if worker_budget < 1:
             raise ServiceError(f"worker_budget must be >= 1, got {worker_budget}")
         if queue_limit < 1:
             raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ServiceError(
+                f"breaker_threshold must be >= 1 or None, got {breaker_threshold}"
+            )
+        if breaker_cooldown <= 0.0:
+            raise ServiceError(
+                f"breaker_cooldown must be positive, got {breaker_cooldown}"
+            )
         self.worker_budget = worker_budget
         self.queue_limit = queue_limit
         self.share_models = share_models
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = float(breaker_cooldown)
+        #: Per-UDF-name breaker states (guarded by ``_lock``).
+        self._breakers: Dict[str, _BreakerState] = {}
         self._lock = threading.Lock()
         self._active: Dict[QueryHandle, "ConcurrentFuture[None]"] = {}
         self._closed = False
@@ -263,6 +313,7 @@ class QueryService:
             "cancelled": 0,
             "timed_out": 0,
             "rejected": 0,
+            "fast_failed": 0,
         }
         self._pool = ThreadPoolExecutor(
             max_workers=worker_budget, thread_name_prefix="repro-serve"
@@ -311,9 +362,13 @@ class QueryService:
             When the service is closed.
         ServiceOverloadError
             When ``queue_limit`` queries are already in flight.
+        CircuitOpenError
+            When a UDF named by the query has its circuit breaker open
+            (still cooling down, or its half-open probe is already out).
         """
         handle_name = name if name is not None else f"query-{next(self._counter)}"
         handle = QueryHandle(handle_name, self)
+        udf_names = self._query_udf_names(query, engine)
         with self._lock:
             if self._closed:
                 raise ServiceError("cannot submit to a closed QueryService")
@@ -323,6 +378,7 @@ class QueryService:
                     f"service at queue_limit={self.queue_limit} in-flight "
                     f"queries; rejecting {handle_name!r} (retry or shed load)"
                 )
+            self._breaker_admit(handle_name, udf_names)
             self.stats["submitted"] += 1
             if plan is not None:
                 plan = self._cached_plan(plan)
@@ -330,11 +386,98 @@ class QueryService:
             if self.share_models:
                 self._loan_models(engine, region)
             future = asyncio.run_coroutine_threadsafe(
-                self._run_query(handle, query, engine, timeout, region), self._loop
+                self._run_query(handle, query, engine, timeout, region, udf_names),
+                self._loop,
             )
             handle._future = future
             self._active[handle] = future
         return handle
+
+    def _query_udf_names(
+        self, query: "Query", engine: "UDFExecutionEngine"
+    ) -> Tuple[str, ...]:
+        """The UDF names the query would evaluate (breaker granularity).
+
+        Built from the *planned* (not executed) operator tree; planning is
+        pure tree construction, so the peek costs no engine work.  A query
+        whose planning itself fails reports no names — the failure will
+        surface identically when the query runs.
+        """
+        try:
+            operator = query.plan(engine)
+        except Exception:  # malformed query: let _execute raise the real error
+            return ()
+        names = []
+        for node in operator._tree_nodes():
+            udf = getattr(node, "udf", None)
+            udf_name = getattr(udf, "name", None)
+            if udf_name is not None and udf_name not in names:
+                names.append(udf_name)
+        return tuple(names)
+
+    def _breaker_admit(self, handle_name: str, udf_names: Tuple[str, ...]) -> None:
+        """Fast-fail against open breakers; mark half-open probes (caller locks).
+
+        A breaker still inside its cooldown (or whose single half-open
+        probe is already in flight) raises
+        :class:`~repro.exceptions.CircuitOpenError` before the query
+        consumes a queue slot or any engine work.  Once every open breaker
+        the query touches has cooled down, this submission is admitted as
+        their half-open probe.
+        """
+        if self.breaker_threshold is None:
+            return
+        now = time.monotonic()
+        for udf_name in udf_names:
+            state = self._breakers.get(udf_name)
+            if state is None or state.opened_at is None:
+                continue
+            elapsed = now - state.opened_at
+            if state.probing:
+                self.stats["fast_failed"] += 1
+                raise CircuitOpenError(
+                    f"circuit breaker for UDF {udf_name!r} is half-open with a "
+                    f"probe query already in flight; rejecting {handle_name!r} "
+                    "until the probe's outcome settles the breaker"
+                )
+            if elapsed < self.breaker_cooldown:
+                self.stats["fast_failed"] += 1
+                raise CircuitOpenError(
+                    f"circuit breaker for UDF {udf_name!r} is open after "
+                    f"{state.failures} consecutive query failures; "
+                    f"fast-failing {handle_name!r} for another "
+                    f"{self.breaker_cooldown - elapsed:.1f}s of the "
+                    f"{self.breaker_cooldown:g}s cooldown, then one half-open "
+                    "probe query is admitted"
+                )
+        for udf_name in udf_names:
+            state = self._breakers.get(udf_name)
+            if state is not None and state.opened_at is not None:
+                state.probing = True
+
+    def _breaker_record(self, udf_names: Tuple[str, ...], success: bool) -> None:
+        """Fold one query outcome into the breakers of the UDFs it named.
+
+        Success closes (and fully resets) each breaker; failure extends
+        the consecutive-failure streak, trips the breaker at
+        ``breaker_threshold``, and re-opens a breaker whose half-open
+        probe just failed.  Cancellations and timeouts are *not* recorded
+        — they say nothing about the UDF's health.
+        """
+        if self.breaker_threshold is None or not udf_names:
+            return
+        with self._lock:
+            for udf_name in udf_names:
+                state = self._breakers.setdefault(udf_name, _BreakerState())
+                if success:
+                    state.failures = 0
+                    state.opened_at = None
+                    state.probing = False
+                else:
+                    state.failures += 1
+                    if state.probing or state.failures >= self.breaker_threshold:
+                        state.opened_at = time.monotonic()
+                        state.probing = False
 
     def _cached_plan(self, plan: "ExecutionPlan") -> "ExecutionPlan":
         """Dedupe equal validated plans so repeat submissions share one."""
@@ -352,6 +495,7 @@ class QueryService:
         engine: "UDFExecutionEngine",
         timeout: Optional[float],
         region: str,
+        udf_names: Tuple[str, ...] = (),
     ) -> None:
         """Run one query end to end and record its outcome on the handle."""
         result: Optional[QueryResult] = None
@@ -371,8 +515,10 @@ class QueryService:
         except BaseException as exc:  # noqa: BLE001 — stored, re-raised by result()
             error = exc
             self._bump("failed")
+            self._breaker_record(udf_names, success=False)
         else:
             self._bump("completed")
+            self._breaker_record(udf_names, success=True)
             if self.share_models:
                 # Only a cleanly finished query returns its (now trained)
                 # emulators; a cancelled/failed one may hold half-refined
@@ -466,14 +612,20 @@ class QueryService:
         self,
         cancel_pending: bool = True,
         timeout: float = DEFAULT_CLOSE_TIMEOUT,
+        drain: bool = False,
     ) -> None:
         """Shut the service down, releasing every thread and the loop.
 
-        With ``cancel_pending`` (the default) all in-flight queries are
-        cancelled; otherwise they are awaited.  Then the loop is stopped
-        and joined, the worker pool drained, and — as a safety net — any
-        handle still unfinished is force-finished with
-        :class:`~repro.exceptions.QueryCancelledError` so no
+        ``drain=True`` is the graceful path: new submissions are rejected
+        immediately (the closed flag is set under the lock before any
+        waiting), but every in-flight query is left running and awaited —
+        up to ``timeout`` seconds total across all of them — so clients
+        holding a :class:`QueryHandle` still receive their real results.
+        Otherwise ``cancel_pending`` (the default) cancels all in-flight
+        queries; ``cancel_pending=False`` awaits them like ``drain`` does.
+        Then the loop is stopped and joined, the worker pool drained, and
+        — as a safety net — any handle still unfinished is force-finished
+        with :class:`~repro.exceptions.QueryCancelledError` so no
         :meth:`QueryHandle.result` waiter blocks forever.  Idempotent.
         """
         with self._lock:
@@ -481,14 +633,15 @@ class QueryService:
                 return
             self._closed = True
             pending = list(self._active.items())
-        if cancel_pending:
+        if cancel_pending and not drain:
             for _handle, future in pending:
                 future.cancel()
-        deadline = timeout
+        # One shared wall-clock deadline across every pending handle — a
+        # slow query cannot starve the wait budget of the ones after it,
+        # and an already-finished handle consumes none of it.
+        deadline = time.monotonic() + max(0.0, timeout)
         for handle, _future in pending:
-            step = min(deadline, 1.0) if deadline > 0 else 0.0
-            handle._done.wait(step)
-            deadline = max(0.0, deadline - step)
+            handle._done.wait(max(0.0, deadline - time.monotonic()))
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout)
         self._loop.close()

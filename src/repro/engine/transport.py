@@ -54,13 +54,15 @@ from __future__ import annotations
 import abc
 import asyncio
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import PlanError, QueryError
+from repro.exceptions import PlanError, QueryError, TransportDrainTimeoutError
 from repro.udf.base import UDF, AsyncUDF
 
 
@@ -79,6 +81,12 @@ class EvaluationTransport(abc.ABC):
     #: ``"asyncio"``); used by :func:`make_transport` and by the parallel
     #: layer, which ships the *name* (never a live transport) to workers.
     name: str = "abstract"
+
+    #: Seconds :meth:`drain` (and the asyncio transport's close-time drain)
+    #: waits for outstanding evaluations before abandoning them; generous,
+    #: because exceeding it means a black box is hung, and waiting forever
+    #: would turn a query failure into a process hang.
+    DRAIN_TIMEOUT = 60.0
 
     @abc.abstractmethod
     def open(self, max_workers: int, label: str = "udf") -> None:
@@ -125,7 +133,7 @@ class EvaluationTransport(abc.ABC):
         transport is alive.
         """
 
-    def drain(self, futures: List[Future]) -> None:
+    def drain(self, futures: List[Future], timeout: Optional[float] = None) -> None:
         """Wait out every future, swallowing failures (the settle step).
 
         An evaluation that was submitted must complete — and charge —
@@ -134,9 +142,35 @@ class EvaluationTransport(abc.ABC):
         (serially the call would never have happened).  The base
         implementation waits in submission order; transports with their
         own settle machinery may override.
+
+        The wait is bounded by ``timeout`` (default :attr:`DRAIN_TIMEOUT`)
+        across the *whole* batch: a hung black box must not turn a drain
+        into a process hang.  The raw :class:`concurrent.futures
+        .TimeoutError` never escapes — it is wrapped in a typed
+        :class:`~repro.exceptions.TransportDrainTimeoutError` naming this
+        transport and the elapsed deadline, and the executor's session
+        still closes the transport on that exit path (the pool is torn
+        down; only the stuck evaluations are abandoned).
+
+        Raises
+        ------
+        TransportDrainTimeoutError
+            When outstanding evaluations remain after the deadline.
         """
+        deadline_s = self.DRAIN_TIMEOUT if timeout is None else float(timeout)
+        deadline = time.monotonic() + deadline_s
         for future in futures:
-            future.exception()
+            remaining = deadline - time.monotonic()
+            try:
+                future.exception(timeout=max(0.0, remaining))
+            except FuturesTimeoutError as exc:
+                raise TransportDrainTimeoutError(
+                    f"{self.name} transport drain exceeded its {deadline_s:g}s "
+                    "deadline with evaluations still outstanding; abandoning "
+                    "the stuck black-box call(s) — the transport itself is "
+                    "still torn down by the executor's close-on-every-exit-"
+                    "path session"
+                ) from exc
 
     def accepts(self, udf: UDF) -> None:
         """Raise :class:`QueryError` when ``udf`` cannot ride this transport.
@@ -290,12 +324,6 @@ class AsyncioTransport(EvaluationTransport):
     """
 
     name = "asyncio"
-
-    #: Seconds ``close`` waits for the pending-coroutine drain before
-    #: stopping the loop regardless; generous, because a drain that cannot
-    #: finish means a black box is hung, and joining forever would turn a
-    #: query failure into a process hang.
-    DRAIN_TIMEOUT = 60.0
 
     def __init__(self) -> None:
         """Create a closed transport (the loop is started by ``open``)."""

@@ -92,13 +92,21 @@ class Relation:
             self._validate(row)
 
     def _validate(self, row: UncertainTuple) -> None:
+        # ``None`` is allowed for an uncertain attribute: it means the value
+        # is unavailable — a quarantined (degraded) UDF evaluation that never
+        # produced a distribution.  Such rows carry a ``<alias>_degraded``
+        # annotation from the UDF operators.
         for attribute in self.schema:
             if attribute.name not in row:
                 raise SchemaError(
                     f"tuple {row.values} is missing attribute {attribute.name!r}"
                 )
             value = row[attribute.name]
-            if attribute.is_uncertain and not isinstance(value, Distribution):
+            if (
+                attribute.is_uncertain
+                and value is not None
+                and not isinstance(value, Distribution)
+            ):
                 raise SchemaError(
                     f"attribute {attribute.name!r} is declared uncertain but the "
                     f"tuple stores a plain value"

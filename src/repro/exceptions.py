@@ -32,6 +32,29 @@ class UDFError(ReproError):
     """
 
 
+class TransientUDFError(UDFError):
+    """A UDF evaluation failed in a way that is expected to be retryable.
+
+    Models the failure modes of a remote UDF service — timeouts, dropped
+    connections, 5xx responses.  The retry machinery
+    (:class:`~repro.udf.retry.RetryPolicy`) re-issues the *same* evaluation
+    up to its attempt cap; because the retried call is deterministic (same
+    input point, same UDF), a successful retry yields a value bit-identical
+    to the one a fault-free run would have produced.
+    """
+
+
+class FatalUDFError(UDFError):
+    """A UDF evaluation failed in a way that retrying cannot fix.
+
+    Models permanent failures — malformed input the service rejects,
+    authorisation errors, a bug in the black-box code.  The retry machinery
+    never re-issues a fatal failure: it propagates immediately (or
+    quarantines the tuple when the active
+    :class:`~repro.udf.retry.RetryPolicy` enables quarantine).
+    """
+
+
 class GPError(ReproError):
     """Raised for Gaussian-process failures (singular kernel matrix, etc.)."""
 
@@ -73,6 +96,29 @@ class QueryError(ReproError):
     """Raised when a logical query plan is malformed or cannot be executed."""
 
 
+class TransportDrainTimeoutError(QueryError):
+    """Raised when a transport's drain exceeded its deadline.
+
+    Wraps the raw :class:`concurrent.futures.TimeoutError` that would
+    otherwise escape :meth:`~repro.engine.transport.EvaluationTransport.drain`
+    untyped; the message names the transport and the elapsed deadline in
+    seconds.  The transport's pool is still torn down on this path — the
+    timeout abandons the stuck evaluations, it does not leak their threads.
+    """
+
+
+class ShardFailureError(QueryError):
+    """Raised when a parallel shard failed after exhausting recovery.
+
+    The message carries everything needed to reproduce the failed shard in
+    isolation: the shard index, the tuple range it covered, the executor's
+    base seed, and the shard's ``spawn_keyed`` key (which equals the shard
+    index).  Re-running just that shard with the same key replays the same
+    per-shard random stream, so the failure is reproducible from the
+    message alone.
+    """
+
+
 class PlanError(QueryError):
     """Raised when an :class:`~repro.engine.plan.ExecutionPlan` is invalid.
 
@@ -104,6 +150,18 @@ class ServiceOverloadError(ServiceError):
     queries; a submit beyond ``queue_limit`` is rejected *immediately*
     with this error rather than queued without bound — the caller decides
     whether to retry, shed load, or escalate.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """Raised when the per-UDF circuit breaker fast-fails a submission.
+
+    After a UDF's queries fail ``breaker_threshold`` times in a row, the
+    service stops admitting new queries against that UDF name for a
+    cooldown window instead of burning worker budget on a failing
+    dependency.  Once the cooldown elapses, a single half-open probe query
+    is admitted: success closes the breaker, failure re-opens it.  The
+    message names the tripped UDF and the cooldown.
     """
 
 

@@ -17,8 +17,14 @@ from repro.udf.astro import (
     lookback_time_udf,
     sky_distance_udf,
 )
-from repro.udf.base import UDF, as_udf
+from repro.udf.base import UDF, AsyncUDF, as_udf
+from repro.udf.faults import (
+    FaultInjectingAsyncUDF,
+    FaultInjectingUDF,
+    FaultSchedule,
+)
 from repro.udf.registry import UDFRegistry, default_registry
+from repro.udf.retry import RetryPolicy
 from repro.udf.synthetic import (
     GaussianMixtureFunction,
     MixtureSpec,
@@ -30,7 +36,12 @@ from repro.udf.synthetic import (
 
 __all__ = [
     "UDF",
+    "AsyncUDF",
     "as_udf",
+    "RetryPolicy",
+    "FaultSchedule",
+    "FaultInjectingUDF",
+    "FaultInjectingAsyncUDF",
     "UDFRegistry",
     "default_registry",
     "GaussianMixtureFunction",

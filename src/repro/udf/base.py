@@ -42,7 +42,8 @@ from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import UDFError
+from repro.exceptions import TransientUDFError, UDFError
+from repro.udf.retry import RetryPolicy
 
 
 class UDF:
@@ -85,6 +86,11 @@ class UDF:
         self._charge_lock = threading.Lock()
         self._inflight = 0
         self._max_inflight = 0
+        #: Retry policy installed for the duration of one computation by
+        #: :meth:`_install_retry_policy` (the engine's plan seam); ``None``
+        #: means transient failures propagate on the first occurrence.
+        self._retry_policy: Optional[RetryPolicy] = None
+        self._retries_used = 0
 
     # -- pickling ----------------------------------------------------------------
     def __getstate__(self) -> Dict[str, Any]:
@@ -105,12 +111,18 @@ class UDF:
         del state["_charge_lock"]
         state["_inflight"] = 0
         state["_max_inflight"] = 0
+        # Worker copies keep the retry *policy* (pool workers must retry
+        # exactly like the parent) but start a fresh budget window: the
+        # parent's consumed retries happened in the parent process.
+        state["_retries_used"] = 0
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         """Recreate the process-local charge lock after unpickling."""
         self.__dict__.update(state)
         self._charge_lock = threading.Lock()
+        self.__dict__.setdefault("_retry_policy", None)
+        self.__dict__.setdefault("_retries_used", 0)
 
     # -- instrumentation ---------------------------------------------------------
     @property
@@ -190,6 +202,59 @@ class UDF:
             raise UDFError("absorbed charges must be non-negative")
         self._charge(int(calls), float(real_time))
 
+    # -- retry machinery -----------------------------------------------------------
+    @property
+    def retries_used(self) -> int:
+        """Retries consumed since the current policy was installed."""
+        with self._charge_lock:
+            return self._retries_used
+
+    def _install_retry_policy(self, policy: Optional[RetryPolicy]) -> None:
+        """Arm (or, with ``None``, disarm) retries for one computation.
+
+        Called by the engine around each plan execution; the budget window
+        restarts with each installation.  Pickled worker copies carry the
+        installed policy with them (see :meth:`__getstate__`), so every
+        transport and the process-pool shards retry identically.
+        """
+        with self._charge_lock:
+            self._retry_policy = policy
+            self._retries_used = 0
+
+    def _consume_retry(self) -> bool:
+        """Atomically spend one retry from the policy's budget.
+
+        Returns ``False`` — leaving the budget untouched — when no policy
+        is installed or the cross-point ``retry_budget`` is exhausted;
+        concurrent evaluation threads contend on the same budget, so the
+        check-and-increment is one critical section.
+        """
+        policy = self._retry_policy
+        if policy is None:
+            return False
+        with self._charge_lock:
+            if (
+                policy.retry_budget is not None
+                and self._retries_used >= policy.retry_budget
+            ):
+                return False
+            self._retries_used += 1
+            return True
+
+    def _retry_delay(self, failure_count: int) -> Optional[float]:
+        """Delay before re-attempting after the ``failure_count``-th failure.
+
+        ``None`` means "do not retry" — no policy installed, per-point
+        attempts exhausted, or cross-point budget spent (the budget is only
+        consumed when a retry is actually granted).
+        """
+        policy = self._retry_policy
+        if policy is None or failure_count >= policy.max_attempts:
+            return None
+        if not self._consume_retry():
+            return None
+        return policy.delay_for(failure_count)
+
     def with_simulated_eval_time(self, seconds: float) -> "UDF":
         """Copy of this UDF charged at a different simulated per-call cost."""
         return UDF(
@@ -203,12 +268,40 @@ class UDF:
 
     # -- evaluation -----------------------------------------------------------------
     def __call__(self, x: np.ndarray) -> float:
-        """Evaluate the UDF at a single point ``x`` of shape ``(d,)``."""
+        """Evaluate the UDF at a single point ``x`` of shape ``(d,)``.
+
+        Transient failures (:class:`~repro.exceptions.TransientUDFError`)
+        are retried under the installed :class:`~repro.udf.retry
+        .RetryPolicy` — the same point, re-issued after a deterministic
+        backoff — so a recovered evaluation is bit-identical to one that
+        never failed.  Fatal and untyped failures propagate immediately.
+        """
         x = np.atleast_1d(np.asarray(x, dtype=float))
         if x.shape != (self.dimension,):
             raise UDFError(
                 f"{self.name}: input has shape {x.shape}, expected ({self.dimension},)"
             )
+        failures = 0
+        while True:
+            try:
+                return self._call_validated(x)
+            except TransientUDFError:
+                failures += 1
+                delay = self._retry_delay(failures)
+                if delay is None:
+                    raise
+                if delay > 0.0:
+                    time.sleep(delay)
+
+    def _call_validated(self, x: np.ndarray) -> float:
+        """One attempt at a shape-checked point: evaluate, charge, validate.
+
+        Typed :class:`UDFError` subclasses raised by the black box pass
+        through unwrapped — the transient/fatal split must survive to the
+        retry loop — while arbitrary exceptions are wrapped as before.
+        Failed attempts charge nothing, so a run that recovers via retries
+        reports the same ``call_count`` as the fault-free run.
+        """
         start = time.perf_counter()
         try:
             if self.vectorized:
@@ -216,6 +309,8 @@ class UDF:
                 value = float(np.asarray(value).ravel()[0])
             else:
                 value = float(self._func(x))
+        except UDFError:
+            raise
         except Exception as exc:  # noqa: BLE001 - black-box code can raise anything
             raise UDFError(f"{self.name}: evaluation failed at {x!r}: {exc}") from exc
         self._charge(1, time.perf_counter() - start)
@@ -232,23 +327,45 @@ class UDF:
             )
         start = time.perf_counter()
         if self.vectorized:
-            try:
-                values = np.asarray(self._func(X), dtype=float).ravel()
-            except Exception as exc:  # noqa: BLE001
-                raise UDFError(f"{self.name}: batch evaluation failed: {exc}") from exc
-            if values.shape[0] != X.shape[0]:
-                raise UDFError(
-                    f"{self.name}: vectorised implementation returned {values.shape[0]} "
-                    f"values for {X.shape[0]} inputs"
-                )
-            self._charge(X.shape[0], time.perf_counter() - start)
-            if not np.all(np.isfinite(values)):
-                raise UDFError(f"{self.name}: batch evaluation returned non-finite values")
-            return values
+            failures = 0
+            while True:
+                try:
+                    return self._batch_validated(X)
+                except TransientUDFError:
+                    failures += 1
+                    delay = self._retry_delay(failures)
+                    if delay is None:
+                        raise
+                    if delay > 0.0:
+                        time.sleep(delay)
         # Non-vectorised path goes through __call__ so per-call accounting is
-        # identical to how an external black box would be charged.
+        # identical to how an external black box would be charged (and so
+        # transient failures are retried per point, not per batch).
         self._charge(0, time.perf_counter() - start)
         return np.array([self(row) for row in X])
+
+    def _batch_validated(self, X: np.ndarray) -> np.ndarray:
+        """One attempt at a vectorised batch: evaluate, charge, validate.
+
+        The typed-passthrough twin of :meth:`_call_validated`; failed
+        attempts charge nothing.
+        """
+        start = time.perf_counter()
+        try:
+            values = np.asarray(self._func(X), dtype=float).ravel()
+        except UDFError:
+            raise
+        except Exception as exc:  # noqa: BLE001
+            raise UDFError(f"{self.name}: batch evaluation failed: {exc}") from exc
+        if values.shape[0] != X.shape[0]:
+            raise UDFError(
+                f"{self.name}: vectorised implementation returned {values.shape[0]} "
+                f"values for {X.shape[0]} inputs"
+            )
+        self._charge(X.shape[0], time.perf_counter() - start)
+        if not np.all(np.isfinite(values)):
+            raise UDFError(f"{self.name}: batch evaluation returned non-finite values")
+        return values
 
     # -- concurrent evaluation ----------------------------------------------------
     def _evaluate_row_tracked(self, row: np.ndarray) -> float:
@@ -482,16 +599,35 @@ class AsyncUDF(UDF):
         ------
         UDFError
             When the input shape is wrong, the black box raises, or the
-            value is non-finite.
+            value is non-finite.  Transient failures are retried under the
+            installed :class:`~repro.udf.retry.RetryPolicy` exactly as on
+            the blocking path, with the backoff awaited
+            (``asyncio.sleep``) instead of slept.
         """
         x = np.atleast_1d(np.asarray(x, dtype=float))
         if x.shape != (self.dimension,):
             raise UDFError(
                 f"{self.name}: input has shape {x.shape}, expected ({self.dimension},)"
             )
+        failures = 0
+        while True:
+            try:
+                return await self._async_attempt(x)
+            except TransientUDFError:
+                failures += 1
+                delay = self._retry_delay(failures)
+                if delay is None:
+                    raise
+                if delay > 0.0:
+                    await asyncio.sleep(delay)
+
+    async def _async_attempt(self, x: np.ndarray) -> float:
+        """One awaited attempt: evaluate, charge, validate (typed passthrough)."""
         start = time.perf_counter()
         try:
             value = float(await self._coro_func(x))
+        except UDFError:
+            raise
         except Exception as exc:  # noqa: BLE001 - black-box code can raise anything
             raise UDFError(f"{self.name}: evaluation failed at {x!r}: {exc}") from exc
         self._charge(1, time.perf_counter() - start)

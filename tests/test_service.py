@@ -20,6 +20,7 @@ Contracts under test (see :mod:`repro.engine.service`):
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 
@@ -214,20 +215,31 @@ def test_cancel_after_completion_returns_false():
 
 
 def test_server_side_timeout_raises_query_timeout_error():
+    # The full message is pinned: a server-side expiry must say the *query*
+    # exceeded *its* timeout (the deadline killed the work), which is a
+    # different statement from the client-side wait expiring below.
     udf = _slow_udf()
     with QueryService(worker_budget=2) as service:
-        handle = service.submit(_query(udf), _engine(), timeout=0.2)
-        with pytest.raises(QueryTimeoutError, match="0.2"):
+        handle = service.submit(_query(udf), _engine(), timeout=0.2, name="q-srv")
+        expected = re.escape("query 'q-srv' exceeded its 0.2s timeout")
+        with pytest.raises(QueryTimeoutError, match=f"^{expected}$"):
             handle.result(timeout=60)
         assert service.stats["timed_out"] == 1
     assert _no_service_threads_left() == []
 
 
 def test_client_side_result_wait_timeout_leaves_query_running():
+    # Full message pinned: a client-side expiry must say only the result()
+    # *wait* ran out and the query itself is still running — callers decide
+    # between re-waiting and cancelling based on exactly this distinction.
     udf = _slow_udf()
     with QueryService(worker_budget=2) as service:
-        handle = service.submit(_query(udf), _engine())
-        with pytest.raises(QueryTimeoutError, match="still running"):
+        handle = service.submit(_query(udf), _engine(), name="q-cli")
+        expected = re.escape(
+            "query 'q-cli' did not finish within the 0.05s result() wait "
+            "(the query itself is still running)"
+        )
+        with pytest.raises(QueryTimeoutError, match=f"^{expected}$"):
             handle.result(timeout=0.05)
         assert not handle.done()
         handle.cancel()

@@ -6,10 +6,10 @@ Usage::
     python -m repro.bench.run_all --full       # full-scale (hours)
     python -m repro.bench.run_all --only expt5_eval_time astro_gp_vs_mc
     python -m repro.bench.run_all --output results.txt
-    python -m repro.bench.run_all --smoke      # CI smoke: batched + parallel +
-                                               # async + pipeline + transport +
-                                               # serving + fault injection
-                                               # -> BENCH_smoke.json
+    python -m repro.bench.run_all --smoke      # CI smoke: batched + columnar +
+                                               # parallel + async + pipeline +
+                                               # transport + serving + fault
+                                               # injection -> BENCH_smoke.json
 
 Each experiment prints an :class:`~repro.bench.harness.ExperimentTable`; the
 ``--output`` option additionally writes the combined report to a file so it
@@ -63,6 +63,7 @@ from repro.bench.experiments_async import (
     udf_transport,
 )
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
+from repro.bench.experiments_columnar import columnar_report, columnar_speedup
 from repro.bench.experiments_faults import fault_injection, faults_report
 from repro.bench.experiments_parallel import parallel_report, parallel_scaling
 from repro.bench.experiments_pipeline import pipeline_report, udf_pipeline
@@ -97,6 +98,7 @@ _SCALED_OVERRIDES: dict[str, dict] = {
     "astro_gp_vs_mc": {"epsilons": (0.1, 0.2), "udf_names": ("GalAge", "ComoveVol"),
                        "n_tuples": 4},
     "batch_pipeline": {"n_tuples": 48, "warmup_tuples": 24, "trials": 1},
+    "columnar": {"n_tuples": 96, "warmup_tuples": 48, "trials": 1},
     "parallel_scaling": {"workers_list": (1, 2, 4), "n_tuples": 12, "batch_size": 4,
                          "real_eval_time": 1e-3, "n_samples": 200,
                          "strategies": ("gp",)},
@@ -116,6 +118,16 @@ _SCALED_OVERRIDES: dict[str, dict] = {
 #: Parameters of the CI smoke invocation (`--smoke`): large enough that the
 #: steady-state batching speedup is measurable, small enough for a CI job.
 _SMOKE_KWARGS = {"n_tuples": 96, "warmup_tuples": 48, "batch_size": 32, "trials": 2}
+
+#: Parameters of the smoke columnar run — the bench module's defaults: a
+#: long warmed-up stream at a small Monte-Carlo budget, the steady-state
+#: regime where the per-tuple path is dispatch-bound and the columnar
+#: layout's whole-column kernels therefore clear ≥1.5x on the same seeds.
+#: The columnar row doubles as the storage layer's bit-identity check
+#: (values, bounds and UDF charge counters versus the tuple store),
+#: enforced non-overridably like the other identity gates.
+_SMOKE_COLUMNAR_KWARGS = {"n_tuples": 384, "warmup_tuples": 96, "batch_size": 32,
+                          "epsilon": 0.35, "n_samples": 64, "trials": 5}
 
 #: Parallel-scaling configurations for the smoke artifact — one per strategy,
 #: because the two are bound by different resources.  Both use a *real*
@@ -213,6 +225,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "astro_output_density": astro_output_density,
     "astro_gp_vs_mc": astro_gp_vs_mc,
     "batch_pipeline": batch_pipeline_speedup,
+    "columnar": columnar_speedup,
     "parallel_scaling": parallel_scaling,
     "udf_overlap": udf_overlap,
     "udf_transport": udf_transport,
@@ -267,6 +280,24 @@ def check_regression(
     current = report.get("batch_pipeline", {}).get("speedup", {}).get("gp")
     reference = baseline.get("batch_pipeline", {}).get("speedup", {}).get("gp")
     return _metric_verdict("batch_pipeline gp speedup", current, reference, max_regression)
+
+
+def check_columnar_regression(
+    report: dict, baseline: dict, max_regression: float
+) -> dict:
+    """Gate verdict for the columnar-over-tuple-store speedup ratio.
+
+    Hardware-normalised like the batched gate (both storages run on the
+    same machine within one invocation), so it arms on every runner.  The
+    storage layer's *identity* half is enforced separately and
+    non-overridably through the ``identity_failures`` list.
+    """
+    return _metric_verdict(
+        "columnar storage speedup over tuple store",
+        report.get("columnar", {}).get("speedup"),
+        baseline.get("columnar", {}).get("speedup"),
+        max_regression,
+    )
 
 
 def _parallel_speedup_at_4(artifact: dict):
@@ -362,6 +393,9 @@ def gated_verdicts(
     ``(report_key, verdict)`` pairs in evaluation order.
     """
     verdicts = [("gate", check_regression(report, baseline, max_regression))]
+    verdicts.append(
+        ("gate_columnar", check_columnar_regression(report, baseline, max_regression))
+    )
     if cpu_count >= PARALLEL_GATE_MIN_CPUS:
         verdicts.append(
             ("gate_parallel", check_parallel_regression(report, baseline, max_regression))
@@ -402,6 +436,19 @@ def run_smoke(
     print(batch_table.to_text())
     print(f"(ran batch_pipeline smoke in {batch_elapsed:.1f} s)")
     print(f"min speedup across strategies: {batch['min_speedup']:.2f}x")
+
+    started = time.perf_counter()
+    columnar_table = columnar_speedup(**_SMOKE_COLUMNAR_KWARGS)
+    columnar_elapsed = time.perf_counter() - started
+    columnar = columnar_report(columnar_table)
+    print()
+    print(columnar_table.to_text())
+    print(f"(ran columnar smoke in {columnar_elapsed:.1f} s)")
+    if columnar["speedup"] is not None:
+        print(f"columnar speedup over the tuple-store batched path: "
+              f"{columnar['speedup']:.2f}x")
+    print(f"columnar storage bit-identical to tuple store: "
+          f"{columnar['identical_to_tuple']}")
 
     # One parallel-scaling run per strategy config, merged into one report.
     parallel: dict = {"experiment_id": "parallel_scaling", "rows": [],
@@ -492,12 +539,18 @@ def run_smoke(
               f"({faults['injected'][mode]} fault(s) injected, "
               f"charge counters match: {faults['calls_match'][mode]})")
 
-    report = {"batch_pipeline": batch, "parallel_scaling": parallel,
+    report = {"batch_pipeline": batch, "columnar": columnar,
+              "parallel_scaling": parallel,
               "udf_overlap": overlap, "udf_pipeline": pipeline,
               "udf_transport": transport, "serving": serving,
               "fault_injection": faults}
 
     identity_failures = []
+    if columnar["identical_to_tuple"] is not True:
+        identity_failures.append(
+            "columnar storage diverged from the tuple-store batched path "
+            "(values, bounds or UDF charge counters)"
+        )
     if overlap["identical_at_1"] is not True:
         identity_failures.append(
             "async_inflight=1 diverged from the serial batched path"

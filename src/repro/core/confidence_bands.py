@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Literal
+from typing import Literal, Sequence
 
 import numpy as np
 from scipy import optimize, special
@@ -172,8 +172,40 @@ def band_z_value(
         return SimultaneousBand(z_value=z, alpha=alpha, method=method)
     if method != "euler":
         raise GPError(f"unknown band method {method!r}")
+    return _euler_band(box, alpha, kernel.second_spectral_moment())
 
+
+def band_z_values(
+    kernel: Kernel,
+    boxes: Sequence[BoundingBox],
+    alpha: float = DEFAULT_BAND_ALPHA,
+    method: BandMethod = "euler",
+    n_points: int | None = None,
+) -> list[SimultaneousBand]:
+    """Calibrate :func:`band_z_value` for a whole column of boxes at once.
+
+    Produces exactly the per-box results — the Euler root-solve is
+    inherently scalar (``brentq`` per box), but the kernel's second
+    spectral moment, a per-call constant the scalar path recomputes for
+    every tuple, is hoisted out of the column loop.  Used by the columnar
+    first pass in :mod:`repro.core.olgapro`.
+    """
+    boxes = list(boxes)
+    if not boxes:
+        return []
+    if not (0.0 < alpha < 1.0):
+        raise GPError(f"alpha must be in (0, 1), got {alpha}")
+    if method != "euler":
+        return [
+            band_z_value(kernel, box, alpha=alpha, method=method, n_points=n_points)
+            for box in boxes
+        ]
     lam = kernel.second_spectral_moment()
+    return [_euler_band(box, alpha, lam) for box in boxes]
+
+
+def _euler_band(box: BoundingBox, alpha: float, lam: float) -> SimultaneousBand:
+    """The Euler-characteristic calibration for one box and spectral moment."""
     curvatures = lipschitz_killing_curvatures(box)
 
     def objective(z: float) -> float:
@@ -187,7 +219,7 @@ def band_z_value(
     if f_low < 0.0:
         # Even the smallest z already satisfies the target (tiny box or very
         # smooth kernel): fall back to the point-wise quantile as a floor.
-        return SimultaneousBand(z_value=_pointwise_z(alpha), alpha=alpha, method=method)
+        return SimultaneousBand(z_value=_pointwise_z(alpha), alpha=alpha, method="euler")
     if f_high > 0.0:
         raise GPError(
             "could not calibrate the confidence band: the expected Euler "

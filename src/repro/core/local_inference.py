@@ -253,6 +253,78 @@ class LocalInferenceEngine:
         cache = BatchKernelCache(gp, sample_sets, sample_boxes)
         return [self.predict_cached(gp, cache, i) for i in range(len(cache.sample_sets))]
 
+    def predict_cached_block(
+        self, gp: GaussianProcess, cache: "BatchKernelCache", indices: Sequence[int]
+    ) -> list[LocalInferenceResult]:
+        """Column-wise :meth:`predict_cached` with grouped kernel algebra.
+
+        Produces bit-identical results to calling :meth:`predict_cached`
+        per index: the per-tuple selection loop is replayed unchanged (it
+        is data-dependent), but tuples that selected the *same* training
+        subset — the common case under a warm model, and always the case
+        when every box sits within the first search radius — share one
+        tall GEMM for the predictive means and one for the variance
+        row-sums.  BLAS computes each row block of a tall product exactly
+        as it computes the block alone (verified at import by
+        :func:`repro.distributions.columns.stacking_supported`; callers
+        gate on it).
+        """
+        indices = list(indices)
+        alpha = gp.alpha
+        row_blocks = [cache.rows(gp, i) for i in indices]
+        selections = self._select_from_distances_block(
+            gp,
+            alpha,
+            cache.box_distances[:, indices],
+            row_blocks,
+            [cache.boxes[i] for i in indices],
+        )
+        groups: dict[bytes, list[int]] = {}
+        for pos in range(len(indices)):
+            groups.setdefault(selections[pos][0].tobytes(), []).append(pos)
+        results: list[Optional[LocalInferenceResult]] = [None] * len(indices)
+        for positions in groups.values():
+            selected = selections[positions[0]][0]
+            if len(positions) == 1:
+                pos = positions[0]
+                results[pos] = self.predict_cached(gp, cache, indices[pos])
+                continue
+            blocks = [row_blocks[pos] for pos in positions]
+            narrow = selected.size != blocks[0].shape[1]
+            K_local_inv = cache.local_inverse(gp, selected)
+            for batch in _row_batches([b.shape[0] for b in blocks], selected.size):
+                tall = _stacked_rows([blocks[k] for k in batch])
+                if narrow:
+                    # One column gather on the stacked view instead of one
+                    # per block: the gathered rows are the same per-block
+                    # ``block[:, selected]`` slices.
+                    tall = tall[:, selected]
+                sample_tall = _stacked_rows(
+                    [cache.sample_sets[indices[positions[k]]] for k in batch]
+                )
+                means_tall = tall @ alpha[selected] + gp.mean_offset
+                tmp_tall = tall @ K_local_inv
+                rowsum_tall = np.sum(tmp_tall * tall, axis=1)
+                # The prior variance is pointwise (``diag`` maps each sample
+                # row independently), so one tall subtract / clamp / sqrt is
+                # elementwise-identical to the per-tuple slices it replaces.
+                stds_tall = np.sqrt(
+                    np.maximum(gp.kernel.diag(sample_tall) - rowsum_tall, 0.0)
+                )
+                offset = 0
+                for k in batch:
+                    pos = positions[k]
+                    rows = blocks[k].shape[0]
+                    results[pos] = LocalInferenceResult(
+                        means=means_tall[offset : offset + rows],
+                        stds=stds_tall[offset : offset + rows],
+                        selected_indices=selections[pos][0],
+                        gamma=selections[pos][1],
+                        radius=selections[pos][2],
+                    )
+                    offset += rows
+        return [result for result in results if result is not None]
+
     def predict_cached(
         self, gp: GaussianProcess, cache: "BatchKernelCache", i: int
     ) -> LocalInferenceResult:
@@ -327,6 +399,165 @@ class LocalInferenceEngine:
                 return selected, gamma, radius
             radius *= self.expansion_factor
         return all_indices, 0.0, radius
+
+    def _select_from_distances_block(
+        self,
+        gp: GaussianProcess,
+        alpha: np.ndarray,
+        distances: np.ndarray,
+        row_blocks: Sequence[np.ndarray],
+        sample_boxes: Sequence[BoundingBox],
+    ) -> list[tuple[np.ndarray, float, float]]:
+        """Column-wise :meth:`_select_from_distances` over a chunk of tuples.
+
+        Replays the same radius-expansion schedule for every tuple at once:
+        one broadcast threshold test per level replaces the per-tuple
+        ``flatnonzero`` scans, and tuples whose excluded sets coincide at a
+        level — the common case under a warm model — share one stacked
+        exact-γ matvec whose row-block slices equal the per-tuple products
+        (the identity :func:`repro.distributions.columns.stacking_supported`
+        probes; callers gate on it).  Interval-bound configurations keep the
+        scalar loop, which is the only path exercising the box-geometry
+        bound.
+        """
+        n, count = distances.shape
+        if self.bound_method != "exact":
+            return [
+                self._select_from_distances(
+                    gp, alpha, distances[:, pos], row_blocks[pos], sample_boxes[pos]
+                )
+                for pos in range(count)
+            ]
+        radius = 0.5 * gp.kernel.lengthscale
+        all_indices = np.arange(n)
+        results: list[Optional[tuple[np.ndarray, float, float]]] = [None] * count
+        uniform = len({block.shape for block in row_blocks}) == 1
+        pending = list(range(count))
+        for _ in range(self.max_expansions):
+            if not pending:
+                break
+            mask = distances[:, pending] <= radius
+            n_selected = mask.sum(axis=0)
+            need_gamma: list[tuple[int, int]] = []
+            for col, pos in enumerate(pending):
+                if int(n_selected[col]) == n:
+                    results[pos] = (all_indices, 0.0, radius)
+                else:
+                    need_gamma.append((col, pos))
+            still_pending: list[int] = []
+            if need_gamma:
+                cols = [col for col, _ in need_gamma]
+                positions = [pos for _, pos in need_gamma]
+                # Exact zeros for the kept weights: each row's matvec then
+                # equals the per-tuple kernel(samples, X_excluded) @ alpha
+                # product.  One batched matmul covers every pending tuple's
+                # exact-γ check — its per-item products are the 2-D matvecs
+                # they replace (identity 4 of the stacking probe) — and the
+                # operand is a free reshape whenever the row blocks are
+                # adjacent slices of the armed stack.
+                excluded = np.where(mask[:, cols].T, 0.0, alpha[None, :])
+                gammas: list[float] = []
+                if uniform:
+                    rows = row_blocks[positions[0]].shape[0]
+                    for batch in _row_batches([rows] * len(positions), n):
+                        tall = _stacked_rows([row_blocks[positions[k]] for k in batch])
+                        stack3 = tall.reshape(len(batch), rows, n)
+                        omitted = np.matmul(
+                            stack3, excluded[batch[0] : batch[-1] + 1, :, None]
+                        )[:, :, 0]
+                        gammas.extend(np.abs(omitted).max(axis=1).tolist())
+                else:
+                    for k, pos in enumerate(positions):
+                        omitted = row_blocks[pos] @ excluded[k]
+                        gammas.append(float(np.max(np.abs(omitted))))
+                selected_cache: dict[bytes, np.ndarray] = {}
+                for (col, pos), gamma in zip(need_gamma, gammas):
+                    if gamma <= self.gamma_threshold:
+                        key = np.ascontiguousarray(mask[:, col]).tobytes()
+                        selected = selected_cache.get(key)
+                        if selected is None:
+                            selected = np.flatnonzero(mask[:, col])
+                            selected_cache[key] = selected
+                        if selected.size > 0:
+                            results[pos] = (selected, float(gamma), radius)
+                            continue
+                    still_pending.append(pos)
+            pending = still_pending
+            radius *= self.expansion_factor
+        for pos in pending:
+            results[pos] = (all_indices, 0.0, radius)
+        return [result for result in results if result is not None]
+
+
+#: Cap on stacked-operand elements (rows × columns) for grouped GEMMs.  A
+#: tall product is computed in row batches under this cap: the batches'
+#: results are identical to the monolithic product (row-block identity), but
+#: the operands stay cache-resident instead of streaming multi-megabyte
+#: temporaries through memory — which measures *slower* than a per-tuple loop.
+_MAX_STACK_ELEMENTS = 262_144
+
+#: Sample rows per grouped kernel evaluation when arming a columnar stack:
+#: large enough to amortise the kernel's per-call array passes, small enough
+#: that the grouped distance/exponential temporaries stay cache-resident.
+_ARM_GROUP_ROWS = 1024
+
+
+def _stacked_rows(blocks: Sequence[np.ndarray]) -> np.ndarray:
+    """The vertical concatenation of ``blocks``, as a view when possible.
+
+    The columnar cache serves row blocks as consecutive slices of one armed
+    stack, so concatenating them back is a no-op — this detects that case
+    (same C-contiguous base, adjacent row ranges) and returns a slice of the
+    base instead of copying.  The view holds exactly the values ``vstack``
+    would copy, so downstream kernels see identical operands.
+    """
+    first = blocks[0]
+    base = first.base
+    width = first.shape[1]
+    if (
+        base is None
+        or not base.flags["C_CONTIGUOUS"]
+        or base.shape[-1] != width
+        or base.size % width != 0
+    ):
+        return np.vstack(blocks)
+    itemsize = first.itemsize
+    pointer = first.__array_interface__["data"][0]
+    expected = pointer
+    total = 0
+    for block in blocks:
+        if (
+            block.base is not base
+            or block.ndim != 2
+            or block.shape[1] != width
+            or not block.flags["C_CONTIGUOUS"]
+            or block.__array_interface__["data"][0] != expected
+        ):
+            return np.vstack(blocks)
+        expected += block.nbytes
+        total += block.shape[0]
+    flat = base.reshape(-1, width)
+    start = (pointer - base.__array_interface__["data"][0]) // (width * itemsize)
+    return flat[start : start + total]
+
+
+def _row_batches(counts: Sequence[int], n_cols: int) -> list[list[int]]:
+    """Partition block positions so each stacked operand stays under the cap."""
+    width = max(int(n_cols), 1)
+    batches: list[list[int]] = []
+    current: list[int] = []
+    elements = 0
+    for pos, rows in enumerate(counts):
+        cost = int(rows) * width
+        if current and elements + cost > _MAX_STACK_ELEMENTS:
+            batches.append(current)
+            current = []
+            elements = 0
+        current.append(pos)
+        elements += cost
+    if current:
+        batches.append(current)
+    return batches
 
 
 class BatchKernelCache:
@@ -473,6 +704,147 @@ class BatchKernelCache:
         self._inverse_cache: dict[bytes, np.ndarray] = {}
 
 
+class ColumnarKernelCache(BatchKernelCache):
+    """A :class:`BatchKernelCache` whose row blocks come from one stacked eval.
+
+    The tuple-store cache evaluates ``kernel(samples_i, X_train)`` lazily,
+    once per tuple.  The columnar cache *arms* instead: it evaluates the
+    kernel once on the vertical stack of every (remaining) tuple's sample
+    set and serves each tuple's block as a slice — the stacked evaluation
+    computes exactly the same elementwise kernel values, so a slice is
+    bit-identical to the per-tuple evaluation it replaces.
+
+    A slice is only served while the model fingerprint (kernel
+    hyperparameters + training-set size) still matches the one the stack
+    was armed under; any mid-chunk model movement falls back to the base
+    class's lazy per-tuple path.  Re-arming is throttled: at a new-tuple
+    boundary the stack is rebuilt only when the model held still across
+    the entire previous tuple (refinement has stopped firing), at most
+    :data:`MAX_ARMS` times per chunk, and only with at least two tuples
+    left to amortise the stacked evaluation over.
+    """
+
+    #: Hard cap on stacked kernel evaluations per chunk (arming is O(B·m·n)).
+    MAX_ARMS = 4
+
+    def __init__(
+        self,
+        gp: GaussianProcess,
+        sample_sets: Sequence[np.ndarray],
+        sample_boxes: Optional[Sequence[BoundingBox]] = None,
+    ):
+        super().__init__(gp, sample_sets, sample_boxes)
+        self._stack: Optional[np.ndarray] = None
+        self._stack_fp: Optional[tuple[bytes, int]] = None
+        self._stack_start = 0
+        self._stack_offsets: Optional[np.ndarray] = None
+        self._arms = 0
+        self._boundary_index: Optional[int] = None
+        self._boundary_fp: Optional[tuple[bytes, int]] = None
+        self._arm(gp, 0)
+
+    def _fingerprint(self) -> tuple[bytes, int]:
+        return (self._theta, self._n_train)
+
+    def _arm(self, gp: GaussianProcess, start: int) -> None:
+        """Evaluate the stacked row block for tuples ``start..end`` (throttled).
+
+        The stack is assembled from *grouped* kernel evaluations — a few
+        tuples' sample sets concatenated per call — rather than one call per
+        tuple or one chunk-tall call.  The values are identical all three
+        ways (the kernel is elementwise over GEMM row blocks, one of the
+        identities ``stacking_supported`` probes), but grouping amortises
+        the per-call dispatch of the kernel's seven array passes while the
+        grouped distance/exponential temporaries stay cache-resident —
+        both endpoints measure slower.
+        """
+        if len(self.sample_sets) - start < 2 or self._arms >= self.MAX_ARMS:
+            return
+        self._arms += 1
+        remaining = self.sample_sets[start:]
+        parts = []
+        group: list[np.ndarray] = []
+        rows = 0
+        for s in remaining:
+            if group and rows + s.shape[0] > _ARM_GROUP_ROWS:
+                parts.append(group)
+                group, rows = [], 0
+            group.append(s)
+            rows += s.shape[0]
+        if group:
+            parts.append(group)
+        self._stack = np.vstack(
+            [
+                gp.kernel(part[0] if len(part) == 1 else np.concatenate(part, axis=0), gp.X_train)
+                for part in parts
+            ]
+        )
+        counts = [s.shape[0] for s in remaining]
+        self._stack_offsets = np.concatenate([[0], np.cumsum(counts)])
+        self._stack_start = start
+        self._stack_fp = self._fingerprint()
+
+    def ensure_armed(self, gp: GaussianProcess, start: int) -> bool:
+        """Arm (or re-arm) so tuples ``start..end`` are servable as slices.
+
+        Unlike the boundary heuristic in :meth:`rows`, this arms eagerly —
+        it is the entry point for a batched re-pass after a mid-chunk model
+        move, where the caller has already decided to redo the remaining
+        tuples as one column operation.  Still throttled by
+        :data:`MAX_ARMS`; returns whether slices are now servable.
+        """
+        self.sync(gp)
+        fp = self._fingerprint()
+        if self._stack is None or self._stack_fp != fp or start < self._stack_start:
+            self._arm(gp, start)
+        return (
+            self._stack is not None
+            and self._stack_fp == fp
+            and start >= self._stack_start
+        )
+
+    def stack_ready(self, gp: GaussianProcess) -> bool:
+        """Whether every tuple's row block is currently servable as a slice."""
+        self.sync(gp)
+        return (
+            self._stack is not None
+            and self._stack_fp == self._fingerprint()
+            and self._stack_start == 0
+        )
+
+    def rows(self, gp: GaussianProcess, i: int) -> np.ndarray:
+        """Tuple ``i``'s cross-covariance block, sliced from the armed stack.
+
+        Falls back to the lazy base-class evaluation whenever the stack is
+        stale; the served slice also seeds the base class's one-slot memo
+        so mid-tuple model growth appends columns to the slice exactly as
+        it would to a fresh block.
+        """
+        self.sync(gp)
+        fp = self._fingerprint()
+        if i != self._boundary_index:
+            stale = (
+                self._stack is None or self._stack_fp != fp or i < self._stack_start
+            )
+            if stale and fp == self._boundary_fp:
+                self._arm(gp, i)
+            self._boundary_index = i
+            self._boundary_fp = fp
+        if (
+            self._stack is not None
+            and self._stack_fp == fp
+            and i >= self._stack_start
+        ):
+            lo = int(self._stack_offsets[i - self._stack_start])
+            hi = int(self._stack_offsets[i - self._stack_start + 1])
+            block = self._stack[lo:hi]
+            self._row_block = block
+            self._row_index = i
+            self._row_n_train = self._n_train
+            return block
+        return super().rows(gp, i)
+
+
 def _distances_to_boxes(X: np.ndarray, boxes: Sequence[BoundingBox]) -> np.ndarray:
     """``(n_points, n_boxes)`` Euclidean distances from points to boxes.
 
@@ -510,6 +882,44 @@ def global_inference_cached(
         gamma=0.0,
         radius=float("inf"),
     )
+
+
+def global_inference_cached_block(
+    gp: GaussianProcess, cache: BatchKernelCache, indices: Sequence[int]
+) -> list[LocalInferenceResult]:
+    """Column-wise :func:`global_inference_cached` via one tall GEMM pair.
+
+    Bit-identical per tuple (BLAS computes each row block of a stacked
+    product exactly as it computes the block alone; callers gate on
+    :func:`repro.distributions.columns.stacking_supported`).
+    """
+    indices = list(indices)
+    if not indices:
+        return []
+    blocks = [cache.rows(gp, i) for i in indices]
+    results: list[Optional[LocalInferenceResult]] = [None] * len(indices)
+    for batch in _row_batches([b.shape[0] for b in blocks], gp.n_training):
+        tall = np.vstack([blocks[pos] for pos in batch])
+        means_tall = tall @ gp.alpha + gp.mean_offset
+        tmp_tall = tall @ gp.K_inv
+        rowsum_tall = np.sum(tmp_tall * tall, axis=1)
+        offset = 0
+        for pos in batch:
+            i = indices[pos]
+            rows = blocks[pos].shape[0]
+            variances = np.maximum(
+                gp.kernel.diag(cache.sample_sets[i]) - rowsum_tall[offset : offset + rows],
+                0.0,
+            )
+            results[pos] = LocalInferenceResult(
+                means=means_tall[offset : offset + rows],
+                stds=np.sqrt(variances),
+                selected_indices=np.arange(gp.n_training),
+                gamma=0.0,
+                radius=float("inf"),
+            )
+            offset += rows
+    return [result for result in results if result is not None]
 
 
 def global_inference(gp: GaussianProcess, samples: np.ndarray) -> LocalInferenceResult:

@@ -37,7 +37,7 @@ from repro.config import (
     DEFAULT_MC_FRACTION,
 )
 from repro.core.accuracy import AccuracyRequirement, ErrorBudget
-from repro.core.confidence_bands import BandMethod, band_z_value
+from repro.core.confidence_bands import BandMethod, band_z_value, band_z_values
 from repro.core.emulator import GPEmulator
 from repro.core.error_bounds import (
     CombinedErrorBound,
@@ -45,19 +45,23 @@ from repro.core.error_bounds import (
     build_envelope_outputs,
     combine_bounds,
     gp_discrepancy_bound,
+    gp_discrepancy_bound_block,
     gp_ks_bound,
     interval_probability_bounds,
 )
 from repro.core.filtering import FilterDecision, SelectionPredicate, upper_bound_decision
 from repro.core.local_inference import (
     BatchKernelCache,
+    ColumnarKernelCache,
     LocalInferenceEngine,
     global_inference,
     global_inference_cached,
+    global_inference_cached_block,
 )
 from repro.core.online_tuning import LargestVarianceStrategy, TuningStrategy
 from repro.core.retraining import RetrainingPolicy, ThresholdRetrain
 from repro.distributions.base import Distribution
+from repro.distributions.columns import attempt_encode, sample_stacked, stacking_supported
 from repro.distributions.empirical import EmpiricalDistribution
 from repro.exceptions import GPError, UDFError
 from repro.gp.kernels import Kernel
@@ -395,6 +399,7 @@ class OLGAPRO:
         input_distributions,
         random_state: RandomState = None,
         timings=None,
+        columnar: bool = False,
     ) -> list[OnlineTupleResult]:
         """Process a chunk of uncertain tuples through the batched pipeline.
 
@@ -414,13 +419,26 @@ class OLGAPRO:
         ``timings``, when given, must expose ``add(phase, seconds)`` and
         receives per-phase wall-clock spent in ``"sampling"``,
         ``"inference"`` and ``"refinement"``.
+
+        ``columnar=True`` selects the columnar execution path: the chunk's
+        Monte-Carlo block is drawn through one stacked call when the inputs
+        encode as a homogeneous column, the kernel cache arms whole-column
+        row stacks, and a vectorised *first pass* computes every tuple's
+        initial envelope and bound with grouped kernel algebra.  Each
+        per-tuple precomputation is consumed only while the model
+        fingerprint still matches the state it was computed under, so the
+        results are bit-identical to ``columnar=False`` under the same
+        seed (the determinism contract every executor layer is gated on).
         """
         distributions = list(input_distributions)
         if not distributions:
+            if timings is not None:
+                for phase in ("sampling", "inference", "refinement"):
+                    timings.add(phase, 0.0)
             return []
         rng = as_generator(random_state) if random_state is not None else self._rng
 
-        prologue = self.begin_chunk(distributions, rng, timings=timings)
+        prologue = self.begin_chunk(distributions, rng, timings=timings, columnar=columnar)
         init_calls = prologue.init_calls
         init_charged = prologue.init_charged
         init_elapsed = prologue.init_elapsed
@@ -431,6 +449,18 @@ class OLGAPRO:
         cache = prologue.cache
         cache_share = prologue.cache_share
 
+        first_pass: Optional[list[tuple[EnvelopeOutputs, float]]] = None
+        first_fp: Optional[tuple[bytes, int]] = None
+        first_share = 0.0
+        if columnar:
+            phase_started = time.perf_counter()
+            first_pass, first_fp = self._columnar_first_pass(cache, boxes, m)
+            first_elapsed = time.perf_counter() - phase_started
+            if first_pass is not None:
+                first_share = first_elapsed / len(sample_sets)
+                if timings is not None:
+                    timings.add("inference", first_elapsed)
+
         results: list[OnlineTupleResult] = []
         for i, samples in enumerate(sample_sets):
             started = time.perf_counter()
@@ -438,7 +468,30 @@ class OLGAPRO:
             charged_before = self.udf.charged_time
             infer = self._make_cached_infer(cache, i)
             phase_started = time.perf_counter()
-            envelope, bound = self._infer_and_bound(samples, boxes[i], infer=infer)
+            if first_pass is not None and self._model_fingerprint() != first_fp:
+                # Mid-chunk refinement moved the model, so the precomputed
+                # tail is stale.  Redo it as one column operation against
+                # the new state (bit-identical to re-inferring each
+                # remaining tuple, which is what the tuple-store loop does)
+                # rather than degrading to per-tuple algebra for the rest
+                # of the chunk.
+                refreshed, refreshed_fp = self._columnar_first_pass(
+                    cache, boxes, m, start=i
+                )
+                if refreshed is not None:
+                    first_pass[i:] = refreshed
+                    first_fp = refreshed_fp
+                else:
+                    first_pass = None
+            if first_pass is not None and self._model_fingerprint() == first_fp:
+                envelope, bound = first_pass[i]
+                # Seed the cache's single-row memo with this tuple's slice so
+                # a later cached re-inference (the retrained branch) absorbs
+                # new training points as appended kernel columns — exactly
+                # the trajectory the tuple-store path takes.
+                cache.rows(self.emulator.gp, i)
+            else:
+                envelope, bound = self._infer_and_bound(samples, boxes[i], infer=infer)
             if timings is not None:
                 timings.add("inference", time.perf_counter() - phase_started)
             points_added = 0
@@ -468,7 +521,9 @@ class OLGAPRO:
             # draw plus an even share of the chunk's cache construction (and,
             # for the first tuple, model initialisation — matching where the
             # per-tuple path charges it).
-            elapsed = time.perf_counter() - started + sample_seconds[i] + cache_share
+            elapsed = (
+                time.perf_counter() - started + sample_seconds[i] + cache_share + first_share
+            )
             if i == 0:
                 elapsed += init_elapsed
             self._tuples_processed += 1
@@ -496,6 +551,7 @@ class OLGAPRO:
         timings=None,
         evaluation_executor=None,
         max_inflight=None,
+        columnar: bool = False,
     ) -> ChunkPrologue:
         """Run one chunk's shared prologue: initialise, sample, build the cache.
 
@@ -511,7 +567,33 @@ class OLGAPRO:
         :class:`concurrent.futures.Executor` or an
         :class:`~repro.engine.transport.EvaluationTransport` (the UDF's
         ``evaluate_many`` dispatches on which it received).
+
+        ``columnar=True`` draws the whole chunk's Monte-Carlo block through
+        one stacked generator call when the inputs encode as a homogeneous
+        column (bit-identical to the per-tuple draws — see
+        :func:`repro.distributions.columns.sample_stacked`) and builds a
+        :class:`~repro.core.local_inference.ColumnarKernelCache` whose row
+        blocks are slices of one stacked kernel evaluation.
         """
+        distributions = list(distributions)
+        m = self.mc_samples()
+        if not distributions:
+            # A zero-length column block is a legal chunk: nothing is
+            # initialised, sampled or cached, and the phases report zero.
+            if timings is not None:
+                timings.add("sampling", 0.0)
+                timings.add("inference", 0.0)
+            return ChunkPrologue(
+                init_calls=0,
+                init_charged=0.0,
+                init_elapsed=0.0,
+                n_samples=m,
+                sample_sets=[],
+                sample_seconds=[],
+                boxes=[],
+                cache=None,
+                cache_share=0.0,
+            )
         init_calls_before = self.udf.call_count
         init_charged_before = self.udf.charged_time
         init_started = time.perf_counter()
@@ -522,19 +604,39 @@ class OLGAPRO:
         init_calls = self.udf.call_count - init_calls_before
         init_charged = self.udf.charged_time - init_charged_before
         init_elapsed = time.perf_counter() - init_started
-        m = self.mc_samples()
-        sample_sets = []
-        sample_seconds = []
-        for dist in distributions:
-            draw_started = time.perf_counter()
-            sample_sets.append(dist.sample(m, random_state=rng))
-            sample_seconds.append(time.perf_counter() - draw_started)
-        boxes = [BoundingBox.from_points(samples) for samples in sample_sets]
+        use_stacking = columnar and stacking_supported()
+        sample_sets = None
+        if use_stacking:
+            column = attempt_encode(distributions)
+            if column is not None:
+                draw_started = time.perf_counter()
+                block = sample_stacked(column, m, rng)
+                draw_elapsed = time.perf_counter() - draw_started
+                sample_sets = [block[i] for i in range(len(distributions))]
+                sample_seconds = [draw_elapsed / len(distributions)] * len(distributions)
+        if sample_sets is None:
+            sample_sets = []
+            sample_seconds = []
+            for dist in distributions:
+                draw_started = time.perf_counter()
+                sample_sets.append(dist.sample(m, random_state=rng))
+                sample_seconds.append(time.perf_counter() - draw_started)
+            boxes = [BoundingBox.from_points(samples) for samples in sample_sets]
+        else:
+            # Column-kernel box construction: per-axis minima / maxima over
+            # the stacked block's sample axis are the exact reductions
+            # ``from_points`` performs per tuple (min/max is order-exact).
+            lows = block.min(axis=1)
+            highs = block.max(axis=1)
+            boxes = [
+                BoundingBox(lows[i], highs[i]) for i in range(len(sample_sets))
+            ]
         if timings is not None:
             timings.add("sampling", float(sum(sample_seconds)))
 
         phase_started = time.perf_counter()
-        cache = BatchKernelCache(self.emulator.gp, sample_sets, boxes)
+        cache_cls = ColumnarKernelCache if use_stacking else BatchKernelCache
+        cache = cache_cls(self.emulator.gp, sample_sets, boxes)
         cache_share = (time.perf_counter() - phase_started) / len(sample_sets)
         if timings is not None:
             timings.add("inference", cache_share * len(sample_sets))
@@ -667,6 +769,105 @@ class OLGAPRO:
             return self.cached_inference_with(self.emulator.gp, cache, i)
 
         return infer
+
+    def _model_fingerprint(self) -> tuple[bytes, int]:
+        """Hyperparameters + training-set size: what invalidates precomputation."""
+        gp = self.emulator.gp
+        return (gp.kernel.theta.tobytes(), gp.n_training)
+
+    def _columnar_first_pass(self, cache, boxes, n_points, start: int = 0):
+        """Whole-column precomputation of the remaining tuples' envelope/bound.
+
+        Runs the chunk's first inference-and-bound step for tuples
+        ``start..end`` at once — grouped kernel GEMMs, hoisted band
+        calibration, batched envelope sorts and the batched discrepancy
+        sweep — against the current model state.  Returns ``(entries,
+        fingerprint)``; an entry is only consumed while the live model
+        still matches ``fingerprint``.  When mid-chunk refinement *does*
+        move the model, the consumption loop calls back in with the first
+        stale position as ``start``: the re-pass recomputes the tail
+        against the new state through the same batched kernels, which is
+        bit-identical to the per-tuple re-inference the tuple-store loop
+        performs (each batched stage is gated on that identity).  Returns
+        ``(None, None)`` whenever the stacked row cache is not servable
+        (re-arm throttle exhausted, platform identities absent), in which
+        case the caller keeps the per-tuple path.
+        """
+        if not isinstance(cache, ColumnarKernelCache) or not stacking_supported():
+            return None, None
+        gp = self.emulator.gp
+        if not cache.ensure_armed(gp, start):
+            return None, None
+        indices = range(start, len(cache.sample_sets))
+        if self.use_local_inference and gp.n_training > 3:
+            engine = LocalInferenceEngine(
+                gamma_threshold=self.gamma_threshold_for(gp), subdivisions=self.subdivisions
+            )
+            inferences = engine.predict_cached_block(gp, cache, indices)
+        else:
+            inferences = global_inference_cached_block(gp, cache, indices)
+        bands = band_z_values(
+            gp.kernel,
+            boxes[start:],
+            alpha=self.band_alpha,
+            method=self.band_method,
+            n_points=n_points,
+        )
+        envelopes = self._build_envelopes_block(inferences, bands)
+        if self.requirement.metric == "ks":
+            bounds = [gp_ks_bound(envelope) for envelope in envelopes]
+        else:
+            bounds = gp_discrepancy_bound_block(envelopes, self.lambda_value_for(gp))
+        entries = [
+            (envelope, float(bound)) for envelope, bound in zip(envelopes, bounds)
+        ]
+        return entries, self._model_fingerprint()
+
+    @staticmethod
+    def _build_envelopes_block(inferences, bands) -> list[EnvelopeOutputs]:
+        """Batched :func:`build_envelope_outputs` over one chunk's inferences.
+
+        The three per-tuple sample arrays are assembled as ``(B, m)``
+        blocks and sorted along the sample axis in one call per variable —
+        sorting a row of a block and sorting the row alone order the same
+        values identically, so each ECDF's state matches the scalar
+        constructor's.  Ragged or non-finite blocks (which the scalar
+        constructor would filter) fall back to the scalar path wholesale.
+        """
+        sizes = {inference.means.size for inference in inferences}
+        blocks = None
+        if len(sizes) == 1 and sizes != {0}:
+            means_block = np.stack([inference.means for inference in inferences])
+            stds_block = np.stack([inference.stds for inference in inferences])
+            z_col = np.array([band.z_value for band in bands])
+            if np.all(stds_block >= 0) and np.all(z_col >= 0):
+                lower_block = means_block - z_col[:, None] * stds_block
+                upper_block = means_block + z_col[:, None] * stds_block
+                if (
+                    np.isfinite(means_block).all()
+                    and np.isfinite(lower_block).all()
+                    and np.isfinite(upper_block).all()
+                ):
+                    blocks = (
+                        np.sort(means_block, axis=1),
+                        np.sort(lower_block, axis=1),
+                        np.sort(upper_block, axis=1),
+                    )
+        if blocks is None:
+            return [
+                build_envelope_outputs(inference.means, inference.stds, band.z_value)
+                for inference, band in zip(inferences, bands)
+            ]
+        sorted_hat, sorted_lower, sorted_upper = blocks
+        return [
+            EnvelopeOutputs(
+                y_hat=EmpiricalDistribution._from_sorted(sorted_hat[i]),
+                y_lower=EmpiricalDistribution._from_sorted(sorted_lower[i]),
+                y_upper=EmpiricalDistribution._from_sorted(sorted_upper[i]),
+                z_value=bands[i].z_value,
+            )
+            for i in range(len(inferences))
+        ]
 
     def cached_inference_with(self, gp, cache: BatchKernelCache, i: int):
         """Cached inference for tuple ``i`` against an explicit GP state.

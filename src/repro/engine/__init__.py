@@ -11,6 +11,7 @@ from repro.engine.async_exec import (
     AsyncRefinementExecutor,
 )
 from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
+from repro.engine.columnar import ColumnarRelation
 from repro.engine.executor import ComputedOutput, Strategy, UDFExecutionEngine
 from repro.engine.faults import FaultInjectingTransport
 from repro.engine.operators import (
@@ -75,6 +76,7 @@ __all__ = [
     "Schema",
     "UncertainTuple",
     "Relation",
+    "ColumnarRelation",
     "galaxy_schema",
     "generate_galaxy_relation",
     "UDFExecutionEngine",

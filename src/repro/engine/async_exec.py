@@ -63,7 +63,7 @@ from repro.core.filtering import SelectionPredicate
 from repro.core.hybrid import HybridExecutor
 from repro.core.olgapro import OLGAPRO, select_top_k_distinct
 from repro.distributions.base import Distribution
-from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor
+from repro.engine.batch import DEFAULT_BATCH_SIZE, STORAGES, BatchExecutor
 from repro.engine.executor import ComputedOutput, UDFExecutionEngine
 from repro.engine.transport import (
     DEFAULT_TRANSPORT,
@@ -310,6 +310,7 @@ class AsyncRefinementExecutor:
         inflight: int = DEFAULT_ASYNC_INFLIGHT,
         batch_size: int = DEFAULT_BATCH_SIZE,
         transport: Optional[TransportSpec] = None,
+        storage: str = "tuple",
     ):
         """Validate the configuration and bind the engine (no evaluation
         resource yet — transports are opened per computation so the
@@ -318,6 +319,8 @@ class AsyncRefinementExecutor:
             raise QueryError(f"inflight must be positive, got {inflight}")
         if batch_size < 1:
             raise QueryError(f"batch_size must be positive, got {batch_size}")
+        if storage not in STORAGES:
+            raise QueryError(f"unknown storage layout {storage!r}; choose from {STORAGES}")
         self.transport = transport if transport is not None else DEFAULT_TRANSPORT
         if transport_name(self.transport) == "serial" and inflight > 1:
             raise QueryError(
@@ -327,6 +330,10 @@ class AsyncRefinementExecutor:
         self.engine = engine
         self.inflight = int(inflight)
         self.batch_size = int(batch_size)
+        #: Storage layout of the underlying chunk pipeline ("tuple" or
+        #: "columnar"); forwarded to the per-chunk BatchExecutor.
+        self.storage = storage
+        self.columnar = storage == "columnar"
         #: Per-phase wall-clock of the underlying batched pipeline.
         self.timings = PhaseTimings()
 
@@ -371,7 +378,7 @@ class AsyncRefinementExecutor:
         # raises the window.
         transport = make_transport(self.transport)
         transport.accepts(udf)
-        batch = BatchExecutor(self.engine, self.batch_size)
+        batch = BatchExecutor(self.engine, self.batch_size, storage=self.storage)
         try:
             if self.inflight == 1 or self.engine.strategy == "mc":
                 return self._delegate(batch, udf, distributions, predicate)

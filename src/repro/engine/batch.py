@@ -32,11 +32,15 @@ from repro.core.filtering import SelectionPredicate
 from repro.core.hybrid import HybridExecutor
 from repro.core.mc_baseline import mc_sample_count
 from repro.distributions.base import Distribution
-from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.columns import attempt_encode, sample_stacked, stacking_supported
+from repro.distributions.empirical import EmpiricalDistribution, TruncationResult
 from repro.engine.executor import ComputedOutput, UDFExecutionEngine
 from repro.exceptions import QueryError, UDFError
 from repro.timing import PhaseTimings
 from repro.udf.base import UDF
+
+#: Physical layouts the batch pipeline accepts (mirrors the plan knob).
+STORAGES = ("tuple", "columnar")
 
 #: Default chunk size; large enough to amortise the stacked kernel algebra,
 #: small enough to keep the stacked sample matrix in cache-friendly territory.
@@ -78,6 +82,49 @@ def iter_batches(rows: Iterable[T], batch_size: int) -> Iterator[list[T]]:
         yield chunk
 
 
+def truncate_columns(
+    distributions: Sequence[EmpiricalDistribution], low: float, high: float
+) -> list[TruncationResult]:
+    """Column-kernel predicate evaluation: truncate a block of ECDFs at once.
+
+    Bit-identical to calling ``dist.truncate(low, high)`` per row: the
+    per-row cut points are counts over sorted sample rows (exactly what
+    ``searchsorted`` computes), the surviving samples are a contiguous slice
+    of an already-sorted row, and the existence probability is the same
+    count ratio.  Rows that are not same-size empirical distributions fall
+    back to the scalar call.
+    """
+    distributions = list(distributions)
+    if not distributions:
+        return []
+    if high < low:
+        raise ValueError(f"interval upper bound {high} is below lower bound {low}")
+    sizes = {
+        dist.size for dist in distributions if isinstance(dist, EmpiricalDistribution)
+    }
+    uniform = len(sizes) == 1 and all(
+        isinstance(dist, EmpiricalDistribution) for dist in distributions
+    )
+    if not (uniform and stacking_supported()):
+        return [dist.truncate(low, high) for dist in distributions]
+    block = np.stack([dist._sorted for dist in distributions])
+    m = block.shape[1]
+    lefts = np.sum(block < low, axis=1)
+    rights = np.sum(block <= high, axis=1)
+    results: list[TruncationResult] = []
+    for row, left, right in zip(block, lefts, rights):
+        existence = float((right - left) / m)
+        truncated = (
+            EmpiricalDistribution._from_sorted(row[left:right].copy())
+            if right > left
+            else None
+        )
+        results.append(
+            TruncationResult(distribution=truncated, existence_probability=existence)
+        )
+    return results
+
+
 class BatchExecutor:
     """Evaluates UDFs on chunks of uncertain tuples through one shared engine.
 
@@ -87,11 +134,23 @@ class BatchExecutor:
     / ``inference`` / ``refinement``) accumulate on :attr:`timings`.
     """
 
-    def __init__(self, engine: UDFExecutionEngine, batch_size: int = DEFAULT_BATCH_SIZE):
+    def __init__(
+        self,
+        engine: UDFExecutionEngine,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        storage: str = "tuple",
+    ):
         if batch_size < 1:
             raise QueryError(f"batch_size must be positive, got {batch_size}")
+        if storage not in STORAGES:
+            raise QueryError(f"unknown storage layout {storage!r}; choose from {STORAGES}")
         self.engine = engine
         self.batch_size = int(batch_size)
+        self.storage = storage
+        #: Whether chunks run through the columnar hot paths (stacked MC
+        #: draws, column-armed kernel cache, batched envelope sweeps).
+        #: Gated bit-identical to the tuple store under the same seed.
+        self.columnar = storage == "columnar"
         self.timings = PhaseTimings()
 
     # -- evaluation without a predicate ------------------------------------------------
@@ -102,6 +161,11 @@ class BatchExecutor:
         outputs: list[ComputedOutput] = []
         for chunk in iter_batches(input_distributions, self.batch_size):
             outputs.extend(self._compute_chunk(udf, chunk))
+        if not outputs:
+            # A zero-length input (an empty relation, or an all-empty column
+            # block) is a legal batch: report explicit zero phases rather
+            # than an absent report.
+            self.timings.ensure("sampling", "inference", "refinement")
         return outputs
 
     # -- evaluation with a selection predicate ------------------------------------------
@@ -152,7 +216,7 @@ class BatchExecutor:
             if decision.method == "mc":
                 return self._mc_chunk(udf, chunk, processor.requirement, processor._rng)
             processor = processor._olgapro
-        results = processor.process_batch(chunk, timings=self.timings)
+        results = processor.process_batch(chunk, timings=self.timings, columnar=self.columnar)
         return [online_result_to_output(result) for result in results]
 
     def _mc_chunk(
@@ -165,14 +229,24 @@ class BatchExecutor:
         """Algorithm 1 over a chunk: stack the input samples, evaluate once."""
         m = mc_sample_count(requirement)
         started = time.perf_counter()
-        # Per-tuple draws in tuple order keep the stream identical to the
-        # per-tuple path; stacking afterwards costs one copy.
-        inputs = [dist.sample(m, random_state=rng) for dist in chunk]
+        column = None
+        if self.columnar and stacking_supported():
+            column = attempt_encode(chunk)
+        if column is not None:
+            # Columnar fast path: one stacked generator call fills the whole
+            # (n, m) block in the per-tuple draw order, so the shared stream
+            # advances identically and the stacked input is bit-identical.
+            stacked_inputs = sample_stacked(column, m, rng).reshape(len(chunk) * m, -1)
+        else:
+            # Per-tuple draws in tuple order keep the stream identical to the
+            # per-tuple path; stacking afterwards costs one copy.
+            inputs = [dist.sample(m, random_state=rng) for dist in chunk]
+            stacked_inputs = np.vstack(inputs)
         self.timings.add("sampling", time.perf_counter() - started)
 
         charged_before = udf.charged_time
         started = time.perf_counter()
-        outputs = udf.evaluate_batch(np.vstack(inputs))
+        outputs = udf.evaluate_batch(stacked_inputs)
         self.timings.add("inference", time.perf_counter() - started)
         charged_share = (udf.charged_time - charged_before) / len(chunk)
 

@@ -23,7 +23,8 @@ from dataclasses import fields
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.filtering import SelectionPredicate
-from repro.engine.batch import iter_batches
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.engine.batch import iter_batches, truncate_columns
 from repro.engine.executor import UDFExecutionEngine
 from repro.engine.parallel import MergePolicy, ParallelExecutor
 from repro.engine.plan import ExecutionPlan, resolve_plan_argument
@@ -444,7 +445,7 @@ class SelectUDF(Operator):
         )
         return self.child.schema().with_attribute(derived)
 
-    def _filtered(self, row: UncertainTuple, output) -> UncertainTuple | None:
+    def _filtered(self, row: UncertainTuple, output, truncation=None) -> UncertainTuple | None:
         if getattr(output, "failed", False):
             # Quarantined evaluation: the predicate could not be decided, so
             # the tuple is *retained* as degraded — online filtering only
@@ -458,7 +459,8 @@ class SelectUDF(Operator):
             return out
         if output.dropped or output.distribution is None:
             return None
-        truncation = output.distribution.truncate(self.predicate.low, self.predicate.high)
+        if truncation is None:
+            truncation = output.distribution.truncate(self.predicate.low, self.predicate.high)
         existence = row.existence_probability * truncation.existence_probability
         if truncation.distribution is None or existence < self.predicate.threshold:
             return None
@@ -468,6 +470,36 @@ class SelectUDF(Operator):
         out.annotations[f"{self.alias}_udf_calls"] = output.udf_calls
         out.annotations[f"{self.alias}_charged_time"] = output.charged_time
         return out
+
+    def _chunk_truncations(self, outputs) -> list:
+        """Columnar predicate kernel: truncate a chunk's ECDFs in one block.
+
+        Returns one entry per output — a precomputed
+        :class:`~repro.distributions.empirical.TruncationResult` for rows
+        the column kernel handled, ``None`` where :meth:`_filtered` should
+        keep its scalar path (quarantined / dropped / non-empirical rows, or
+        tuple storage).  The block truncation is bit-identical to the scalar
+        calls, so the columnar plan changes no filtering decision.
+        """
+        if not (self._batch is not None and getattr(self._batch, "columnar", False)):
+            return [None] * len(outputs)
+        eligible = [
+            i
+            for i, output in enumerate(outputs)
+            if not getattr(output, "failed", False)
+            and not output.dropped
+            and isinstance(output.distribution, EmpiricalDistribution)
+        ]
+        truncations: list = [None] * len(outputs)
+        if eligible:
+            block = truncate_columns(
+                [outputs[i].distribution for i in eligible],
+                self.predicate.low,
+                self.predicate.high,
+            )
+            for i, truncation in zip(eligible, block):
+                truncations[i] = truncation
+        return truncations
 
     def __iter__(self) -> Iterator[UncertainTuple]:
         with _installed_retry(self.udf, self.plan):
@@ -497,8 +529,9 @@ class SelectUDF(Operator):
                 outputs = self._batch.compute_batch_with_predicate(
                     self.udf, distributions, self.predicate
                 )
-                for row, output in zip(rows, outputs):
-                    survivor = self._filtered(row, output)
+                truncations = self._chunk_truncations(outputs)
+                for row, output, truncation in zip(rows, outputs, truncations):
+                    survivor = self._filtered(row, output, truncation)
                     if survivor is not None:
                         yield survivor
 

@@ -77,7 +77,7 @@ import numpy as np
 from repro.core.filtering import SelectionPredicate
 from repro.core.hybrid import HybridExecutor
 from repro.distributions.base import Distribution
-from repro.engine.batch import DEFAULT_BATCH_SIZE, BatchExecutor, iter_batches
+from repro.engine.batch import DEFAULT_BATCH_SIZE, STORAGES, BatchExecutor, iter_batches
 from repro.engine.executor import ComputedOutput, UDFExecutionEngine
 from repro.exceptions import QueryError, ShardFailureError
 from repro.rng import derive_seed, spawn_keyed
@@ -140,6 +140,7 @@ def _shard_executor(
     async_inflight: Optional[int],
     pipeline_lookahead: Optional[int] = None,
     transport=None,
+    storage: str = "tuple",
 ):
     """The per-shard executor: batched, async-overlapped, or pipelined.
 
@@ -157,14 +158,16 @@ def _shard_executor(
             inflight=async_inflight,
             batch_size=batch_size,
             transport=transport,
+            storage=storage,
         )
     if async_inflight is not None and async_inflight > 1:
         from repro.engine.async_exec import AsyncRefinementExecutor
 
         return AsyncRefinementExecutor(
-            engine, inflight=async_inflight, batch_size=batch_size, transport=transport
+            engine, inflight=async_inflight, batch_size=batch_size,
+            transport=transport, storage=storage,
         )
-    return BatchExecutor(engine, batch_size)
+    return BatchExecutor(engine, batch_size, storage=storage)
 
 
 def _run_shard(
@@ -177,6 +180,7 @@ def _run_shard(
     async_inflight: Optional[int] = None,
     pipeline_lookahead: Optional[int] = None,
     transport=None,
+    storage: str = "tuple",
 ) -> ShardResult:
     """Pool-worker entry point: one shard through the batched pipeline.
 
@@ -199,7 +203,7 @@ def _run_shard(
     real_before = udf.real_time
 
     executor = _shard_executor(
-        engine, batch_size, async_inflight, pipeline_lookahead, transport
+        engine, batch_size, async_inflight, pipeline_lookahead, transport, storage
     )
     if predicate is None:
         outputs = executor.compute_batch(udf, list(distributions))
@@ -306,6 +310,7 @@ class ParallelExecutor:
         oversubscribe: float = 1.0,
         transport=None,
         retry: Optional[RetryPolicy] = None,
+        storage: str = "tuple",
     ):
         """Validate the configuration; no pool is created until a compute call.
 
@@ -357,7 +362,13 @@ class ParallelExecutor:
             raise QueryError(
                 f"retry must be a RetryPolicy or None, got {type(retry).__name__}"
             )
+        if storage not in STORAGES:
+            raise QueryError(f"unknown storage layout {storage!r}; choose from {STORAGES}")
         self.retry = retry
+        #: Storage layout of every per-shard chunk pipeline ("tuple" or
+        #: "columnar"); only the string crosses the pickling boundary.
+        self.storage = storage
+        self.columnar = storage == "columnar"
         self.transport = transport
         self.engine = engine
         self.async_inflight = int(async_inflight) if async_inflight is not None else None
@@ -418,7 +429,7 @@ class ParallelExecutor:
 
         executor = _shard_executor(
             self.engine, self.batch_size, self.async_inflight,
-            self.pipeline_lookahead, self.transport,
+            self.pipeline_lookahead, self.transport, self.storage,
         )
         if predicate is None:
             outputs = executor.compute_batch(udf, distributions)
@@ -537,7 +548,7 @@ class ParallelExecutor:
                     i: pool.submit(
                         _run_shard, payload, i, shards[i], self.batch_size, base_seed,
                         predicate, self.async_inflight, self.pipeline_lookahead,
-                        self.transport,
+                        self.transport, self.storage,
                     )
                     for i in pending
                 }

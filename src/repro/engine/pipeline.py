@@ -86,6 +86,7 @@ from repro.engine.async_exec import (
 )
 from repro.engine.batch import (
     DEFAULT_BATCH_SIZE,
+    STORAGES,
     BatchExecutor,
     iter_batches,
     online_result_to_output,
@@ -352,6 +353,7 @@ class PipelinedExecutor:
         inflight: Optional[int] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         transport: Optional[TransportSpec] = None,
+        storage: str = "tuple",
     ):
         """Validate the configuration and bind the engine (pools are created
         per computation so the executor stays picklable and reusable)."""
@@ -361,6 +363,8 @@ class PipelinedExecutor:
             raise QueryError(f"inflight must be positive, got {inflight}")
         if batch_size < 1:
             raise QueryError(f"batch_size must be positive, got {batch_size}")
+        if storage not in STORAGES:
+            raise QueryError(f"unknown storage layout {storage!r}; choose from {STORAGES}")
         self.transport = transport if transport is not None else DEFAULT_TRANSPORT
         if transport_name(self.transport) == "serial" and (
             lookahead > 1 or (inflight is not None and inflight > 1)
@@ -374,6 +378,10 @@ class PipelinedExecutor:
         self.lookahead = int(lookahead)
         self.inflight = int(inflight) if inflight is not None else None
         self.batch_size = int(batch_size)
+        #: Storage layout of the chunk prologue ("tuple" or "columnar");
+        #: forwarded to begin_chunk and every delegated executor.
+        self.storage = storage
+        self.columnar = storage == "columnar"
         #: Per-phase wall-clock; ``"speculation"`` accumulates pool-thread
         #: work on top of the batched pipeline's phases.
         self.timings = PhaseTimings()
@@ -424,9 +432,9 @@ class PipelinedExecutor:
         if inflight is not None and inflight > 1:
             return AsyncRefinementExecutor(
                 self.engine, inflight=inflight, batch_size=self.batch_size,
-                transport=self.transport,
+                transport=self.transport, storage=self.storage,
             )
-        return BatchExecutor(self.engine, self.batch_size)
+        return BatchExecutor(self.engine, self.batch_size, storage=self.storage)
 
     def _run(
         self,
@@ -534,7 +542,7 @@ class PipelinedExecutor:
             processor = self.engine._processor_for(udf)
             decision = processor.decide(chunk[0])
             if decision.method == "mc":
-                batch = BatchExecutor(self.engine, self.batch_size)
+                batch = BatchExecutor(self.engine, self.batch_size, storage=self.storage)
                 try:
                     return batch._mc_chunk(udf, chunk, processor.requirement, processor._rng)
                 finally:
@@ -552,6 +560,7 @@ class PipelinedExecutor:
         prologue = olgapro.begin_chunk(
             chunk, rng, timings=self.timings,
             evaluation_executor=eval_pool, max_inflight=window,
+            columnar=self.columnar,
         )
         init_calls = prologue.init_calls
         init_charged = prologue.init_charged

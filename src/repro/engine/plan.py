@@ -70,6 +70,9 @@ PlannedExecutor = Union[
     ParallelExecutor, PipelinedExecutor, AsyncRefinementExecutor, BatchExecutor
 ]
 
+#: Physical layouts a plan can select for the chunk pipeline.
+STORAGE_LAYOUTS = ("tuple", "columnar")
+
 
 @dataclass(frozen=True)
 class ExecutionPlan:
@@ -137,6 +140,16 @@ class ExecutionPlan:
         and process-pool paths all inherit it; also caps shard
         re-execution after a dead pool worker (``shard_attempts``).
         ``None`` (the default) keeps the fail-fast behaviour.
+    storage:
+        Physical layout the chunk pipeline runs on.  ``"tuple"`` (default)
+        is the row-at-a-time store; ``"columnar"`` packs each chunk into
+        column blocks (:mod:`repro.engine.columnar`) and turns on the
+        vectorised whole-column hot paths — stacked Monte-Carlo draws,
+        column-armed kernel caches, batched envelope/bound sweeps.  The
+        columnar path is gated bit-identical to the tuple store under the
+        same seed, so every executor layer inherits it without any API
+        change; a storage choice is an implementation detail of the chunk,
+        not of the query.
     """
 
     batch_size: Optional[int] = None
@@ -149,6 +162,7 @@ class ExecutionPlan:
     oversubscribe: float = 1.0
     transport: TransportSpec = DEFAULT_TRANSPORT
     retry: Optional[RetryPolicy] = None
+    storage: str = "tuple"
 
     def __post_init__(self) -> None:
         """Validate values and cross-knob consistency (raises PlanError)."""
@@ -196,6 +210,11 @@ class ExecutionPlan:
                 f"transport={name!r} selects how refinement-window evaluations "
                 "are carried, but the plan requests no window; set "
                 "async_inflight (or pipeline_lookahead) — " + PRECEDENCE
+            )
+        if self.storage not in STORAGE_LAYOUTS:
+            raise PlanError(
+                f"unknown storage layout {self.storage!r}; choose from "
+                f"{STORAGE_LAYOUTS}"
             )
         if self.retry is not None and not isinstance(self.retry, RetryPolicy):
             raise PlanError(
@@ -247,6 +266,7 @@ class ExecutionPlan:
                 oversubscribe=self.oversubscribe,
                 transport=self.transport,
                 retry=self.retry,
+                storage=self.storage,
             )
         if self.pipeline_lookahead is not None:
             return PipelinedExecutor(
@@ -255,6 +275,7 @@ class ExecutionPlan:
                 inflight=self.async_inflight,
                 batch_size=batch_size,
                 transport=self.transport,
+                storage=self.storage,
             )
         if self.async_inflight is not None:
             return AsyncRefinementExecutor(
@@ -262,9 +283,13 @@ class ExecutionPlan:
                 inflight=self.async_inflight,
                 batch_size=batch_size,
                 transport=self.transport,
+                storage=self.storage,
             )
-        if self.batch_size is not None:
-            return BatchExecutor(engine, self.batch_size)
+        if self.batch_size is not None or self.storage != "tuple":
+            # storage="columnar" runs on the chunk pipeline, so a columnar
+            # plan with no explicit chunking still resolves to a
+            # BatchExecutor at the default chunk size.
+            return BatchExecutor(engine, batch_size, storage=self.storage)
         return None
 
     # -- introspection ------------------------------------------------------------

@@ -122,6 +122,73 @@ def test_process_batch_empty_and_single():
     assert result.distribution.size == 150
 
 
+@pytest.mark.parametrize("storage", ["tuple", "columnar"])
+def test_empty_relation_yields_empty_outputs_and_zero_phases(storage):
+    """A zero-length input (empty relation, or an all-empty column block)
+    is a legal batch in both storages: explicit zero phase timings, not an
+    absent or partial report."""
+    udf = reference_function("F1")
+    engine = UDFExecutionEngine(
+        strategy="gp", requirement=REQUIREMENT, random_state=1, n_samples=150
+    )
+    executor = BatchExecutor(engine, batch_size=4, storage=storage)
+    assert executor.compute_batch(udf, []) == []
+    assert executor.timings.seconds == {
+        "sampling": 0.0,
+        "inference": 0.0,
+        "refinement": 0.0,
+    }
+
+
+def test_process_batch_empty_and_single_columnar():
+    """The columnar chunk path handles the degenerate chunk sizes the
+    column kernels are most easily off-by-one on: a zero-length chunk and
+    a single-tuple chunk (a (1, m, 1) sample block, one-row column arm)."""
+    udf = reference_function("F1")
+    processors = {}
+    results = {}
+    for columnar in (False, True):
+        processor = OLGAPRO(udf, requirement=REQUIREMENT, random_state=1, n_samples=150)
+        assert processor.process_batch([], columnar=columnar) == []
+        dist = next(iter(input_stream(workload_for_udf(udf), 1, random_state=5)))
+        [result] = processor.process_batch([dist], columnar=columnar)
+        assert result.n_samples == 150
+        processors[columnar], results[columnar] = processor, result
+    assert np.array_equal(
+        results[False].distribution.samples, results[True].distribution.samples
+    )
+    assert results[False].error_bound == results[True].error_bound
+
+
+def test_single_tuple_columnar_matches_tuple_storage():
+    udf = reference_function("F1")
+    outputs = {}
+    for storage in ("tuple", "columnar"):
+        engine = UDFExecutionEngine(
+            strategy="gp", requirement=REQUIREMENT, random_state=9, n_samples=150
+        )
+        dists = list(input_stream(workload_for_udf(udf), 1, random_state=5))
+        executor = BatchExecutor(engine, batch_size=4, storage=storage)
+        outputs[storage] = executor.compute_batch(udf, dists)
+    [ref], [got] = outputs["tuple"], outputs["columnar"]
+    assert np.array_equal(ref.distribution.samples, got.distribution.samples)
+    assert ref.error_bound == got.error_bound
+    assert ref.udf_calls == got.udf_calls
+
+
+def test_zero_length_column_block_samples_empty():
+    """sample_stacked on an empty column returns an empty (0, m, 1) block
+    without touching the random stream."""
+    from repro.distributions.columns import UncertainColumn, sample_stacked
+
+    column = UncertainColumn(family="gaussian", params=np.empty((0, 2)))
+    rng = np.random.default_rng(3)
+    before = rng.bit_generator.state
+    block = sample_stacked(column, 7, rng)
+    assert block.shape == (0, 7, 1)
+    assert rng.bit_generator.state == before
+
+
 # ---------------------------------------------------------------------------
 # Filtered (predicate) path
 # ---------------------------------------------------------------------------

@@ -17,7 +17,11 @@ baseline artifact.  Contracts under test:
 * the serving gates — 4-client throughput scaling and 4-client p99
   latency (gated as its inverse, so a latency *increase* regresses) —
   arm on every runner, because the smoke serving workload overlaps
-  awaited service latency rather than CPU.
+  awaited service latency rather than CPU;
+* the columnar-storage speedup over the tuple store is gated like the
+  batch gate (a within-run hardware-normalised ratio, armed everywhere);
+  its bit-identity half lives in the non-overridable ``identity_failures``
+  list, not in a gate verdict.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ import pytest
 from repro.bench.run_all import (
     DEFAULT_MAX_REGRESSION,
     PARALLEL_GATE_MIN_CPUS,
+    check_columnar_regression,
     check_parallel_regression,
     check_regression,
     check_serving_latency_regression,
@@ -51,6 +56,12 @@ def _parallel_report(speedup, batch_speedup=2.0):
 def _serving_report(scaling, p99=500.0, batch_speedup=2.0):
     report = _report(batch_speedup)
     report["serving"] = {"scaling_at_4": scaling, "p99_at_4": p99}
+    return report
+
+
+def _columnar_report(speedup, batch_speedup=2.0):
+    report = _report(batch_speedup)
+    report["columnar"] = {"speedup": speedup, "identical_to_tuple": True}
     return report
 
 
@@ -176,11 +187,32 @@ class TestServingGate:
         assert scaling.get("missing") is True or latency.get("missing") is True
 
 
+class TestCheckColumnarRegression:
+    """The columnar-over-tuple-store speedup is gated like the batch gate
+    (hardware-normalised ratio, arms on every runner)."""
+
+    def test_pass_and_regress(self):
+        healthy = check_columnar_regression(
+            _columnar_report(1.6), _columnar_report(1.6), DEFAULT_MAX_REGRESSION
+        )
+        assert healthy["regressed"] is False
+        regressed = check_columnar_regression(
+            _columnar_report(1.0), _columnar_report(1.6), DEFAULT_MAX_REGRESSION
+        )
+        assert regressed["regressed"] is True
+
+    def test_missing_metric_is_flagged(self):
+        verdict = check_columnar_regression(
+            _report(2.0), _columnar_report(1.6), DEFAULT_MAX_REGRESSION
+        )
+        assert verdict.get("missing") is True
+
+
 class TestCoreCountGuard:
     """The parallel gate only arms with enough real cores to scale on;
     the batch and serving gates arm everywhere."""
 
-    ALWAYS_ON = ["gate", "gate_serving", "gate_serving_p99"]
+    ALWAYS_ON = ["gate", "gate_columnar", "gate_serving", "gate_serving_p99"]
 
     def test_single_core_runner_skips_parallel_gate(self):
         verdicts = gated_verdicts(
@@ -201,7 +233,8 @@ class TestCoreCountGuard:
             cpu_count=PARALLEL_GATE_MIN_CPUS,
         )
         assert [key for key, _ in verdicts] == [
-            "gate", "gate_parallel", "gate_serving", "gate_serving_p99"
+            "gate", "gate_columnar", "gate_parallel", "gate_serving",
+            "gate_serving_p99",
         ]
         by_key = dict(verdicts)
         assert by_key["gate"]["regressed"] is False

@@ -1,0 +1,30 @@
+"""Profile-driven auto-planning versus the naive default plan."""
+
+from __future__ import annotations
+
+from repro.bench import auto_plan, auto_plan_report
+
+
+def test_auto_plan(once):
+    table = once(
+        lambda: auto_plan(
+            n_tuples=4,
+            service_latency=5e-3,
+            n_samples=120,
+        )
+    )
+    print()
+    print(table.to_text())
+
+    report = auto_plan_report(table)
+    # Shape check 1: one row per mode, naive first (the speedup reference).
+    assert [r["mode"] for r in table.rows] == ["naive", "auto", "explicit"]
+
+    # Shape check 2 (correctness, not perf): plan="auto" IS the explicitly
+    # spelled plan it resolves to, bit for bit.
+    assert report["identical_to_explicit"] is True
+
+    # Shape check 3: overlapping the declared service latency never
+    # pathologically regresses.  (The quantitative >= 2x target on the
+    # 20 ms/request service is tracked by the CI smoke artifact.)
+    assert report["speedup"] > 0.8

@@ -16,6 +16,7 @@ from repro.bench.experiments_async import (
     udf_overlap,
     udf_transport,
 )
+from repro.bench.experiments_auto import auto_plan, auto_plan_report
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
 from repro.bench.experiments_faults import fault_injection, faults_report
 from repro.bench.experiments_parallel import parallel_report, parallel_scaling
@@ -53,6 +54,8 @@ __all__ = [
     "transport_report",
     "udf_pipeline",
     "pipeline_report",
+    "auto_plan",
+    "auto_plan_report",
     "serving_load",
     "serving_report",
     "fault_injection",

@@ -8,8 +8,9 @@ Usage::
     python -m repro.bench.run_all --output results.txt
     python -m repro.bench.run_all --smoke      # CI smoke: batched + columnar +
                                                # parallel + async + pipeline +
-                                               # transport + serving + fault
-                                               # injection -> BENCH_smoke.json
+                                               # transport + auto-plan + serving
+                                               # + fault injection
+                                               # -> BENCH_smoke.json
 
 Each experiment prints an :class:`~repro.bench.harness.ExperimentTable`; the
 ``--output`` option additionally writes the combined report to a file so it
@@ -62,6 +63,7 @@ from repro.bench.experiments_async import (
     udf_overlap,
     udf_transport,
 )
+from repro.bench.experiments_auto import auto_plan, auto_plan_report
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
 from repro.bench.experiments_columnar import columnar_report, columnar_speedup
 from repro.bench.experiments_faults import fault_injection, faults_report
@@ -109,6 +111,7 @@ _SCALED_OVERRIDES: dict[str, dict] = {
                       "n_samples": 120},
     "udf_pipeline": {"lookahead_list": (1, 4), "inflight": 2, "n_tuples": 8,
                      "batch_size": 8, "real_eval_time": 1e-2, "n_samples": 120},
+    "auto_plan": {"n_tuples": 4, "service_latency": 5e-3, "n_samples": 120},
     "serving": {"clients_list": (1, 4), "queries_per_client": 2, "n_tuples": 2,
                 "batch_size": 2, "service_latency": 1e-2, "n_samples": 120},
     "fault_injection": {"n_tuples": 4, "batch_size": 4, "fault_rate": 0.3,
@@ -177,6 +180,18 @@ _SMOKE_TRANSPORT_KWARGS = {"transports": ("threads", "asyncio"),
                            "n_tuples": 6, "batch_size": 6, "service_latency": 2e-2,
                            "epsilon": 0.12, "n_samples": 120}
 
+#: Parameters of the smoke auto_plan run: a declared 20 ms/request async UDF
+#: service — the slow latency class, where the catalog profile drives the
+#: auto-planner to the asyncio transport with a deep in-flight window plus
+#: cross-tuple lookahead.  The naive baseline pays every request serially,
+#: so the auto-planned run clears ≥2x even on a single-core runner (the
+#: overlapped "work" is awaited sleep) and the ratio gates on every runner.
+#: The explicit row doubles as the auto≡explicit bit-identity check,
+#: enforced non-overridably like the other identity gates.
+_SMOKE_AUTO_PLAN_KWARGS = {"n_tuples": 6, "batch_size": 32,
+                           "service_latency": 2e-2, "epsilon": 0.12,
+                           "n_samples": 120}
+
 #: Parameters of the smoke serving run: the closed-loop load generator on
 #: the 20 ms/request simulated async UDF service.  Each query's cost is
 #: dominated by awaited service latency, so the 4-client throughput clears
@@ -230,6 +245,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "udf_overlap": udf_overlap,
     "udf_transport": udf_transport,
     "udf_pipeline": udf_pipeline,
+    "auto_plan": auto_plan,
     "serving": serving_load,
     "fault_injection": fault_injection,
 }
@@ -330,6 +346,26 @@ def check_parallel_regression(
     )
 
 
+def check_auto_plan_regression(
+    report: dict, baseline: dict, max_regression: float
+) -> dict:
+    """Gate verdict for the auto-planned-over-naive-default speedup.
+
+    The ratio is hardware-normalised (both plans run on the same machine
+    within one invocation) and the smoke workload is sleep-dominated
+    (overlapping a declared 20 ms/request await needs no cores), so the
+    gate arms on every runner.  The auto≡explicit *identity* half is
+    enforced separately and non-overridably through the
+    ``identity_failures`` list.
+    """
+    return _metric_verdict(
+        "auto-planned speedup over the naive default plan",
+        report.get("auto_plan", {}).get("speedup"),
+        baseline.get("auto_plan", {}).get("speedup"),
+        max_regression,
+    )
+
+
 def check_serving_regression(
     report: dict, baseline: dict, max_regression: float
 ) -> dict:
@@ -384,9 +420,10 @@ def gated_verdicts(
 ) -> list[tuple[str, dict]]:
     """Every perf-gate verdict that applies on a ``cpu_count``-core machine.
 
-    Always the batched-speedup gate and both serving gates (throughput
-    scaling and p99 latency — the smoke serving workload overlaps awaited
-    latency, so those arm regardless of cores); plus the parallel-scaling
+    Always the batched-speedup gate, the columnar gate, the auto-planner
+    gate and both serving gates (throughput scaling and p99 latency — the
+    smoke auto-plan and serving workloads overlap awaited latency, so
+    those arm regardless of cores); plus the parallel-scaling
     gate when the machine has at least :data:`PARALLEL_GATE_MIN_CPUS`
     cores — the core-count guard that keeps single-core CI runners from
     disarming (or spuriously failing) that metric.  Returns
@@ -400,6 +437,9 @@ def gated_verdicts(
         verdicts.append(
             ("gate_parallel", check_parallel_regression(report, baseline, max_regression))
         )
+    verdicts.append(
+        ("gate_auto_plan", check_auto_plan_regression(report, baseline, max_regression))
+    )
     verdicts.append(
         ("gate_serving", check_serving_regression(report, baseline, max_regression))
     )
@@ -512,6 +552,19 @@ def run_smoke(
         print(f"transport [{name}] inflight=1 bit-identical to serial batched: "
               f"{identical}")
     started = time.perf_counter()
+    auto_table = auto_plan(**_SMOKE_AUTO_PLAN_KWARGS)
+    auto_elapsed = time.perf_counter() - started
+    auto = auto_plan_report(auto_table)
+    print()
+    print(auto_table.to_text())
+    print(f"(ran auto_plan smoke in {auto_elapsed:.1f} s)")
+    if auto["speedup"] is not None:
+        print(f"auto-planned speedup over the naive default plan: "
+              f"{auto['speedup']:.2f}x")
+    print(f"plan=\"auto\" bit-identical to the explicit resolved plan: "
+          f"{auto['identical_to_explicit']}")
+
+    started = time.perf_counter()
     serving_table = serving_load(**_SMOKE_SERVING_KWARGS)
     serving_elapsed = time.perf_counter() - started
     serving = serving_report(serving_table)
@@ -542,8 +595,8 @@ def run_smoke(
     report = {"batch_pipeline": batch, "columnar": columnar,
               "parallel_scaling": parallel,
               "udf_overlap": overlap, "udf_pipeline": pipeline,
-              "udf_transport": transport, "serving": serving,
-              "fault_injection": faults}
+              "udf_transport": transport, "auto_plan": auto,
+              "serving": serving, "fault_injection": faults}
 
     identity_failures = []
     if columnar["identical_to_tuple"] is not True:
@@ -573,6 +626,11 @@ def run_smoke(
                 f"transport {name!r} at async_inflight=1 diverged from the "
                 "serial batched path"
             )
+    if auto["identical_to_explicit"] is not True:
+        identity_failures.append(
+            'plan="auto" diverged from the explicitly spelled plan it '
+            "resolves to (auto must select a plan, never change semantics)"
+        )
     if serving["identical_to_serial"] is not True:
         identity_failures.append(
             "served query diverged from the direct serial run"
@@ -694,8 +752,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="run only the fast smoke benchmarks (batched pipeline + "
                              "parallel scaling + async udf overlap + pipeline + "
-                             "udf transports + serving load + fault injection) "
-                             "and write a JSON artifact")
+                             "udf transports + auto-planner + serving load + "
+                             "fault injection) and write a JSON artifact")
     parser.add_argument("--smoke-output", metavar="PATH", default="BENCH_smoke.json",
                         help="where --smoke writes its JSON artifact")
     parser.add_argument("--baseline", metavar="PATH", default="BENCH_baseline.json",

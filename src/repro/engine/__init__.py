@@ -37,7 +37,13 @@ from repro.engine.pipeline import (
     PipelinedExecutor,
     SpeculativeValuePool,
 )
-from repro.engine.plan import PRECEDENCE, ExecutionPlan, resolve_plan_argument
+from repro.engine.plan import (
+    AUTO_PLAN,
+    PRECEDENCE,
+    ExecutionPlan,
+    is_auto_plan,
+    resolve_plan_argument,
+)
 from repro.engine.query import Query
 from repro.engine.result import (
     VERDICT_CERTAIN,
@@ -65,6 +71,7 @@ from repro.engine.transport import (
     AsyncioTransport,
     EvaluationTransport,
     SerialTransport,
+    SubprocessPoolTransport,
     ThreadPoolTransport,
     make_transport,
 )
@@ -83,12 +90,15 @@ __all__ = [
     "ComputedOutput",
     "Strategy",
     "ExecutionPlan",
+    "AUTO_PLAN",
     "PRECEDENCE",
+    "is_auto_plan",
     "resolve_plan_argument",
     "EvaluationTransport",
     "SerialTransport",
     "ThreadPoolTransport",
     "AsyncioTransport",
+    "SubprocessPoolTransport",
     "TRANSPORTS",
     "DEFAULT_TRANSPORT",
     "make_transport",

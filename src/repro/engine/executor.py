@@ -87,7 +87,7 @@ class UDFExecutionEngine:
         strategy: Strategy = "gp",
         requirement: AccuracyRequirement | None = None,
         random_state: RandomState = None,
-        plan: "ExecutionPlan | None" = None,
+        plan: "ExecutionPlan | str | None" = None,
         **processor_kwargs,
     ):
         """Bind strategy, accuracy requirement, random stream and defaults.
@@ -97,7 +97,10 @@ class UDFExecutionEngine:
         called without an explicit plan, and a plan-carried
         ``speculative_k`` is applied to the per-UDF processors here (it is
         a processor-construction knob, so only the engine — which builds
-        the processors — can honour it).
+        the processors — can honour it).  The string ``"auto"`` is also
+        accepted as the default plan: every computation then resolves its
+        plan from the evaluated UDF's catalog profile
+        (:meth:`ExecutionPlan.auto <repro.engine.plan.ExecutionPlan.auto>`).
         """
         if strategy not in ("mc", "gp", "hybrid"):
             raise QueryError(f"unknown strategy {strategy!r}")
@@ -105,8 +108,12 @@ class UDFExecutionEngine:
         self.requirement = requirement if requirement is not None else AccuracyRequirement()
         self._rng = as_generator(random_state)
         self._processor_kwargs = processor_kwargs
+        if isinstance(plan, str):
+            from repro.engine.plan import is_auto_plan
+
+            is_auto_plan(plan)  # validates the spelling (PlanError otherwise)
         self.plan = plan
-        if plan is not None and plan.speculative_k is not None:
+        if plan is not None and not isinstance(plan, str) and plan.speculative_k is not None:
             configured = self._processor_kwargs.setdefault(
                 "speculative_k", plan.speculative_k
             )
@@ -156,7 +163,7 @@ class UDFExecutionEngine:
         self,
         udf: UDF,
         input_distributions,
-        plan: "ExecutionPlan | None" = None,
+        plan: "ExecutionPlan | str | None" = None,
         predicate: SelectionPredicate | None = None,
     ) -> "QueryResult":
         """Evaluate ``udf`` on many tuples as one ExecutionPlan describes.
@@ -184,14 +191,16 @@ class UDFExecutionEngine:
             As :class:`~repro.exceptions.PlanError` for an invalid plan,
             plus whatever the resolved executor raises.
         """
-        from repro.engine.plan import ExecutionPlan
+        from repro.engine.plan import ExecutionPlan, is_auto_plan
         from repro.engine.result import QueryResult, classify_outputs
 
+        distributions = list(input_distributions)
         resolved_plan = plan if plan is not None else self.plan
         if resolved_plan is None:
             resolved_plan = ExecutionPlan()
+        elif is_auto_plan(resolved_plan):
+            resolved_plan = ExecutionPlan.auto(udf, len(distributions), engine=self)
         executor = resolved_plan.resolve(self)
-        distributions = list(input_distributions)
         timings = PhaseTimings()
         # The retry policy rides the UDF for the duration of this one
         # computation: every execution layer — and the pickled UDF copies

@@ -27,7 +27,7 @@ from repro.distributions.empirical import EmpiricalDistribution
 from repro.engine.batch import iter_batches, truncate_columns
 from repro.engine.executor import UDFExecutionEngine
 from repro.engine.parallel import MergePolicy, ParallelExecutor
-from repro.engine.plan import ExecutionPlan, resolve_plan_argument
+from repro.engine.plan import ExecutionPlan, is_auto_plan, resolve_plan_argument
 from repro.engine.result import QueryResult, classify_rows
 from repro.engine.schema import Attribute, AttributeKind, Schema
 from repro.engine.transport import TransportSpec
@@ -75,9 +75,45 @@ def _installed_retry(udf: UDF, plan: ExecutionPlan) -> Iterator[None]:
         udf._install_retry_policy(None)
 
 
+def _resolve_catalog_udf(udf: UDF | str) -> UDF:
+    """Resolve a name-based UDF reference through the default catalog.
+
+    The query surface accepts a plain string wherever it accepts a UDF —
+    ``apply_udf("galage", ...)`` — resolved here against
+    :func:`~repro.udf.catalog.default_catalog` (case-insensitive, like
+    every catalog lookup).  A :class:`~repro.exceptions.UDFError` from the
+    lookup names the registered alternatives.
+    """
+    if isinstance(udf, str):
+        from repro.udf.catalog import default_catalog
+
+        return default_catalog().get(udf)
+    return udf
+
+
+def _scan_relation_size(child: Operator) -> int | None:
+    """Best-effort input cardinality for auto-planning: the first Scan's size.
+
+    Walks the child tree for the first stored relation; joins and filters
+    change the true cardinality, so this is a planning *hint* (it only
+    caps the chunk size and gates cross-tuple lookahead), never a
+    correctness input.
+    """
+    for node in child._tree_nodes():
+        relation = getattr(node, "relation", None)
+        if relation is not None:
+            try:
+                return len(relation)
+            except TypeError:
+                return None
+    return None
+
+
 def _plan_and_executors(
-    plan: ExecutionPlan | None,
+    plan: ExecutionPlan | str | None,
     engine: UDFExecutionEngine,
+    udf: UDF | None = None,
+    relation_size: int | None = None,
     **legacy,
 ) -> tuple[ExecutionPlan, ParallelExecutor | None, object | None]:
     """Shared plan/executor setup of :class:`ApplyUDF` and :class:`SelectUDF`.
@@ -93,10 +129,15 @@ def _plan_and_executors(
     default plan (installed at engine construction, or by
     :meth:`~repro.engine.session.Session.submit`) applies — the seam that
     lets one plan configure a whole served query without threading it
-    through every builder call.
+    through every builder call.  The ``"auto"`` spelling — passed
+    directly, or installed as the engine default — resolves here, where
+    the UDF and the input size are both known, via
+    :meth:`~repro.engine.plan.ExecutionPlan.auto`.
     """
     if plan is None and engine.plan is not None and not legacy_knobs_supplied(**legacy):
         plan = engine.plan
+    if is_auto_plan(plan):
+        plan = ExecutionPlan.auto(udf, relation_size, engine=engine)
     resolved = resolve_plan_argument(plan, warn_stacklevel=4, **legacy)
     executor = resolved.resolve(engine)
     if isinstance(executor, ParallelExecutor):
@@ -282,11 +323,11 @@ class ApplyUDF(Operator):
     def __init__(
         self,
         child: Operator,
-        udf: UDF,
+        udf: UDF | str,
         argument_names: Sequence[str],
         alias: str,
         engine: UDFExecutionEngine,
-        plan: ExecutionPlan | None = None,
+        plan: ExecutionPlan | str | None = None,
         batch_size: int | None = None,
         workers: int | None = None,
         merge: MergePolicy = "union",
@@ -296,6 +337,11 @@ class ApplyUDF(Operator):
         transport: TransportSpec | None = None,
     ):
         """Validate the UDF call against the child's schema and pick executors.
+
+        ``udf`` may be a catalog name (resolved through
+        :func:`~repro.udf.catalog.default_catalog`) and ``plan`` may be
+        the ``"auto"`` spelling (resolved from the UDF's catalog profile
+        and the scanned relation's size).
 
         Raises
         ------
@@ -312,13 +358,15 @@ class ApplyUDF(Operator):
                 raise QueryError(f"UDF argument {name!r} is not in the input schema")
         if alias in child.schema():
             raise QueryError(f"alias {alias!r} collides with an existing attribute")
+        udf = _resolve_catalog_udf(udf)
         self.child = child
         self.udf = udf
         self.argument_names = list(argument_names)
         self.alias = alias
         self.engine = engine
         self.plan, self._parallel, self._batch = _plan_and_executors(
-            plan, engine, batch_size=batch_size, workers=workers, merge=merge,
+            plan, engine, udf=udf, relation_size=_scan_relation_size(child),
+            batch_size=batch_size, workers=workers, merge=merge,
             parallel_seed=parallel_seed, async_inflight=async_inflight,
             pipeline_lookahead=pipeline_lookahead, transport=transport,
         )
@@ -385,12 +433,12 @@ class SelectUDF(Operator):
     def __init__(
         self,
         child: Operator,
-        udf: UDF,
+        udf: UDF | str,
         argument_names: Sequence[str],
         alias: str,
         predicate: SelectionPredicate,
         engine: UDFExecutionEngine,
-        plan: ExecutionPlan | None = None,
+        plan: ExecutionPlan | str | None = None,
         batch_size: int | None = None,
         workers: int | None = None,
         merge: MergePolicy = "union",
@@ -401,8 +449,9 @@ class SelectUDF(Operator):
     ):
         """Validate the predicated UDF call and pick executors.
 
-        The execution configuration (``plan=``, or the legacy per-knob
-        kwargs) behaves exactly as on :class:`ApplyUDF`.
+        The execution configuration (``plan=``, including the ``"auto"``
+        spelling, or the legacy per-knob kwargs) and name-based ``udf``
+        resolution behave exactly as on :class:`ApplyUDF`.
 
         Raises
         ------
@@ -417,6 +466,7 @@ class SelectUDF(Operator):
                 raise QueryError(f"UDF argument {name!r} is not in the input schema")
         if alias in child.schema():
             raise QueryError(f"alias {alias!r} collides with an existing attribute")
+        udf = _resolve_catalog_udf(udf)
         self.child = child
         self.udf = udf
         self.argument_names = list(argument_names)
@@ -424,7 +474,8 @@ class SelectUDF(Operator):
         self.predicate = predicate
         self.engine = engine
         self.plan, self._parallel, self._batch = _plan_and_executors(
-            plan, engine, batch_size=batch_size, workers=workers, merge=merge,
+            plan, engine, udf=udf, relation_size=_scan_relation_size(child),
+            batch_size=batch_size, workers=workers, merge=merge,
             parallel_seed=parallel_seed, async_inflight=async_inflight,
             pipeline_lookahead=pipeline_lookahead, transport=transport,
         )

@@ -70,6 +70,32 @@ PlannedExecutor = Union[
     ParallelExecutor, PipelinedExecutor, AsyncRefinementExecutor, BatchExecutor
 ]
 
+#: The literal string spelling of "let the catalog profile choose the
+#: knobs" — accepted wherever a plan is (operators, query builder,
+#: Session/engine defaults) and resolved per UDF by :meth:`ExecutionPlan.auto`.
+AUTO_PLAN = "auto"
+
+#: What a ``plan=`` argument accepts: a built plan or the ``"auto"`` spelling.
+PlanArgument = Union["ExecutionPlan", str]
+
+
+def is_auto_plan(plan: Any) -> bool:
+    """Whether ``plan`` is the ``"auto"`` spelling (rejecting other strings).
+
+    The only string a ``plan=`` argument may carry is :data:`AUTO_PLAN`;
+    any other string is a typo'd configuration, rejected here with a
+    :class:`~repro.exceptions.PlanError` instead of failing later with an
+    attribute error deep inside resolution.
+    """
+    if isinstance(plan, str):
+        if plan != AUTO_PLAN:
+            raise PlanError(
+                f"unknown plan spelling {plan!r}; the only string plan is "
+                f"{AUTO_PLAN!r} (or pass an ExecutionPlan)"
+            )
+        return True
+    return False
+
 #: Physical layouts a plan can select for the chunk pipeline.
 STORAGE_LAYOUTS = ("tuple", "columnar")
 
@@ -227,6 +253,125 @@ class ExecutionPlan:
                 "to pool workers; name the transport (e.g. transport='asyncio') "
                 "when combining it with workers — " + PRECEDENCE
             )
+
+    # -- auto-planning ------------------------------------------------------------
+    @classmethod
+    def auto(
+        cls,
+        udf: Any,
+        relation_size: Optional[int] = None,
+        *,
+        catalog: Any = None,
+        engine: Any = None,
+    ) -> "ExecutionPlan":
+        """Choose the knobs from the UDF's declared catalog profile.
+
+        The profile-driven planner: instead of hand-tuning ``batch_size``
+        / ``transport`` / ``async_inflight`` / ``pipeline_lookahead`` /
+        ``speculative_k`` / ``storage`` per query, the caller declares
+        what the UDF *is* (its :class:`~repro.udf.catalog.UDFProfile`)
+        and this method picks the spelled-out plan the declaration
+        implies.  The result is an ordinary validated
+        :class:`ExecutionPlan` — ``plan="auto"`` anywhere a plan is
+        accepted routes through here, and the resolved plan is gated
+        bit-identical to the same plan written explicitly.
+
+        Knob selection by latency class (see the architecture doc for the
+        full table):
+
+        * *neutral* (negligible cost, no backend) — the serial batched
+          path: ``batch_size`` only (the bit-identity anchor).
+        * *moderate* (≥ 1 ms/call) — an overlapped refinement window of
+          4, carried by ``"asyncio"`` for an async-capable UDF and
+          ``"threads"`` otherwise.
+        * *slow* (≥ 10 ms/call) — a window of 8 plus cross-tuple
+          pipelining (``pipeline_lookahead=4``) and, at engine
+          construction, speculative multi-point tuning
+          (``speculative_k=2``).
+        * a declared ``backend`` overrides the transport choice; a
+          non-serial backend with nothing to overlap still gets a window
+          of one so evaluation actually rides the declared backend.
+
+        ``batch_size`` is the default chunk size capped by
+        ``relation_size`` (no point chunking past the input).
+        ``storage="columnar"`` is selected for vectorised deterministic
+        UDFs.  Sharding (``workers``), retries and merge policies are
+        never auto-selected — they change resource footprint and failure
+        semantics, which stay explicit decisions.
+
+        Parameters
+        ----------
+        udf:
+            A :class:`~repro.udf.base.UDF`, a registered catalog name, or
+            a :class:`~repro.udf.catalog.UDFProfile` directly.
+        relation_size:
+            Best-effort input cardinality (rows the plan will process);
+            ``None`` when unknown.
+        catalog:
+            The :class:`~repro.udf.catalog.UDFCatalog` to consult
+            (default: :func:`~repro.udf.catalog.default_catalog`).
+        engine:
+            When given, ``speculative_k`` mirrors the engine's configured
+            value instead of being recommended — a live engine's
+            processors cannot be reconfigured by resolution, so the auto
+            plan must agree with what the engine was built with.
+        """
+        # Lazy import: the catalog lives in the UDF package, which the
+        # transport module (imported above) pulls in at import time.
+        from repro.udf.catalog import (
+            LATENCY_MODERATE,
+            LATENCY_SLOW,
+            UDFProfile,
+            default_catalog,
+        )
+
+        if isinstance(udf, UDFProfile):
+            profile = udf
+        else:
+            lookup = catalog if catalog is not None else default_catalog()
+            if isinstance(udf, str):
+                profile = lookup.profile(udf)
+            else:
+                profile = lookup.profile_for(udf)
+
+        knobs: dict = {}
+        batch = DEFAULT_BATCH_SIZE
+        if relation_size is not None and int(relation_size) > 0:
+            batch = max(1, min(batch, int(relation_size)))
+        knobs["batch_size"] = batch
+        if profile.vectorized and profile.deterministic:
+            knobs["storage"] = "columnar"
+        latency = profile.latency_class
+        window = {LATENCY_SLOW: 8, LATENCY_MODERATE: 4}.get(latency)
+        transport: Optional[str] = None
+        if profile.backend is not None:
+            transport = profile.backend
+            if transport_name(transport) == "serial":
+                window = None  # inline evaluation has nothing to overlap
+            elif window is None:
+                # A window of one is bit-identical to the serial batched
+                # path but routes evaluation through the declared backend.
+                window = 1
+        elif window is not None:
+            transport = "asyncio" if profile.async_capable else "threads"
+        if transport is not None:
+            knobs["transport"] = transport
+        if window is not None:
+            knobs["async_inflight"] = window
+        if (
+            latency == LATENCY_SLOW
+            and window is not None
+            and window > 1
+            and (relation_size is None or int(relation_size) >= 4)
+        ):
+            knobs["pipeline_lookahead"] = 4
+        if engine is not None:
+            configured = getattr(engine, "_processor_kwargs", {}).get("speculative_k")
+            if configured is not None:
+                knobs["speculative_k"] = configured
+        elif latency == LATENCY_SLOW:
+            knobs["speculative_k"] = 2
+        return cls(**knobs)
 
     # -- resolution ---------------------------------------------------------------
     def resolve(self, engine: Any) -> Optional[PlannedExecutor]:

@@ -39,7 +39,7 @@ from repro.engine.operators import (
     SelectWhere,
     legacy_knobs_supplied,
 )
-from repro.engine.plan import ExecutionPlan, resolve_plan_argument
+from repro.engine.plan import ExecutionPlan, is_auto_plan, resolve_plan_argument
 from repro.engine.result import QueryResult
 from repro.engine.transport import TransportSpec
 from repro.engine.tuples import Relation, UncertainTuple
@@ -98,10 +98,10 @@ class Query:
 
     def apply_udf(
         self,
-        udf: UDF,
+        udf: UDF | str,
         arguments: Sequence[str],
         alias: str,
-        plan: ExecutionPlan | None = None,
+        plan: ExecutionPlan | str | None = None,
         batch_size: int | None = None,
         workers: int | None = None,
         merge: str = "union",
@@ -115,7 +115,10 @@ class Query:
         Parameters
         ----------
         udf:
-            The black-box function to evaluate.
+            The black-box function to evaluate, or a registered catalog
+            name (resolved case-insensitively through
+            :func:`~repro.udf.catalog.default_catalog` at plan-build
+            time).
         arguments:
             Input attribute names forming the UDF's argument vector.
         alias:
@@ -126,7 +129,12 @@ class Query:
             window, cross-tuple lookahead, merge policy, evaluation
             transport — validated as a unit (knob conflicts raise a typed
             :class:`~repro.exceptions.PlanError` naming the precedence
-            rule) and resolved to the composed executor stack.
+            rule) and resolved to the composed executor stack.  The
+            string ``"auto"`` defers the choice to the profile-driven
+            planner (:meth:`ExecutionPlan.auto
+            <repro.engine.plan.ExecutionPlan.auto>`): the knobs are
+            picked from the UDF's catalog profile once the operator knows
+            the engine and the input size.
         batch_size, workers, merge, parallel_seed, async_inflight, \
 pipeline_lookahead, transport:
             Legacy per-knob spellings of the same configuration; they
@@ -159,8 +167,12 @@ pipeline_lookahead, transport:
             parallel_seed=parallel_seed, async_inflight=async_inflight,
             pipeline_lookahead=pipeline_lookahead, transport=transport,
         )
-        resolved_plan: ExecutionPlan | None = None
-        if plan is not None or legacy_knobs_supplied(**legacy):
+        resolved_plan: ExecutionPlan | str | None = None
+        if is_auto_plan(plan):
+            # "auto" needs the engine and input size, which only exist at
+            # plan-build time — the validated string defers to the operator.
+            resolved_plan = plan
+        elif plan is not None or legacy_knobs_supplied(**legacy):
             resolved_plan = resolve_plan_argument(plan, **legacy)  # type: ignore[arg-type]
 
         def _build(child: Operator, engine: UDFExecutionEngine) -> Operator:
@@ -171,13 +183,13 @@ pipeline_lookahead, transport:
 
     def where_udf(
         self,
-        udf: UDF,
+        udf: UDF | str,
         arguments: Sequence[str],
         alias: str,
         low: float,
         high: float,
         threshold: float = 0.1,
-        plan: ExecutionPlan | None = None,
+        plan: ExecutionPlan | str | None = None,
         batch_size: int | None = None,
         workers: int | None = None,
         merge: str = "union",
@@ -191,8 +203,10 @@ pipeline_lookahead, transport:
         The UDF output distribution is restricted to ``[low, high]``; tuples
         whose probability mass inside that interval is confidently below
         ``threshold`` are dropped by the online-filtering machinery.  The
-        execution configuration (``plan=``, or the legacy per-knob kwargs)
-        behaves exactly as on :meth:`apply_udf` (the predicate path keeps
+        execution configuration (``plan=``, including the ``"auto"``
+        spelling, or the legacy per-knob kwargs) and name-based ``udf``
+        resolution behave exactly as on :meth:`apply_udf` (the predicate
+        path keeps
         tuple-sequential filtering semantics, so the cross-tuple scheduler
         stands down and only within-tuple overlap applies).
 
@@ -218,8 +232,12 @@ pipeline_lookahead, transport:
             parallel_seed=parallel_seed, async_inflight=async_inflight,
             pipeline_lookahead=pipeline_lookahead, transport=transport,
         )
-        resolved_plan: ExecutionPlan | None = None
-        if plan is not None or legacy_knobs_supplied(**legacy):
+        resolved_plan: ExecutionPlan | str | None = None
+        if is_auto_plan(plan):
+            # Deferred exactly as in apply_udf: the operator resolves
+            # "auto" once the engine and input size are known.
+            resolved_plan = plan
+        elif plan is not None or legacy_knobs_supplied(**legacy):
             resolved_plan = resolve_plan_argument(plan, **legacy)  # type: ignore[arg-type]
 
         def _build(child: Operator, engine: UDFExecutionEngine) -> Operator:

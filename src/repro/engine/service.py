@@ -340,7 +340,7 @@ class QueryService:
         self,
         query: "Query",
         engine: "UDFExecutionEngine",
-        plan: "Optional[ExecutionPlan]" = None,
+        plan: "Optional[ExecutionPlan | str]" = None,
         timeout: Optional[float] = None,
         name: Optional[str] = None,
         region: str = "default",
@@ -401,18 +401,27 @@ class QueryService:
         Built from the *planned* (not executed) operator tree; planning is
         pure tree construction, so the peek costs no engine work.  A query
         whose planning itself fails reports no names — the failure will
-        surface identically when the query runs.
+        surface identically when the query runs.  Names are canonicalised
+        to the catalog spelling (:func:`~repro.udf.catalog
+        .canonical_udf_name`), so breaker state keyed here lines up with
+        catalog entries and profile names regardless of how the UDF's
+        ``name`` attribute is cased.
         """
+        from repro.udf.catalog import canonical_udf_name
+
         try:
             operator = query.plan(engine)
         except Exception:  # malformed query: let _execute raise the real error
             return ()
-        names = []
+        names: List[str] = []
         for node in operator._tree_nodes():
             udf = getattr(node, "udf", None)
             udf_name = getattr(udf, "name", None)
-            if udf_name is not None and udf_name not in names:
-                names.append(udf_name)
+            if udf_name is None:
+                continue
+            key = canonical_udf_name(udf_name)
+            if key not in names:
+                names.append(key)
         return tuple(names)
 
     def _breaker_admit(self, handle_name: str, udf_names: Tuple[str, ...]) -> None:
@@ -479,8 +488,15 @@ class QueryService:
                         state.opened_at = time.monotonic()
                         state.probing = False
 
-    def _cached_plan(self, plan: "ExecutionPlan") -> "ExecutionPlan":
-        """Dedupe equal validated plans so repeat submissions share one."""
+    def _cached_plan(self, plan: "ExecutionPlan | str") -> "ExecutionPlan | str":
+        """Dedupe equal validated plans so repeat submissions share one.
+
+        The ``"auto"`` spelling passes through uncached: it resolves to a
+        *different* plan per UDF profile and input size, so there is no
+        one plan object to share.
+        """
+        if isinstance(plan, str):
+            return plan
         try:
             key = tuple(getattr(plan, f.name) for f in fields(plan))
             return self._plan_cache.setdefault(key, plan)

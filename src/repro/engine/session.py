@@ -61,7 +61,7 @@ class Session:
         self,
         engine_factory: "Callable[[], UDFExecutionEngine]",
         service: Optional[QueryService] = None,
-        plan: "Optional[ExecutionPlan]" = None,
+        plan: "Optional[ExecutionPlan | str]" = None,
         worker_budget: int = DEFAULT_WORKER_BUDGET,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         share_models: bool = False,
@@ -71,6 +71,13 @@ class Session:
         ``worker_budget`` / ``queue_limit`` / ``share_models`` configure
         the owned service and are ignored when an external ``service`` is
         supplied (that service's configuration wins).
+
+        ``plan`` may be the string ``"auto"``: every submitted query then
+        resolves its execution plan from the catalog profile of the UDF
+        it evaluates (:meth:`ExecutionPlan.auto
+        <repro.engine.plan.ExecutionPlan.auto>`) — one session default
+        that adapts per UDF instead of fixing one knob setting for the
+        whole workload.
         """
         self._factory = engine_factory
         self.plan = plan
@@ -88,7 +95,7 @@ class Session:
     def submit(
         self,
         query: "Query",
-        plan: "Optional[ExecutionPlan]" = None,
+        plan: "Optional[ExecutionPlan | str]" = None,
         timeout: Optional[float] = None,
         name: Optional[str] = None,
         region: str = "default",
@@ -115,7 +122,7 @@ class Session:
     def run(
         self,
         query: "Query",
-        plan: "Optional[ExecutionPlan]" = None,
+        plan: "Optional[ExecutionPlan | str]" = None,
         timeout: Optional[float] = None,
         name: Optional[str] = None,
         region: str = "default",

@@ -20,7 +20,7 @@ rollback machinery, charge accounting) consumes futures by submission
 index, so the determinism contracts of the async and pipelined executors
 carry over bit for bit regardless of the transport in use.
 
-Three transports ship:
+Four transports ship:
 
 * :class:`SerialTransport` — evaluates inline on the calling thread and
   returns already-resolved futures.  No concurrency, no threads; useful as
@@ -34,6 +34,11 @@ Three transports ship:
   :class:`~repro.udf.base.AsyncUDF` are scheduled as coroutines, so a
   window of ``k`` awaited latencies costs roughly one.  Blocking callables
   would stall the loop, so this transport requires an ``AsyncUDF``.
+* :class:`SubprocessPoolTransport` — the out-of-process evaluation
+  backend: each row is shipped (as a pickled UDF copy) to a bounded
+  process pool and the worker's charge delta is folded back into the
+  parent-side UDF, so the same query can target in-process, thread,
+  event-loop or out-of-process evaluation by naming a transport.
 
 Lifecycle and safety contract
 -----------------------------
@@ -55,9 +60,10 @@ import abc
 import asyncio
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from contextlib import contextmanager
+from functools import partial
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
@@ -422,6 +428,111 @@ class AsyncioTransport(EvaluationTransport):
         return ("_loop", "_thread")
 
 
+def _subprocess_evaluate(udf: UDF, row: Any) -> Tuple[float, int, float]:
+    """Worker-side evaluation of one row; returns value plus charge deltas.
+
+    Runs inside a pool worker on a pickled *copy* of the UDF.  Pickled
+    copies carry the parent's counters over (see
+    :meth:`~repro.udf.base.UDF.__getstate__`), so the worker reports the
+    *delta* its evaluation added rather than absolute counters; the parent
+    process folds the delta into the live UDF (exactly the
+    ``absorb_charges`` contract of the sharded executor).  Module-level so
+    it pickles by reference into the worker.
+    """
+    import numpy as np  # local: keep worker-side imports self-contained
+
+    calls_before = udf.call_count
+    time_before = udf.real_time
+    value = udf(np.asarray(row, dtype=float))
+    return float(value), udf.call_count - calls_before, udf.real_time - time_before
+
+
+class SubprocessPoolTransport(EvaluationTransport):
+    """Out-of-process evaluation backend: a bounded process pool.
+
+    The adapter seam's reference backend: the same refinement window that
+    rides threads or an event loop can ship each evaluation to a worker
+    *process* — the shape of a UDF that must run outside the engine
+    (native code that holds the GIL, a sandboxed model, a crashy C
+    extension).  Each submission pickles the UDF into the worker (both
+    :class:`~repro.udf.base.UDF` and :class:`~repro.udf.base.AsyncUDF`
+    pickle cleanly; an async UDF evaluates through its blocking bridge),
+    evaluates one row there, and returns the value together with the
+    charge *delta*, which the parent folds into the live UDF — so charge
+    accounting and the in-flight gauge read exactly as they do on the
+    thread transport, and the window drivers' determinism contract carries
+    over bit for bit (results are consumed by submission index, never by
+    completion order).
+
+    Retry note: a worker evaluates a pickled copy, so the installed
+    :class:`~repro.udf.retry.RetryPolicy` retries *inside* the worker with
+    a fresh per-copy budget window — the same per-copy semantics the
+    process-pool sharding layer has always had.
+    """
+
+    name = "subprocess"
+
+    def __init__(self) -> None:
+        """Create a closed transport (the pool is allocated by ``open``)."""
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def open(self, max_workers: int, label: str = "udf") -> None:
+        """Start a bounded process pool (``label`` is advisory)."""
+        del label  # worker processes cannot be usefully named
+        if self._pool is not None:
+            raise QueryError("subprocess transport is already open")
+        if max_workers < 1:
+            raise QueryError(f"max_workers must be positive, got {max_workers}")
+        self._pool = ProcessPoolExecutor(max_workers=int(max_workers))
+
+    def submit_rows(self, udf: UDF, X: np.ndarray) -> List[Future]:
+        """One worker task per row; futures in row order.
+
+        Each returned future resolves to the scalar value once the parent
+        has absorbed the worker's charge delta — a consumer that sees the
+        result also sees the call charged, the invariant the cost-model
+        assertions rely on.
+        """
+        if self._pool is None:
+            raise QueryError("subprocess transport is not open")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        futures: List[Future] = []
+        for row in X:
+            udf._enter_flight()
+            outer: Future = Future()
+            outer.set_running_or_notify_cancel()
+            try:
+                inner = self._pool.submit(_subprocess_evaluate, udf, row)
+            except BaseException:
+                udf._exit_flight()
+                raise
+            inner.add_done_callback(partial(self._relay, udf, outer))
+            futures.append(outer)
+        return futures
+
+    @staticmethod
+    def _relay(udf: UDF, outer: Future, inner: Future) -> None:
+        """Absorb one worker result into the parent-side UDF and future."""
+        try:
+            value, calls, seconds = inner.result()
+        except BaseException as exc:  # noqa: BLE001 - delivered via the future
+            udf._exit_flight()
+            outer.set_exception(exc)
+        else:
+            udf._charge(calls, seconds)
+            udf._exit_flight()
+            outer.set_result(value)
+
+    def close(self) -> None:
+        """Shut the pool down, joining its workers and manager thread."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _live_attrs(self) -> Tuple[str, ...]:
+        return ("_pool",)
+
+
 #: Transport registry: the named specs a plan (or a legacy ``transport=``
 #: kwarg) may reference.  Values are factories, so every resolution gets a
 #: fresh, closed instance.
@@ -429,6 +540,7 @@ TRANSPORTS: Dict[str, type] = {
     SerialTransport.name: SerialTransport,
     ThreadPoolTransport.name: ThreadPoolTransport,
     AsyncioTransport.name: AsyncioTransport,
+    SubprocessPoolTransport.name: SubprocessPoolTransport,
 }
 
 #: What a ``transport=`` knob accepts: a registry name or an instance.

@@ -3,7 +3,8 @@
 Public surface: the instrumented black-box :class:`UDF` wrapper, synthetic
 Gaussian-mixture functions of controlled shape (F1–F4 and the
 dimensionality-sweep family), the astrophysics cosmology UDFs of the §6.4
-case study, and the name registry used by the query engine.
+case study, and the name registry plus the profile-carrying catalog the
+query engine's auto-planner consults.
 """
 
 from repro.udf.astro import (
@@ -18,6 +19,14 @@ from repro.udf.astro import (
     sky_distance_udf,
 )
 from repro.udf.base import UDF, AsyncUDF, as_udf
+from repro.udf.catalog import (
+    LATENCY_CLASSES,
+    UDFCatalog,
+    UDFProfile,
+    canonical_udf_name,
+    default_catalog,
+    latency_class_for,
+)
 from repro.udf.faults import (
     FaultInjectingAsyncUDF,
     FaultInjectingUDF,
@@ -44,6 +53,12 @@ __all__ = [
     "FaultInjectingAsyncUDF",
     "UDFRegistry",
     "default_registry",
+    "UDFCatalog",
+    "UDFProfile",
+    "LATENCY_CLASSES",
+    "canonical_udf_name",
+    "default_catalog",
+    "latency_class_for",
     "GaussianMixtureFunction",
     "MixtureSpec",
     "make_mixture_udf",

@@ -48,8 +48,11 @@ class UDFRegistry:
         return len(self._udfs)
 
 
-def default_registry() -> UDFRegistry:
-    """Registry pre-populated with the astrophysics case-study UDFs."""
+_DEFAULT_REGISTRY: UDFRegistry | None = None
+
+
+def _build_default_registry() -> UDFRegistry:
+    """Instantiate the case-study UDFs into a brand-new registry."""
     from repro.udf.astro import case_study_udfs, sky_distance_udf
 
     registry = UDFRegistry()
@@ -57,3 +60,20 @@ def default_registry() -> UDFRegistry:
         registry.register(udf)
     registry.register(sky_distance_udf())
     return registry
+
+
+def default_registry(fresh: bool = False) -> UDFRegistry:
+    """Registry pre-populated with the astrophysics case-study UDFs.
+
+    Memoized: instantiating the case-study UDFs rebuilds the cosmology
+    interpolation tables, so repeated calls return the same registry (and
+    the same UDF instances) instead of re-instantiating everything per
+    call.  ``fresh=True`` is the escape hatch for callers that need an
+    independent registry to mutate.
+    """
+    global _DEFAULT_REGISTRY
+    if fresh:
+        return _build_default_registry()
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = _build_default_registry()
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,234 @@
+"""The profile-driven auto-planner and the ``plan="auto"`` spelling.
+
+Contracts under test (see :meth:`repro.engine.plan.ExecutionPlan.auto` and
+:mod:`repro.udf.catalog`):
+
+* the knob table — a *neutral* profile resolves to the serial batched
+  path; a moderate-latency UDF gets an overlap window; a slow
+  async-capable UDF gets the asyncio transport, a wider window,
+  cross-tuple lookahead and speculative evaluation (the non-default-knob
+  acceptance criterion); a declared ``backend`` wins the transport;
+* ``plan="auto"`` is *bit-identical* to spelling the resolved
+  :class:`ExecutionPlan` explicitly — on the engine entry point, the
+  query builder (including name-based catalog UDFs) and across workload
+  families — because ``auto`` only ever *selects* a plan, never changes
+  evaluation semantics;
+* ``is_auto_plan`` accepts exactly the ``"auto"`` spelling and rejects
+  every other string with a typed :class:`~repro.exceptions.PlanError`;
+* ``speculative_k`` stays a processor-construction knob: with an engine
+  in hand the planner mirrors the engine's configured value (or omits the
+  knob) so the resolved plan always validates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracyRequirement
+from repro.engine import (
+    AUTO_PLAN,
+    BatchExecutor,
+    ExecutionPlan,
+    Query,
+    is_auto_plan,
+)
+from repro.engine.executor import UDFExecutionEngine
+from repro.engine.sdss import generate_galaxy_relation
+from repro.exceptions import PlanError
+from repro.udf.base import UDF
+from repro.udf.catalog import UDFProfile
+from repro.udf.synthetic import async_service_udf, reference_function
+from repro.workloads.generators import input_stream, workload_for_udf
+
+REQUIREMENT = AccuracyRequirement(epsilon=0.15, delta=0.05)
+
+
+def _engine(seed=7, **kwargs):
+    return UDFExecutionEngine(
+        strategy="gp", requirement=REQUIREMENT, random_state=seed,
+        n_samples=120, **kwargs
+    )
+
+
+def _dists(udf, family="gaussian", n=5, seed=3):
+    spec = workload_for_udf(udf, family=family)
+    return list(input_stream(spec, n, random_state=np.random.default_rng(seed)))
+
+
+def _neutral_udf():
+    return UDF(lambda x: float(np.sum(x)), dimension=2, name="cheap",
+               domain=(np.array([1.0, 1.0]), np.array([9.0, 9.0])))
+
+
+# ---------------------------------------------------------------------------
+# The "auto" spelling
+# ---------------------------------------------------------------------------
+
+def test_is_auto_plan_accepts_only_the_auto_string():
+    assert is_auto_plan(AUTO_PLAN)
+    assert is_auto_plan("auto")
+    assert not is_auto_plan(None)
+    assert not is_auto_plan(ExecutionPlan())
+    with pytest.raises(PlanError, match="auto"):
+        is_auto_plan("Auto")
+    with pytest.raises(PlanError, match="auto"):
+        is_auto_plan("fast")
+
+
+def test_unknown_string_plan_rejected_everywhere():
+    engine = _engine()
+    with pytest.raises(PlanError):
+        UDFExecutionEngine(strategy="gp", plan="turbo")
+    with pytest.raises(PlanError):
+        Query(generate_galaxy_relation(4, random_state=1)).apply_udf(
+            "galage", ["redshift"], alias="g", plan="turbo"
+        )
+    with pytest.raises(PlanError):
+        engine.compute_with_plan(_neutral_udf(), _dists(_neutral_udf(), n=1),
+                                 plan="turbo")
+
+
+# ---------------------------------------------------------------------------
+# The knob table
+# ---------------------------------------------------------------------------
+
+def test_neutral_profile_resolves_to_the_serial_batched_path():
+    plan = ExecutionPlan.auto(_neutral_udf())
+    assert plan == ExecutionPlan(batch_size=32)
+    executor = plan.resolve(_engine())
+    assert type(executor) is BatchExecutor
+
+
+def test_moderate_blocking_udf_gets_a_thread_window():
+    profile = UDFProfile(name="svc", dimension=2, per_call_seconds=2e-3)
+    plan = ExecutionPlan.auto(profile)
+    assert plan.async_inflight == 4
+    assert plan.transport == "threads"
+    assert plan.pipeline_lookahead is None
+
+
+def test_slow_async_udf_gets_nondefault_overlap_knobs():
+    # The acceptance criterion: a declared high-latency, async-capable UDF
+    # auto-plans to non-default knobs on every overlap axis.
+    udf = async_service_udf("F2", latency=0.02)
+    plan = ExecutionPlan.auto(udf)
+    assert plan.transport == "asyncio"
+    assert plan.async_inflight == 8
+    assert plan.pipeline_lookahead == 4
+    assert plan.speculative_k == 2
+    assert plan != ExecutionPlan(batch_size=32)
+
+
+def test_declared_backend_wins_the_transport():
+    profile = UDFProfile(name="svc", dimension=2, per_call_seconds=0.02,
+                         backend="subprocess")
+    plan = ExecutionPlan.auto(profile)
+    assert plan.transport == "subprocess"
+    assert plan.async_inflight == 8
+    # A negligible-cost UDF pinned to an out-of-process backend still needs
+    # a (minimal) window so the transport is actually engaged.
+    cheap = UDFProfile(name="svc", dimension=2, backend="subprocess")
+    assert ExecutionPlan.auto(cheap).async_inflight == 1
+    # ... while a serial backend cannot carry a window at all.
+    pinned_serial = UDFProfile(name="svc", dimension=2, per_call_seconds=0.02,
+                               backend="serial")
+    serial_plan = ExecutionPlan.auto(pinned_serial)
+    assert serial_plan.transport == "serial"
+    assert serial_plan.async_inflight is None
+
+
+def test_relation_size_caps_batch_and_gates_lookahead():
+    udf = async_service_udf("F2", latency=0.02)
+    small = ExecutionPlan.auto(udf, relation_size=3)
+    assert small.batch_size == 3
+    assert small.pipeline_lookahead is None  # nothing to look ahead across
+    large = ExecutionPlan.auto(udf, relation_size=100)
+    assert large.batch_size == 32
+    assert large.pipeline_lookahead == 4
+
+
+def test_speculative_k_mirrors_the_engine_configuration():
+    udf = async_service_udf("F2", latency=0.02)
+    configured = _engine(speculative_k=3)
+    assert ExecutionPlan.auto(udf, engine=configured).speculative_k == 3
+    unconfigured = _engine()
+    assert ExecutionPlan.auto(udf, engine=unconfigured).speculative_k is None
+    # ... and the mirrored plan actually resolves against that engine.
+    ExecutionPlan.auto(udf, engine=configured).resolve(configured)
+    ExecutionPlan.auto(udf, engine=unconfigured).resolve(unconfigured)
+
+
+def test_auto_accepts_name_profile_or_udf():
+    by_profile = ExecutionPlan.auto(UDFProfile(name="galage", dimension=1))
+    by_name = ExecutionPlan.auto("galage")
+    from repro.udf.catalog import default_catalog
+    by_udf = ExecutionPlan.auto(default_catalog().get("galage"))
+    assert by_profile == by_name == by_udf
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: "auto" is exactly the explicit plan it selects
+# ---------------------------------------------------------------------------
+
+def _assert_results_identical(a, b):
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert np.array_equal(left.distribution.samples,
+                              right.distribution.samples)
+        assert left.error_bound == right.error_bound
+
+
+@pytest.mark.parametrize("family", ["gaussian", "gamma"])
+@pytest.mark.parametrize("latency", [0.0, 2e-3])
+def test_auto_is_bit_identical_to_the_explicit_plan(family, latency):
+    def run(plan):
+        udf = async_service_udf("F4", latency=latency)
+        engine = _engine()
+        dists = _dists(udf, family=family, n=4, seed=4)
+        return engine.compute_with_plan(udf, dists, plan=plan)
+
+    probe = async_service_udf("F4", latency=latency)
+    explicit = ExecutionPlan.auto(probe, relation_size=4, engine=_engine())
+    _assert_results_identical(run("auto"), run(explicit))
+
+
+def test_auto_is_bit_identical_on_the_query_builder_with_a_catalog_name():
+    def run(plan):
+        relation = generate_galaxy_relation(6, random_state=11)
+        return (
+            Query(relation)
+            .apply_udf("galage", ["redshift"], alias="galage", plan=plan)
+            .run(_engine())
+        )
+
+    from repro.udf.catalog import default_catalog
+    explicit = ExecutionPlan.auto(default_catalog().profile("galage"),
+                                  relation_size=6, engine=_engine())
+    auto_result = run("auto")
+    explicit_result = run(explicit)
+    assert len(auto_result) == len(explicit_result)
+    assert [t["galage"].samples.tolist() for t in auto_result] == [
+        t["galage"].samples.tolist() for t in explicit_result
+    ]
+
+
+@pytest.mark.parametrize("transport", ["threads", "asyncio", "subprocess"])
+def test_auto_with_a_pinned_backend_is_bit_identical_to_serial(transport):
+    # A declared backend changes *where* calls run, never what they
+    # compute: the auto plan under any backend matches the neutral serial
+    # batched run bit for bit.
+    def run(plan):
+        udf = async_service_udf("F4", latency=1e-4)
+        engine = _engine()
+        dists = _dists(udf, n=4, seed=6)
+        return engine.compute_with_plan(udf, dists, plan=plan)
+
+    baseline = run(ExecutionPlan(batch_size=32))
+    probe = async_service_udf("F4", latency=1e-4)
+    from repro.udf.catalog import UDFCatalog
+    catalog = UDFCatalog()
+    catalog.register(probe, backend=transport)
+    pinned = ExecutionPlan.auto(catalog.profile(probe.name))
+    assert pinned.transport == transport
+    _assert_results_identical(baseline, run(pinned))

@@ -21,7 +21,11 @@ baseline artifact.  Contracts under test:
 * the columnar-storage speedup over the tuple store is gated like the
   batch gate (a within-run hardware-normalised ratio, armed everywhere);
   its bit-identity half lives in the non-overridable ``identity_failures``
-  list, not in a gate verdict.
+  list, not in a gate verdict;
+* the auto-planned-over-naive-default speedup is gated the same way and
+  arms everywhere (the smoke auto-plan workload overlaps awaited service
+  latency); its auto≡explicit identity half is likewise enforced through
+  ``identity_failures``.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ import pytest
 from repro.bench.run_all import (
     DEFAULT_MAX_REGRESSION,
     PARALLEL_GATE_MIN_CPUS,
+    check_auto_plan_regression,
     check_columnar_regression,
     check_parallel_regression,
     check_regression,
@@ -208,11 +213,39 @@ class TestCheckColumnarRegression:
         assert verdict.get("missing") is True
 
 
+def _auto_plan_report(speedup, batch_speedup=2.0):
+    report = _report(batch_speedup)
+    report["auto_plan"] = {"speedup": speedup, "identical_to_explicit": True}
+    return report
+
+
+class TestCheckAutoPlanRegression:
+    """The auto-planned speedup over the naive default plan is gated like
+    the batch gate (hardware-normalised ratio, arms on every runner)."""
+
+    def test_pass_and_regress(self):
+        healthy = check_auto_plan_regression(
+            _auto_plan_report(2.5), _auto_plan_report(2.5), DEFAULT_MAX_REGRESSION
+        )
+        assert healthy["regressed"] is False
+        regressed = check_auto_plan_regression(
+            _auto_plan_report(1.0), _auto_plan_report(2.5), DEFAULT_MAX_REGRESSION
+        )
+        assert regressed["regressed"] is True
+
+    def test_missing_metric_is_flagged(self):
+        verdict = check_auto_plan_regression(
+            _report(2.0), _auto_plan_report(2.5), DEFAULT_MAX_REGRESSION
+        )
+        assert verdict.get("missing") is True
+
+
 class TestCoreCountGuard:
     """The parallel gate only arms with enough real cores to scale on;
-    the batch and serving gates arm everywhere."""
+    the batch, columnar, auto-plan and serving gates arm everywhere."""
 
-    ALWAYS_ON = ["gate", "gate_columnar", "gate_serving", "gate_serving_p99"]
+    ALWAYS_ON = ["gate", "gate_columnar", "gate_auto_plan", "gate_serving",
+                 "gate_serving_p99"]
 
     def test_single_core_runner_skips_parallel_gate(self):
         verdicts = gated_verdicts(
@@ -233,8 +266,8 @@ class TestCoreCountGuard:
             cpu_count=PARALLEL_GATE_MIN_CPUS,
         )
         assert [key for key, _ in verdicts] == [
-            "gate", "gate_columnar", "gate_parallel", "gate_serving",
-            "gate_serving_p99",
+            "gate", "gate_columnar", "gate_parallel", "gate_auto_plan",
+            "gate_serving", "gate_serving_p99",
         ]
         by_key = dict(verdicts)
         assert by_key["gate"]["regressed"] is False

@@ -3,15 +3,17 @@
 Contracts under test (see :mod:`repro.engine.transport` and
 :class:`repro.udf.base.AsyncUDF`):
 
-* every transport returns one future per row, in row order, resolving to
-  the same values the blocking path computes, with exact charge accounting
-  and a zeroed in-flight gauge afterwards;
+* every transport — including the out-of-process subprocess pool —
+  returns one future per row, in row order, resolving to the same values
+  the blocking path computes, with exact charge accounting and a zeroed
+  in-flight gauge afterwards;
 * the asyncio transport genuinely overlaps awaited latencies, requires an
   ``AsyncUDF`` (typed error otherwise), and ``async_inflight=1`` over it
   is bit-identical to the serial batched path;
-* **shutdown**: no pool or event-loop thread survives a computation —
-  including one that fails with a ``UDFError``/``QueryError`` — and every
-  transport-started thread is non-daemon and joined;
+* **shutdown**: no pool thread, event-loop thread or worker process
+  survives a computation — including one that fails with a
+  ``UDFError``/``QueryError`` — and every transport-started thread is
+  non-daemon and joined;
 * **pickling**: a pickled transport arrives closed (live resources
   dropped) and can be opened fresh, while the original keeps running;
   an ``AsyncUDF`` pickles and evaluates in the copy.
@@ -19,6 +21,7 @@ Contracts under test (see :mod:`repro.engine.transport` and
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
 import threading
 from concurrent.futures import Future
@@ -33,6 +36,7 @@ from repro.engine import (
     BatchExecutor,
     PipelinedExecutor,
     SerialTransport,
+    SubprocessPoolTransport,
     ThreadPoolTransport,
     make_transport,
 )
@@ -40,6 +44,7 @@ from repro.engine.executor import UDFExecutionEngine
 from repro.engine.transport import transport_name
 from repro.exceptions import PlanError, QueryError, UDFError
 from repro.udf.base import AsyncUDF
+from repro.udf.faults import FaultInjectingUDF, FaultSchedule
 from repro.udf.synthetic import async_service_udf, reference_function
 from repro.workloads.generators import input_stream, workload_for_udf
 
@@ -80,6 +85,7 @@ def test_registry_resolution():
     assert isinstance(make_transport("serial"), SerialTransport)
     assert isinstance(make_transport("threads"), ThreadPoolTransport)
     assert isinstance(make_transport("asyncio"), AsyncioTransport)
+    assert isinstance(make_transport("subprocess"), SubprocessPoolTransport)
     instance = ThreadPoolTransport()
     assert make_transport(instance) is instance
     assert transport_name("asyncio") == "asyncio"
@@ -92,7 +98,7 @@ def test_registry_resolution():
 # Value and accounting parity across transports
 # ---------------------------------------------------------------------------
 
-@pytest.mark.parametrize("name", ["serial", "threads", "asyncio"])
+@pytest.mark.parametrize("name", ["serial", "threads", "asyncio", "subprocess"])
 def test_submit_rows_matches_blocking_evaluation(name):
     udf_ref = async_service_udf("F4")
     points = _points()
@@ -336,10 +342,63 @@ def test_transport_close_is_idempotent_and_joins_the_loop_thread():
 
 
 # ---------------------------------------------------------------------------
+# Subprocess pool: out-of-process evaluation with parent-side accounting
+# ---------------------------------------------------------------------------
+
+def test_subprocess_transport_accepts_blocking_udfs_and_charges_the_parent():
+    # Workers evaluate pickled *copies*; the parent's live UDF must still
+    # end up with the full charge (calls and seconds folded back as deltas).
+    udf = reference_function("F2")
+    points = _points(5, seed=9)
+    expected = reference_function("F2").evaluate_batch(points)
+    transport = SubprocessPoolTransport()
+    with transport.session(2, label="proc"):
+        futures = transport.submit_rows(udf, points)
+        values = np.array([future.result() for future in futures])
+    assert np.array_equal(values, expected)
+    assert udf.call_count == points.shape[0]
+    assert udf.in_flight == 0
+    assert multiprocessing.active_children() == []
+
+
+def test_subprocess_transport_requires_open_and_valid_workers():
+    transport = SubprocessPoolTransport()
+    with pytest.raises(QueryError, match="not open"):
+        transport.submit_rows(reference_function("F2"), _points(1))
+    with pytest.raises(QueryError, match="positive"):
+        transport.open(0)
+    with transport.session(1):
+        with pytest.raises(QueryError, match="already open"):
+            transport.open(1)
+    transport.close()  # idempotent
+
+
+def test_failed_subprocess_query_leaks_no_workers():
+    """The process-pool twin of the thread-leak contract: a UDF that fails
+    fatally inside a worker must not leave pool processes (or their
+    manager threads) behind, and the parent gauge returns to zero."""
+    schedule = FaultSchedule(rate=1.0, seed=11)
+    udf = FaultInjectingUDF(reference_function("F2"), schedule, fatal=True)
+    engine = UDFExecutionEngine(
+        strategy="gp", requirement=REQUIREMENT, random_state=3, n_samples=120
+    )
+    dists = list(
+        input_stream(workload_for_udf(udf), 3, random_state=np.random.default_rng(2))
+    )
+    executor = AsyncRefinementExecutor(engine, inflight=2, batch_size=4,
+                                       transport="subprocess")
+    with pytest.raises(UDFError):
+        executor.compute_batch(udf, dists)
+    assert multiprocessing.active_children() == []
+    assert _transport_threads() == []
+    assert udf.in_flight == 0
+
+
+# ---------------------------------------------------------------------------
 # Pickling: live resources dropped, copy opens fresh, original unharmed
 # ---------------------------------------------------------------------------
 
-@pytest.mark.parametrize("name", ["threads", "asyncio"])
+@pytest.mark.parametrize("name", ["threads", "asyncio", "subprocess"])
 def test_pickling_an_open_transport_ships_a_closed_copy(name):
     udf = async_service_udf("F4")
     points = _points(3, seed=5)

@@ -19,7 +19,12 @@ from repro.bench.experiments_async import (
 from repro.bench.experiments_auto import auto_plan, auto_plan_report
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
 from repro.bench.experiments_faults import fault_injection, faults_report
-from repro.bench.experiments_parallel import parallel_report, parallel_scaling
+from repro.bench.experiments_parallel import (
+    parallel_report,
+    parallel_scaling,
+    shared_learning,
+    shared_learning_report,
+)
 from repro.bench.experiments_pipeline import pipeline_report, udf_pipeline
 from repro.bench.experiments_profiles import (
     all_profiles,
@@ -48,6 +53,8 @@ __all__ = [
     "smoke_report",
     "parallel_scaling",
     "parallel_report",
+    "shared_learning",
+    "shared_learning_report",
     "udf_overlap",
     "async_report",
     "udf_transport",

@@ -7,8 +7,9 @@ Usage::
     python -m repro.bench.run_all --only expt5_eval_time astro_gp_vs_mc
     python -m repro.bench.run_all --output results.txt
     python -m repro.bench.run_all --smoke      # CI smoke: batched + columnar +
-                                               # parallel + async + pipeline +
-                                               # transport + auto-plan + serving
+                                               # parallel + shared learning +
+                                               # async + pipeline + transport +
+                                               # auto-plan + serving
                                                # + fault injection
                                                # -> BENCH_smoke.json
 
@@ -23,9 +24,15 @@ CI performance gate
 strategy's batched-vs-per-tuple *speedup ratio* regressed by more than
 ``--max-regression`` (default 25%), the command exits non-zero and fails
 the CI job.  On runners with at least four cores the gp parallel-scaling
-speedup at ``workers=4`` is gated the same way (single-core runners skip
-that metric loudly — the ratio collapses there for hardware, not code,
-reasons).  The ratios — not absolute wall-clock — are compared so the gate
+speedup at ``workers=4`` is gated the same way, as is the shared-merge
+wall-clock speedup (single-core runners skip those metrics loudly — the
+ratios collapse there for hardware, not code, reasons).  The shared
+learning *UDF-calls* ratio — ``merge="shared"`` fleet calls over serial
+calls at ``workers=4`` — is measured within one invocation, so it arms on
+every runner against the fixed :data:`SHARED_CALLS_RATIO_LIMIT` ceiling;
+the ``workers=1`` shared run is additionally checked bit-identical to the
+serial batched path, non-overridably, like the other identity gates.  The
+ratios — not absolute wall-clock — are compared so the gate
 is robust to runner hardware differences.  To land an intentional
 regression, apply the ``perf-regression-ok`` label to the pull request
 (the workflow maps it to ``REPRO_PERF_OVERRIDE=1``, which records the
@@ -67,7 +74,12 @@ from repro.bench.experiments_auto import auto_plan, auto_plan_report
 from repro.bench.experiments_batch import batch_pipeline_speedup, smoke_report
 from repro.bench.experiments_columnar import columnar_report, columnar_speedup
 from repro.bench.experiments_faults import fault_injection, faults_report
-from repro.bench.experiments_parallel import parallel_report, parallel_scaling
+from repro.bench.experiments_parallel import (
+    parallel_report,
+    parallel_scaling,
+    shared_learning,
+    shared_learning_report,
+)
 from repro.bench.experiments_pipeline import pipeline_report, udf_pipeline
 from repro.bench.experiments_serving import serving_load, serving_report
 from repro.bench.harness import ExperimentTable
@@ -104,6 +116,8 @@ _SCALED_OVERRIDES: dict[str, dict] = {
     "parallel_scaling": {"workers_list": (1, 2, 4), "n_tuples": 12, "batch_size": 4,
                          "real_eval_time": 1e-3, "n_samples": 200,
                          "strategies": ("gp",)},
+    "shared_learning": {"workers": 4, "n_tuples": 12, "batch_size": 4,
+                        "real_eval_time": 1e-3, "n_samples": 200},
     "udf_overlap": {"inflight_list": (1, 4), "n_tuples": 4, "batch_size": 4,
                     "real_eval_time": 5e-3, "n_samples": 120},
     "udf_transport": {"transports": ("threads", "asyncio"), "inflight_list": (1, 4),
@@ -145,6 +159,17 @@ _SMOKE_PARALLEL_KWARGS = (
     {"strategies": ("mc",), "workers_list": (4,), "n_tuples": 16, "batch_size": 4,
      "real_eval_time": 1e-3, "epsilon": 0.15},
 )
+
+#: Parameters of the smoke shared-learning run: the gp parallel-scaling
+#: workload, remeasured for *total UDF charge* rather than wall-clock.
+#: Serial, workers=1 shared, workers=4 discard and workers=4 shared all
+#: run on the same seeds within one invocation, so the headline
+#: ``udf_calls_ratio_workers4`` (shared fleet calls / serial calls) is a
+#: deterministic, hardware-independent count ratio gated on every runner
+#: against :data:`SHARED_CALLS_RATIO_LIMIT`; the workers=1 shared row is
+#: the bit-identity check against the serial batched path.
+_SMOKE_SHARED_KWARGS = {"workers": 4, "n_tuples": 32, "batch_size": 8,
+                        "real_eval_time": 2e-3, "epsilon": 0.15, "n_samples": 300}
 
 #: Parameters of the smoke udf_overlap run: a cold model on a UDF with a
 #: genuinely slow per-call latency, so the refinement loop is latency-bound —
@@ -219,6 +244,13 @@ _SMOKE_FAULTS_KWARGS = {"fault_rate": 0.3, "max_attempts": 3, "n_tuples": 6,
 #: Relative drop of the gp batched speedup that fails the CI gate.
 DEFAULT_MAX_REGRESSION = 0.25
 
+#: Hard ceiling on the shared-merge UDF-calls ratio at workers=4: the
+#: whole point of the live shared model is worker-count-invariant learning,
+#: so the fleet's total charge may exceed the serial run's by at most 20%.
+#: An absolute limit, not a baseline diff — the ratio is computed within
+#: one invocation and does not drift with runner hardware.
+SHARED_CALLS_RATIO_LIMIT = 1.2
+
 #: Cores required before the parallel-scaling gate arms: the committed
 #: baseline's workers=4 speedup is only reproducible with real cores to
 #: overlap on, so single-core CI runners skip (loudly) instead of failing.
@@ -242,6 +274,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "batch_pipeline": batch_pipeline_speedup,
     "columnar": columnar_speedup,
     "parallel_scaling": parallel_scaling,
+    "shared_learning": shared_learning,
     "udf_overlap": udf_overlap,
     "udf_transport": udf_transport,
     "udf_pipeline": udf_pipeline,
@@ -346,6 +379,53 @@ def check_parallel_regression(
     )
 
 
+def check_shared_learning_regression(
+    report: dict, baseline: dict, max_regression: float
+) -> dict:
+    """Gate verdict for the shared-merge UDF-calls ratio at ``workers=4``.
+
+    Unlike the other gates this one compares against the *fixed*
+    :data:`SHARED_CALLS_RATIO_LIMIT` ceiling, not the committed baseline:
+    the ratio is a deterministic call-count quotient measured within one
+    invocation, so there is no hardware drift to normalise away and the
+    gate arms on every runner.  The metric is inverted (serial calls over
+    shared calls, a call *efficiency*) to reuse
+    :func:`_metric_verdict`'s lower-is-regression convention at a zero
+    slack margin: any ratio above the ceiling regresses.
+    """
+    del baseline, max_regression
+    ratio = report.get("shared_learning", {}).get("udf_calls_ratio_workers4")
+    efficiency = (1.0 / float(ratio)) if ratio else None
+    verdict = _metric_verdict(
+        "shared-merge UDF-call efficiency at workers=4 (serial/shared calls)",
+        efficiency,
+        1.0 / SHARED_CALLS_RATIO_LIMIT,
+        0.0,
+    )
+    verdict["udf_calls_ratio"] = ratio
+    verdict["ratio_limit"] = SHARED_CALLS_RATIO_LIMIT
+    return verdict
+
+
+def check_shared_speedup_regression(
+    report: dict, baseline: dict, max_regression: float
+) -> dict:
+    """Gate verdict for the shared-merge wall-clock speedup at ``workers=4``.
+
+    Same semantics as :func:`check_parallel_regression` — a
+    wall-clock-derived ratio that needs real cores to reproduce, so
+    callers arm it only at :data:`PARALLEL_GATE_MIN_CPUS` cores or more.
+    It guards the store's synchronisation overhead: call savings must not
+    be bought by giving the committed wall-clock speedup back.
+    """
+    return _metric_verdict(
+        "shared-merge wall-clock speedup at workers=4",
+        report.get("shared_learning", {}).get("speedup_at_4"),
+        baseline.get("shared_learning", {}).get("speedup_at_4"),
+        max_regression,
+    )
+
+
 def check_auto_plan_regression(
     report: dict, baseline: dict, max_regression: float
 ) -> dict:
@@ -420,22 +500,32 @@ def gated_verdicts(
 ) -> list[tuple[str, dict]]:
     """Every perf-gate verdict that applies on a ``cpu_count``-core machine.
 
-    Always the batched-speedup gate, the columnar gate, the auto-planner
-    gate and both serving gates (throughput scaling and p99 latency — the
-    smoke auto-plan and serving workloads overlap awaited latency, so
-    those arm regardless of cores); plus the parallel-scaling
-    gate when the machine has at least :data:`PARALLEL_GATE_MIN_CPUS`
-    cores — the core-count guard that keeps single-core CI runners from
-    disarming (or spuriously failing) that metric.  Returns
-    ``(report_key, verdict)`` pairs in evaluation order.
+    Always the batched-speedup gate, the columnar gate, the shared-learning
+    calls-ratio gate (a same-invocation count quotient, hardware-blind by
+    construction), the auto-planner gate and both serving gates (throughput
+    scaling and p99 latency — the smoke auto-plan and serving workloads
+    overlap awaited latency, so those arm regardless of cores); plus the
+    parallel-scaling and shared-merge wall-clock speedup gates when the
+    machine has at least :data:`PARALLEL_GATE_MIN_CPUS` cores — the
+    core-count guard that keeps single-core CI runners from disarming (or
+    spuriously failing) those metrics.  Returns ``(report_key, verdict)``
+    pairs in evaluation order.
     """
     verdicts = [("gate", check_regression(report, baseline, max_regression))]
     verdicts.append(
         ("gate_columnar", check_columnar_regression(report, baseline, max_regression))
     )
+    verdicts.append(
+        ("gate_shared_learning",
+         check_shared_learning_regression(report, baseline, max_regression))
+    )
     if cpu_count >= PARALLEL_GATE_MIN_CPUS:
         verdicts.append(
             ("gate_parallel", check_parallel_regression(report, baseline, max_regression))
+        )
+        verdicts.append(
+            ("gate_shared_speedup",
+             check_shared_speedup_regression(report, baseline, max_regression))
         )
     verdicts.append(
         ("gate_auto_plan", check_auto_plan_regression(report, baseline, max_regression))
@@ -507,6 +597,21 @@ def run_smoke(
     for strategy, headline in parallel["speedup_at_4"].items():
         print(f"parallel speedup [{strategy}] at workers={headline['workers']}: "
               f"{headline['speedup']:.2f}x")
+
+    started = time.perf_counter()
+    shared_table = shared_learning(**_SMOKE_SHARED_KWARGS)
+    shared_elapsed = time.perf_counter() - started
+    shared = shared_learning_report(shared_table)
+    print()
+    print(shared_table.to_text())
+    print(f"(ran shared_learning smoke in {shared_elapsed:.1f} s)")
+    if shared["udf_calls_ratio_workers4"] is not None:
+        print(f"shared-merge UDF-calls ratio at workers=4: "
+              f"{shared['udf_calls_ratio_workers4']:.3f} "
+              f"(discard pays {shared['discard_calls_ratio_workers4']:.3f}, "
+              f"ceiling {SHARED_CALLS_RATIO_LIMIT:.1f})")
+    print(f'merge="shared" workers=1 bit-identical to serial batched: '
+          f"{shared['identical_at_1']}")
 
     started = time.perf_counter()
     async_table = udf_overlap(**_SMOKE_ASYNC_KWARGS)
@@ -593,7 +698,7 @@ def run_smoke(
               f"charge counters match: {faults['calls_match'][mode]})")
 
     report = {"batch_pipeline": batch, "columnar": columnar,
-              "parallel_scaling": parallel,
+              "parallel_scaling": parallel, "shared_learning": shared,
               "udf_overlap": overlap, "udf_pipeline": pipeline,
               "udf_transport": transport, "auto_plan": auto,
               "serving": serving, "fault_injection": faults}
@@ -603,6 +708,11 @@ def run_smoke(
         identity_failures.append(
             "columnar storage diverged from the tuple-store batched path "
             "(values, bounds or UDF charge counters)"
+        )
+    if shared["identical_at_1"] is not True:
+        identity_failures.append(
+            'merge="shared" at workers=1 diverged from the serial batched '
+            "path (samples, bounds or per-tuple UDF charges)"
         )
     if overlap["identical_at_1"] is not True:
         identity_failures.append(
@@ -677,13 +787,15 @@ def run_smoke(
             # Guarded, not disarmed: the skip is recorded in the artifact
             # and printed, so a fleet of small runners cannot silently
             # retire the metric.
-            report["gate_parallel"] = {
-                "skipped": (f"parallel-scaling gate needs >= "
-                            f"{PARALLEL_GATE_MIN_CPUS} cores, runner has "
-                            f"{cpu_count}")
-            }
-            print(f"(parallel-scaling perf gate skipped: {cpu_count} core(s) < "
-                  f"{PARALLEL_GATE_MIN_CPUS})")
+            for key, name in (("gate_parallel", "parallel-scaling"),
+                              ("gate_shared_speedup", "shared-merge speedup")):
+                report[key] = {
+                    "skipped": (f"{name} gate needs >= "
+                                f"{PARALLEL_GATE_MIN_CPUS} cores, runner has "
+                                f"{cpu_count}")
+                }
+                print(f"({name} perf gate skipped: {cpu_count} core(s) < "
+                      f"{PARALLEL_GATE_MIN_CPUS})")
         for key, verdict in verdicts:
             report[key] = verdict
             metric = verdict["metric"]
@@ -751,8 +863,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write the combined report to this file")
     parser.add_argument("--smoke", action="store_true",
                         help="run only the fast smoke benchmarks (batched pipeline + "
-                             "parallel scaling + async udf overlap + pipeline + "
-                             "udf transports + auto-planner + serving load + "
+                             "parallel scaling + shared learning + async udf overlap + "
+                             "pipeline + udf transports + auto-planner + serving load + "
                              "fault injection) and write a JSON artifact")
     parser.add_argument("--smoke-output", metavar="PATH", default="BENCH_smoke.json",
                         help="where --smoke writes its JSON artifact")

@@ -252,6 +252,18 @@ class OLGAPRO:
         #: candidate a direct UDF call.  Like the driver, the hook is
         #: installed per computation, so a pickled OLGAPRO never carries one.
         self.value_source = None
+        #: Injectable live-model synchroniser
+        #: (:class:`~repro.core.shared_model.EmulatorSync`), the seam behind
+        #: ``merge="shared"``.  When set, tuple boundaries become learning
+        #: exchanges with a :class:`~repro.core.shared_model
+        #: .SharedEmulatorStore`: rows this processor evaluated are
+        #: published, rows other learners committed are absorbed (never
+        #: re-charged — the learner that evaluated them already paid), and
+        #: a cold model seeds itself from the store instead of paying for
+        #: its own initial design.  Like the driver and the value source,
+        #: the hook is installed per computation, so a pickled OLGAPRO
+        #: never carries one.
+        self.model_sync = None
         self._rng = as_generator(random_state)
         self._tuples_processed = 0
         #: Factorization-grade GP operations (Cholesky / rank-1 / blocked
@@ -280,6 +292,21 @@ class OLGAPRO:
                 "speculative_k > 1 fixes the selection rule to top-k largest "
                 "variance and cannot be combined with a custom tuning_strategy"
             )
+
+    # -- pickling -------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle support: per-computation seams never cross process boundaries.
+
+        The driver, value source and model synchroniser are installed for
+        the duration of one computation and may hold thread pools, locks or
+        manager proxies; a pickled processor (the parallel layer's shard
+        payload) always starts with the seams empty.
+        """
+        state = dict(self.__dict__)
+        state["evaluation_driver"] = None
+        state["value_source"] = None
+        state["model_sync"] = None
+        return state
 
     # -- introspection --------------------------------------------------------------
     @property
@@ -350,6 +377,8 @@ class OLGAPRO:
         self, input_distribution: Distribution, random_state: RandomState = None
     ) -> OnlineTupleResult:
         """Compute the output distribution for one uncertain input tuple."""
+        if self.model_sync is not None:
+            self.model_sync.sync()
         started = time.perf_counter()
         rng = as_generator(random_state) if random_state is not None else self._rng
         calls_before = self.udf.call_count
@@ -381,6 +410,8 @@ class OLGAPRO:
 
         elapsed = time.perf_counter() - started
         self._tuples_processed += 1
+        if self.model_sync is not None:
+            self.model_sync.sync()
         return self._tuple_result(
             envelope,
             gp_bound,
@@ -463,6 +494,13 @@ class OLGAPRO:
 
         results: list[OnlineTupleResult] = []
         for i, samples in enumerate(sample_sets):
+            # Tuple-boundary learning exchange (merge="shared"): publish the
+            # rows the previous tuple's refinement paid for and absorb what
+            # other learners committed meanwhile.  Placed before the tuple's
+            # clock starts — sync cost is accounted under its own
+            # model_refresh / model_append phases, not the tuple's elapsed.
+            if self.model_sync is not None:
+                self.model_sync.sync()
             started = time.perf_counter()
             calls_before = self.udf.call_count
             charged_before = self.udf.charged_time
@@ -542,6 +580,10 @@ class OLGAPRO:
                     quarantined=quarantined,
                 )
             )
+        if self.model_sync is not None:
+            # Publish the final tuple's rows so other learners (and the
+            # parent's post-run refresh) see the whole shard's learning.
+            self.model_sync.sync()
         return results
 
     def begin_chunk(
@@ -733,6 +775,13 @@ class OLGAPRO:
         """
         if self.emulator.n_training > 0:
             return
+        if self.model_sync is not None and self.model_sync.seed_or_wait(
+            self.initial_training_points
+        ):
+            # Warm-started from the shared store: another learner already
+            # paid for (and published) an initial design, so this model
+            # seeds itself for zero UDF calls.
+            return
         if self.udf.domain is not None:
             domain = self.udf.domain
         else:
@@ -746,6 +795,12 @@ class OLGAPRO:
             evaluation_executor=evaluation_executor,
             max_inflight=max_inflight,
         )
+        if self.model_sync is not None:
+            # This learner won (or defaulted to) paying for the initial
+            # design — publish it, hyperparameters first so seeders skip
+            # their own maximum-likelihood refit.
+            self.model_sync.publish_hyperparameters()
+            self.model_sync.sync()
 
     def _infer(self, samples: np.ndarray, box: BoundingBox):
         if self.use_local_inference and self.emulator.n_training > 3:

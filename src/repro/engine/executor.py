@@ -123,6 +123,25 @@ class UDFExecutionEngine:
                     f"speculative_k={configured} passed directly to the engine"
                 )
         self._processors: dict[str, OLGAPRO | HybridExecutor] = {}
+        #: Optional shared-model seam: a callable ``udf -> store-or-None``
+        #: consulted whenever a GP-capable processor is handed out.  The
+        #: serving layer installs it under ``share_models`` so every
+        #: processor it creates is bound to the region's live
+        #: :class:`~repro.core.shared_model.SharedEmulatorStore`; ``None``
+        #: (the default) means processors learn privately.
+        self._shared_store_resolver = None
+
+    def __getstate__(self):
+        """Engine state without the shared-store resolver seam.
+
+        The resolver is an externally-installed closure over live store
+        objects; neither pickles.  Pool workers that should keep learning
+        against a shared model receive a store *proxy* explicitly and
+        rebind their own sync (see ``repro.engine.parallel._run_shard``).
+        """
+        state = dict(self.__dict__)
+        state["_shared_store_resolver"] = None
+        return state
 
     def reseed(self, random_state: RandomState) -> None:
         """Point the engine *and every existing processor* at a new stream.
@@ -156,7 +175,34 @@ class UDFExecutionEngine:
                     random_state=self._rng,
                     **self._processor_kwargs,
                 )
-        return self._processors[key]
+        processor = self._processors[key]
+        if self._shared_store_resolver is not None and self.strategy != "mc":
+            self._attach_shared_sync(udf, processor)
+        return processor
+
+    def _attach_shared_sync(self, udf: UDF, processor: OLGAPRO | HybridExecutor) -> None:
+        """Bind a live shared-model sync onto ``processor`` (idempotent).
+
+        Resolves the store through the installed ``_shared_store_resolver``
+        and installs an :class:`~repro.core.shared_model.EmulatorSync` on
+        the processor's ``model_sync`` seam, so its tuple boundaries become
+        learning exchanges with the shared store.  A processor that already
+        carries a sync keeps it.
+        """
+        target = processor._olgapro if isinstance(processor, HybridExecutor) else processor
+        if getattr(target, "model_sync", None) is not None:
+            return
+        assert self._shared_store_resolver is not None
+        store = self._shared_store_resolver(udf)
+        if store is None:
+            return
+        from repro.core.shared_model import EmulatorSync
+
+        target.model_sync = EmulatorSync(
+            store,
+            target.emulator,
+            max_training_points=int(target.max_training_points),
+        )
 
     # -- plan-driven evaluation ---------------------------------------------------------
     def compute_with_plan(

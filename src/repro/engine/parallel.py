@@ -39,6 +39,26 @@ Merge policies
     ``"union"``, plus a full hyperparameter retrain when at least
     ``refit_threshold`` merged points arrived — the cross-shard analogue of
     the §5.3 retraining policy.
+``"shared"``
+    The **live shared model**: instead of every worker relearning the
+    emulator from scratch and reconciling only after the run, a
+    :class:`~repro.core.shared_model.SharedEmulatorStore` is served from a
+    model-server endpoint on the parent
+    (:func:`~repro.core.shared_model.serve_shared_store`), seeded with the
+    parent's current training matrix.  Each worker binds an
+    :class:`~repro.core.shared_model.EmulatorSync` to its private emulator:
+    a cold worker seeds itself from the store (the *first* worker pays for
+    the one initial design, the rest absorb it for zero UDF calls), and
+    every tuple boundary publishes the rows the worker just paid for while
+    absorbing what other shards learned meanwhile.  After the run the
+    parent absorbs the store in commit order — so the parent ends warm,
+    like ``"union"``, but total UDF calls stay close to the serial run
+    instead of scaling with the worker count.  At ``workers=1`` no store
+    exists and the policy is the serial fast path keeping its points
+    (bit-identical to the serial batched run); at ``workers >= 2`` shard
+    outputs depend on cross-shard absorption timing and are *not*
+    worker-count-invariant (use ``"discard"`` when that invariance matters
+    more than the UDF-call budget).
 
 Determinism contract
 --------------------
@@ -85,9 +105,9 @@ from repro.timing import PhaseTimings
 from repro.udf.base import UDF
 from repro.udf.retry import RetryPolicy
 
-MergePolicy = Literal["discard", "union", "refit-threshold"]
+MergePolicy = Literal["discard", "union", "refit-threshold", "shared"]
 
-MERGE_POLICIES: tuple[str, ...] = ("discard", "union", "refit-threshold")
+MERGE_POLICIES: tuple[str, ...] = ("discard", "union", "refit-threshold", "shared")
 
 #: Default number of merged training points that triggers a hyperparameter
 #: retrain under the ``"refit-threshold"`` policy.
@@ -181,6 +201,7 @@ def _run_shard(
     pipeline_lookahead: Optional[int] = None,
     transport=None,
     storage: str = "tuple",
+    shared_store=None,
 ) -> ShardResult:
     """Pool-worker entry point: one shard through the batched pipeline.
 
@@ -192,6 +213,13 @@ def _run_shard(
     loop's black-box calls on a thread pool.  Runs in a separate process —
     everything touched here is a copy, and everything returned is picked up
     by the parent's merge step.
+
+    ``shared_store`` (a :class:`~repro.core.shared_model.SharedEmulatorStore`
+    proxy, ``merge="shared"`` only) binds the shard's emulator to the live
+    shared model: an :class:`~repro.core.shared_model.EmulatorSync` is
+    installed on the UDF's processor so the shard seeds from — and
+    publishes to — the store at tuple boundaries instead of relearning
+    everything other shards already paid for.
     """
     engine, udf = pickle.loads(payload)
     engine.reseed(spawn_keyed(base_seed, shard_index))
@@ -205,10 +233,29 @@ def _run_shard(
     executor = _shard_executor(
         engine, batch_size, async_inflight, pipeline_lookahead, transport, storage
     )
+    sync = None
+    if shared_store is not None and engine.strategy != "mc":
+        from repro.core.shared_model import EmulatorSync
+
+        processor = engine._processor_for(udf)
+        target = processor._olgapro if isinstance(processor, HybridExecutor) else processor
+        if hasattr(target, "model_sync"):
+            sync = EmulatorSync(
+                shared_store,
+                target.emulator,
+                max_training_points=int(target.max_training_points),
+                timings=executor.timings,
+            )
+            target.model_sync = sync
     if predicate is None:
         outputs = executor.compute_batch(udf, list(distributions))
     else:
         outputs = executor.compute_batch_with_predicate(udf, list(distributions), predicate)
+    if sync is not None:
+        # Final exchange: whatever the last chunk learned reaches the store
+        # before the worker reports back (covers sub-executors that drive
+        # refinement outside process_batch's tuple loop too).
+        sync.sync()
 
     new_X = new_y = None
     emulator = _emulator_of(engine, udf)  # may have been created during the run
@@ -488,34 +535,54 @@ class ParallelExecutor:
                 f"(snapshot for worker processes): {exc}"
             ) from exc
 
-        shards = list(iter_batches(distributions, self.shard_size))
-        results_by_shard: dict[int, ShardResult] = {}
-        shard_attempts = 1 if self.retry is None else int(self.retry.shard_attempts)
-        pending = list(range(len(shards)))
-        attempt = 0
-        while pending:
-            attempt += 1
-            crashed = self._run_round(
-                pending, shards, payload, base_seed, predicate, results_by_shard
-            )
-            if crashed and attempt >= shard_attempts:
-                raise self._shard_failure(
-                    crashed[0],
-                    len(distributions),
-                    base_seed,
-                    f"worker process died and the shard still failed after "
-                    f"{attempt} attempt(s) (pool crash; raise "
-                    f"retry.shard_attempts to re-execute the shard more times)",
-                )
-            pending = crashed
+        shared_manager = None
+        shared_store = None
+        if self.merge == "shared" and self.engine.strategy != "mc":
+            from repro.core.shared_model import serve_shared_store
 
-        outputs: list[ComputedOutput] = []
-        results = [results_by_shard[i] for i in range(len(shards))]  # shard order
-        for result in results:
-            outputs.extend(result.outputs)
-            self.timings.merge(result.timings)
-            udf.absorb_charges(result.udf_calls, result.udf_real_time)
-        self._merge_training_points(udf, results)
+            shared_manager, shared_store = serve_shared_store()
+            emulator = _emulator_of(self.engine, udf)
+            if emulator is not None and emulator.n_training:
+                # A warm parent seeds the store, so every shard starts from
+                # the full shared matrix and nobody re-pays an initial design.
+                shared_store.append(emulator.gp.X_train, emulator.gp.y_train)
+                shared_store.claim_initialization()
+                if emulator._trained_hyperparameters:
+                    shared_store.publish_hyperparameters(emulator.gp.kernel.theta)
+
+        try:
+            shards = list(iter_batches(distributions, self.shard_size))
+            results_by_shard: dict[int, ShardResult] = {}
+            shard_attempts = 1 if self.retry is None else int(self.retry.shard_attempts)
+            pending = list(range(len(shards)))
+            attempt = 0
+            while pending:
+                attempt += 1
+                crashed = self._run_round(
+                    pending, shards, payload, base_seed, predicate, results_by_shard,
+                    shared_store,
+                )
+                if crashed and attempt >= shard_attempts:
+                    raise self._shard_failure(
+                        crashed[0],
+                        len(distributions),
+                        base_seed,
+                        f"worker process died and the shard still failed after "
+                        f"{attempt} attempt(s) (pool crash; raise "
+                        f"retry.shard_attempts to re-execute the shard more times)",
+                    )
+                pending = crashed
+
+            outputs: list[ComputedOutput] = []
+            results = [results_by_shard[i] for i in range(len(shards))]  # shard order
+            for result in results:
+                outputs.extend(result.outputs)
+                self.timings.merge(result.timings)
+                udf.absorb_charges(result.udf_calls, result.udf_real_time)
+            self._merge_training_points(udf, results, shared_store)
+        finally:
+            if shared_manager is not None:
+                shared_manager.shutdown()
         return outputs
 
     def _run_round(
@@ -526,6 +593,7 @@ class ParallelExecutor:
         base_seed: int,
         predicate,
         results_by_shard: dict[int, "ShardResult"],
+        shared_store=None,
     ) -> list[int]:
         """One pool round over ``pending`` shard indices.
 
@@ -548,7 +616,7 @@ class ParallelExecutor:
                     i: pool.submit(
                         _run_shard, payload, i, shards[i], self.batch_size, base_seed,
                         predicate, self.async_inflight, self.pipeline_lookahead,
-                        self.transport, self.storage,
+                        self.transport, self.storage, shared_store,
                     )
                     for i in pending
                 }
@@ -600,7 +668,9 @@ class ParallelExecutor:
         )
 
     # -- merge step ---------------------------------------------------------------
-    def _merge_training_points(self, udf: UDF, results: list[ShardResult]) -> None:
+    def _merge_training_points(
+        self, udf: UDF, results: list[ShardResult], shared_store=None
+    ) -> None:
         """Fold worker-added training points into the parent model.
 
         Exact-duplicate rows are dropped, and the absorption respects the
@@ -609,10 +679,19 @@ class ParallelExecutor:
         model past the size OLGAPRO's refinement loop is allowed to use,
         permanently short-circuiting refinement for later tuples.  Points
         that did not fit are counted in :attr:`last_dropped_points`.
+
+        Under ``merge="shared"`` the store — not the shard results — is the
+        source of truth: the parent absorbs its rows in commit order (the
+        tuple-ordered sequence every worker's fenced appends produced), so
+        the parent's final matrix is independent of which shard reported
+        back first.
         """
         self.last_merged_points = 0
         self.last_dropped_points = 0
         if self.merge == "discard":
+            return
+        if self.merge == "shared":
+            self._refresh_parent_from_store(udf, shared_store)
             return
         stacked_X: list[np.ndarray] = []
         stacked_y: list[np.ndarray] = []
@@ -652,6 +731,41 @@ class ParallelExecutor:
         self.last_merged_points = len(keep)
         if self.merge == "refit-threshold" and self.last_merged_points >= self.refit_threshold:
             emulator.retrain()
+
+    def _refresh_parent_from_store(self, udf: UDF, shared_store) -> None:
+        """``merge="shared"`` epilogue: absorb the store into the parent model.
+
+        Every row in the store was paid for by exactly one worker (and
+        charged back to the parent UDF through the shard results), so the
+        absorption spends zero UDF calls.  Wall-clock lands under the
+        ``model_refresh`` phase; merged/dropped counts land in
+        :attr:`last_merged_points` / :attr:`last_dropped_points`.
+        """
+        self.timings.ensure("model_refresh", "model_append")
+        if shared_store is None or self.engine.strategy == "mc":
+            return
+        from repro.core.shared_model import EmulatorSync
+
+        emulator = _emulator_of(self.engine, udf)
+        if emulator is None:
+            # Cold parent: create the processor so the shared rows warm it.
+            self.engine._processor_for(udf)
+            emulator = _emulator_of(self.engine, udf)
+        if emulator is None:
+            return
+        sync = EmulatorSync(
+            shared_store,
+            emulator,
+            max_training_points=self._max_training_points(udf),
+            timings=self.timings,
+        )
+        self.last_merged_points = sync.refresh()
+        self.last_dropped_points = sync.dropped_rows
+        if emulator.n_training and not emulator._trained_hyperparameters:
+            theta = shared_store.hyperparameters()
+            if theta is not None:
+                emulator.gp.set_hyperparameters(theta)
+                emulator._trained_hyperparameters = True
 
     def _max_training_points(self, udf: UDF) -> int:
         """The OLGAPRO model-size cap behind ``udf``'s processor."""

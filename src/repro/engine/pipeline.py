@@ -336,6 +336,17 @@ class PipelinedExecutor:
         :class:`~repro.engine.transport.EvaluationTransport` instance).
         The speculative *stages* always run on a private thread pool —
         they are GP work, not black-box calls — whatever the transport.
+    shared_refresh:
+        Live-model walk refresh (the ``merge="shared"`` pipeline leg).
+        When on, a prefetch walk that notices the live emulator has moved
+        past its fence rebuilds its private view from a fresh snapshot,
+        re-absorbs its own paid-for observations, and re-ranks — so walks
+        stop mispredicting while the model is chaotic (a cold stream).
+        Committed results are unaffected (walks only feed the deduplicated
+        prefetch pool), but the *set of speculative prefetches* becomes
+        timing-dependent, so the total call count at ``lookahead > 1`` may
+        vary run to run; :attr:`last_walk_refreshes` reports how often the
+        mechanism engaged.
 
     Raises
     ------
@@ -354,6 +365,7 @@ class PipelinedExecutor:
         batch_size: int = DEFAULT_BATCH_SIZE,
         transport: Optional[TransportSpec] = None,
         storage: str = "tuple",
+        shared_refresh: bool = False,
     ):
         """Validate the configuration and bind the engine (pools are created
         per computation so the executor stays picklable and reusable)."""
@@ -382,6 +394,10 @@ class PipelinedExecutor:
         #: forwarded to begin_chunk and every delegated executor.
         self.storage = storage
         self.columnar = storage == "columnar"
+        #: Refresh prefetch walks to the live model when it outruns their
+        #: fence (the ``merge="shared"`` pipeline leg; see the class
+        #: docstring for the determinism trade).
+        self.shared_refresh = bool(shared_refresh)
         #: Per-phase wall-clock; ``"speculation"`` accumulates pool-thread
         #: work on top of the batched pipeline's phases.
         self.timings = PhaseTimings()
@@ -389,6 +405,10 @@ class PipelinedExecutor:
         self.last_speculative_calls = 0
         #: Prefetched evaluations the last compute call never consumed.
         self.last_wasted_calls = 0
+        #: Walk fence refreshes performed by the last compute call
+        #: (``shared_refresh`` only; 0 when the mechanism is off or the
+        #: model never outran a walk).
+        self.last_walk_refreshes = 0
 
     # -- public API ---------------------------------------------------------------
     def compute_batch(
@@ -444,6 +464,7 @@ class PipelinedExecutor:
     ) -> list[ComputedOutput]:
         self.last_speculative_calls = 0
         self.last_wasted_calls = 0
+        self.last_walk_refreshes = 0
         try:
             if not distributions:
                 return []
@@ -617,7 +638,7 @@ class PipelinedExecutor:
             future = stage_pool.submit(
                 self._speculate, olgapro, view, cache, cache_lock,
                 sample_sets[j], boxes[j], j, pool, window, stage_pool, walks,
-                walk_cap, full_inference,
+                walk_cap, full_inference, fence.gp_state.version,
             )
             pending[j] = _PendingTuple(index=j, fence=fence, future=future)
 
@@ -723,7 +744,7 @@ class PipelinedExecutor:
                     pass
             for walk in walks:
                 try:
-                    walk.result()
+                    self.last_walk_refreshes += int(walk.result() or 0)
                 except BaseException:
                     pass
             pool.settle()
@@ -746,6 +767,7 @@ class PipelinedExecutor:
         walks: list[Future],
         walk_cap: int,
         full_inference: bool,
+        fence_version: int,
     ) -> _SpeculationResult:
         """Speculative retrieve/infer stage for tuple ``j`` (pool thread).
 
@@ -781,7 +803,7 @@ class PipelinedExecutor:
                     stage_pool.submit(
                         self._walk_refinement,
                         olgapro, view, samples, box, pool, window,
-                        inference.stds, walk_cap,
+                        inference.stds, walk_cap, fence_version,
                     )
                 )
             result.seconds = time.perf_counter() - started
@@ -799,7 +821,8 @@ class PipelinedExecutor:
         window: int,
         stds: np.ndarray,
         walk_cap: int,
-    ) -> None:
+        fence_version: int,
+    ) -> int:
         """Prefetch tuple ``j``'s expected refinement windows on the view.
 
         Window by window: prefetch the top-``window`` highest-variance
@@ -828,18 +851,81 @@ class PipelinedExecutor:
         The view is private to this stage, so nothing here touches the live
         emulator or the shared chunk cache; the only shared effect is the
         deduplicated prefetch pool.
+
+        Under :attr:`shared_refresh` the walk additionally watches the live
+        model between windows: when its version has moved past
+        ``fence_version`` (neighbouring commits — or, in a shard, the shared
+        store — taught the model something this walk cannot see), the walk
+        rebuilds its view from a fresh snapshot, re-absorbs its *own*
+        already-paid-for observations (deduplicated against what the live
+        model absorbed meanwhile), re-ranks — and re-checks the tuple's
+        error bound on the refreshed view: a bound already inside the
+        budget means the commit will converge without refinement, so the
+        walk stops instead of prefetching evaluations nobody will consume.
+        Returns the number of such refreshes (always 0 with
+        ``shared_refresh`` off).
         """
-        del box  # ranking only; the walk never computes a bound
+        emulator = olgapro.emulator
         m = samples.shape[0]
         points_used = 0
         first_window = True
+        refreshes = 0
+        #: Observations this walk absorbed into its view — paid for and
+        #: deterministic given the view, so safe to re-absorb after a
+        #: fence refresh.
+        own_rows: list[np.ndarray] = []
+        own_values: list[float] = []
         while True:
+            if (
+                self.shared_refresh
+                and not first_window
+                and emulator.gp.version != fence_version
+            ):
+                # The live model outran this walk's fence: re-fence.  The
+                # snapshot read races commit-thread mutations; the buffers
+                # themselves are never mutated in place, but a torn
+                # state-object read can still fail — in that case keep the
+                # old view and retry at the next window.
+                try:
+                    fence = emulator.snapshot()
+                    fresh = _gp_view(emulator.gp, fence)
+                    have = (
+                        {row.tobytes() for row in fresh.X_train}
+                        if fresh.n_training
+                        else set()
+                    )
+                    keep = [
+                        idx
+                        for idx, row in enumerate(own_rows)
+                        if row.tobytes() not in have
+                    ]
+                    room = max(0, olgapro.max_training_points - fresh.n_training)
+                    keep = keep[:room]
+                    if keep:
+                        fresh.add_points(
+                            np.asarray([own_rows[idx] for idx in keep]),
+                            np.asarray([own_values[idx] for idx in keep]),
+                        )
+                    view = fresh
+                    fence_version = fence.gp_state.version
+                    refreshes += 1
+                    inference = global_inference(view, samples)
+                    _, bound = olgapro.bound_with(view, inference, box, m)
+                    if bound <= olgapro.budget.epsilon_gp:
+                        # What the model learned since the fence already
+                        # answers this tuple: the commit will converge
+                        # without refinement, so every further prefetch
+                        # would be waste.
+                        return refreshes
+                    stds = inference.stds
+                except Exception:  # noqa: BLE001 - torn read; old view still valid
+                    pass
             capacity = min(
                 walk_cap - points_used,
                 olgapro.max_training_points - view.n_training,
             )
             if capacity <= 0:
-                return
+                return refreshes
             k = min(window, capacity, m)
             pad = min(k + max(2, k // 4) if first_window else 2 * k, m)
             prefetch = select_top_k_distinct(samples, stds, pad)
@@ -847,10 +933,12 @@ class PipelinedExecutor:
             order = prefetch[:k]
             k = len(order)
             if k == 0:
-                return
+                return refreshes
             futures = pool.prefetch(samples[prefetch])[:k]
             y = np.array([future.result() for future in futures])
             view.add_points(samples[order], y)
+            own_rows.extend(np.array(samples[idx], dtype=float) for idx in order)
+            own_values.extend(float(value) for value in y)
             points_used += k
             first_window = False
             _, stds = view.predict(samples, return_std=True)

@@ -124,8 +124,13 @@ class ExecutionPlan:
         Process-pool shard count.  ``None`` disables sharding.
     merge:
         Training-point merge policy for sharded execution
-        (``"discard" | "union" | "refit-threshold"``).  Only meaningful —
-        and only accepted — with ``workers`` set.
+        (``"discard" | "union" | "refit-threshold" | "shared"``).
+        ``"shared"`` selects the live shared model
+        (:mod:`repro.core.shared_model`): workers learn *through* a shared
+        store mid-stream instead of relearning per shard, and a pipelined
+        plan refreshes its prefetch walks against the live model.
+        Accepted with ``workers`` set, or — for ``"shared"`` only — with
+        ``pipeline_lookahead`` set; rejected otherwise.
     parallel_seed:
         Base seed of the per-shard random streams.  Inert without
         ``workers`` (historically accepted as a defensive default, so it
@@ -206,11 +211,21 @@ class ExecutionPlan:
         name = transport_name(self.transport)  # validates the spec
         sharded = self.workers is not None or self.oversubscribe != 1.0
         if self.merge != "union" and not sharded:
-            raise PlanError(
-                f"merge={self.merge!r} configures what worker-learned training "
-                "points do to the parent model, but the plan has no workers; "
-                "set workers (or drop merge) — " + PRECEDENCE
-            )
+            # merge="shared" is the one policy with a meaning beyond the
+            # sharded layer: a pipelined plan uses it to keep prefetch walks
+            # refreshed against the live model (see PipelinedExecutor's
+            # shared_refresh).  Every other policy still requires workers.
+            if not (self.merge == "shared" and self.pipeline_lookahead is not None):
+                hint = (
+                    "set workers or pipeline_lookahead (or drop merge)"
+                    if self.merge == "shared"
+                    else "set workers (or drop merge)"
+                )
+                raise PlanError(
+                    f"merge={self.merge!r} configures what worker-learned training "
+                    f"points do to the parent model, but the plan has no workers; "
+                    f"{hint} — " + PRECEDENCE
+                )
         if self.workers is not None and self.oversubscribe != 1.0:
             raise PlanError(
                 "workers and oversubscribe conflict: oversubscribe scales the "
@@ -421,6 +436,7 @@ class ExecutionPlan:
                 batch_size=batch_size,
                 transport=self.transport,
                 storage=self.storage,
+                shared_refresh=self.merge == "shared",
             )
         if self.async_inflight is not None:
             return AsyncRefinementExecutor(

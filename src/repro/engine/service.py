@@ -40,10 +40,16 @@ With a fresh engine per query (what :class:`~repro.engine.session.Session`
 constructs) the served result is bit-identical to running the same query
 on the same seed directly.
 
-The opt-in ``share_models=True`` cache loans trained per-UDF emulators
-(and resolved plans) across queries keyed by ``(udf name, region)``;
-warm-started emulators skip retraining but make results depend on service
-history, which is why sharing is off by default.
+The opt-in ``share_models=True`` routes every query's per-UDF emulators
+through the region's live
+:class:`~repro.core.shared_model.SharedEmulatorStore` (keyed by
+``(udf name, region)``): each query publishes its paid-for training rows
+as it evaluates and cold processors seed from the store, so *concurrent*
+same-region queries all warm-start — there is no loaned object to race
+for (the pre-store loan cache served one in-flight query per trained
+emulator; a concurrent loser retrained cold).  Warm-started emulators
+skip retraining but make results depend on service history, which is why
+sharing is off by default.
 """
 
 from __future__ import annotations
@@ -58,6 +64,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.core.shared_model import SharedEmulatorStore
 from repro.engine.result import QueryResult, TupleVerdict, classify_row
 from repro.engine.tuples import Relation
 from repro.exceptions import (
@@ -73,6 +80,7 @@ if TYPE_CHECKING:  # avoid runtime cycles with the executor/query layers
     from repro.engine.executor import UDFExecutionEngine
     from repro.engine.plan import ExecutionPlan
     from repro.engine.query import Query
+    from repro.udf.base import UDF
 
 #: Default number of row-evaluation workers shared by all in-flight queries.
 DEFAULT_WORKER_BUDGET = 4
@@ -300,9 +308,11 @@ class QueryService:
         self._active: Dict[QueryHandle, "ConcurrentFuture[None]"] = {}
         self._closed = False
         self._counter = itertools.count()
-        #: Trained per-UDF emulators keyed by region then UDF name, loaned
-        #: to one query at a time (processors are not thread-safe).
-        self._model_cache: Dict[str, Dict[str, Any]] = {}
+        #: Live shared-model stores keyed by region then UDF name; every
+        #: admitted engine binds to them under ``share_models``, so any
+        #: number of concurrent same-region queries learn from — and
+        #: contribute to — one model (guarded by ``_lock``).
+        self._model_stores: Dict[str, Dict[str, SharedEmulatorStore]] = {}
         #: Validated plans deduped by field tuple (skipped for unhashable
         #: fields such as transport instances).
         self._plan_cache: Dict[Tuple[Any, ...], "ExecutionPlan"] = {}
@@ -350,8 +360,8 @@ class QueryService:
         ``engine`` should be *fresh and private to this query* — the
         service installs ``plan`` as the engine's default plan (the seam
         every UDF operator falls back to when the query builder carried
-        no explicit configuration) and, under ``share_models``, loans the
-        ``region``'s trained emulators into it.  ``timeout`` bounds the
+        no explicit configuration) and, under ``share_models``, binds the
+        engine to the ``region``'s live shared emulator stores.  ``timeout`` bounds the
         query's server-side wall-clock; expiry cancels it exactly like
         :meth:`QueryHandle.cancel` and stores a
         :class:`~repro.exceptions.QueryTimeoutError`.
@@ -384,9 +394,9 @@ class QueryService:
                 plan = self._cached_plan(plan)
             engine.plan = plan if plan is not None else engine.plan
             if self.share_models:
-                self._loan_models(engine, region)
+                self._bind_stores(engine, region)
             future = asyncio.run_coroutine_threadsafe(
-                self._run_query(handle, query, engine, timeout, region, udf_names),
+                self._run_query(handle, query, engine, timeout, udf_names),
                 self._loop,
             )
             handle._future = future
@@ -510,7 +520,6 @@ class QueryService:
         query: "Query",
         engine: "UDFExecutionEngine",
         timeout: Optional[float],
-        region: str,
         udf_names: Tuple[str, ...] = (),
     ) -> None:
         """Run one query end to end and record its outcome on the handle."""
@@ -535,12 +544,6 @@ class QueryService:
         else:
             self._bump("completed")
             self._breaker_record(udf_names, success=True)
-            if self.share_models:
-                # Only a cleanly finished query returns its (now trained)
-                # emulators; a cancelled/failed one may hold half-refined
-                # state, which the cache must never serve.
-                with self._lock:
-                    self._return_models(engine, region)
         finally:
             with self._lock:
                 self._active.pop(handle, None)
@@ -585,6 +588,7 @@ class QueryService:
                         verdict.version,
                     )
                 )
+        self._merge_model_timings(engine, timings)
         return QueryResult(
             relation,
             plan=operator._tree_plan(),
@@ -592,26 +596,58 @@ class QueryService:
             verdicts=verdicts,
         )
 
+    @staticmethod
+    def _merge_model_timings(engine: "UDFExecutionEngine", timings: PhaseTimings) -> None:
+        """Fold per-processor shared-model sync time into the result timings.
+
+        Every served result reports the ``model_refresh`` / ``model_append``
+        phases (zero when ``share_models`` is off or nothing synced), so
+        shared-model overhead is observable in every bench row.
+        """
+        from repro.core.hybrid import HybridExecutor
+
+        timings.ensure("model_refresh", "model_append")
+        for processor in engine._processors.values():
+            target = (
+                processor._olgapro
+                if isinstance(processor, HybridExecutor)
+                else processor
+            )
+            sync = getattr(target, "model_sync", None)
+            if sync is not None:
+                timings.merge(sync.timings)
+
     def _bump(self, stat: str) -> None:
         """Thread-safely increment one stats counter."""
         with self._lock:
             self.stats[stat] += 1
 
-    # -- cross-query emulator cache (share_models=True) ---------------------------
-    def _loan_models(self, engine: "UDFExecutionEngine", region: str) -> None:
-        """Move the region's cached emulators into the engine (caller locks).
+    # -- cross-query shared models (share_models=True) ----------------------------
+    def _store_for(self, region: str, udf_name: str) -> SharedEmulatorStore:
+        """The region's live store for ``udf_name`` (created on first use)."""
+        with self._lock:
+            pool = self._model_stores.setdefault(region, {})
+            store = pool.get(udf_name)
+            if store is None:
+                store = pool[udf_name] = SharedEmulatorStore()
+            return store
 
-        Loan semantics: entries are *popped* from the cache, not copied —
-        OLGAPRO processors are stateful and single-threaded, so at most
-        one in-flight query may hold a given trained emulator.
+    def _bind_stores(self, engine: "UDFExecutionEngine", region: str) -> None:
+        """Point the engine's shared-store seam at the region's registry.
+
+        Unlike the pre-store loan cache, nothing is moved or locked out:
+        every processor the engine creates binds an
+        :class:`~repro.core.shared_model.EmulatorSync` to the same store,
+        so any number of concurrent same-region queries publish to — and
+        seed from — one live model.  Called from :meth:`submit`; the
+        resolver itself runs later, on worker threads, and takes the
+        service lock only for the registry lookup.
         """
-        pool = self._model_cache.setdefault(region, {})
-        engine._processors.update(pool)
-        pool.clear()
 
-    def _return_models(self, engine: "UDFExecutionEngine", region: str) -> None:
-        """Bank the engine's trained emulators back into the region cache."""
-        self._model_cache.setdefault(region, {}).update(engine._processors)
+        def resolver(udf: "UDF") -> SharedEmulatorStore:
+            return self._store_for(region, udf.name)
+
+        engine._shared_store_resolver = resolver
 
     # -- cancellation / shutdown --------------------------------------------------
     def _cancel(self, handle: QueryHandle) -> bool:

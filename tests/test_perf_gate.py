@@ -25,7 +25,12 @@ baseline artifact.  Contracts under test:
 * the auto-planned-over-naive-default speedup is gated the same way and
   arms everywhere (the smoke auto-plan workload overlaps awaited service
   latency); its auto≡explicit identity half is likewise enforced through
-  ``identity_failures``.
+  ``identity_failures``;
+* the shared-learning UDF-calls ratio gates against the *fixed*
+  ``SHARED_CALLS_RATIO_LIMIT`` ceiling on every runner (a same-invocation
+  count quotient — no hardware drift), while the shared-merge wall-clock
+  speedup is CPU-gated like the parallel one; the ``workers=1``
+  bit-identity half lives in ``identity_failures``.
 """
 
 from __future__ import annotations
@@ -35,12 +40,15 @@ import pytest
 from repro.bench.run_all import (
     DEFAULT_MAX_REGRESSION,
     PARALLEL_GATE_MIN_CPUS,
+    SHARED_CALLS_RATIO_LIMIT,
     check_auto_plan_regression,
     check_columnar_regression,
     check_parallel_regression,
     check_regression,
     check_serving_latency_regression,
     check_serving_regression,
+    check_shared_learning_regression,
+    check_shared_speedup_regression,
     gated_verdicts,
     main,
 )
@@ -240,12 +248,71 @@ class TestCheckAutoPlanRegression:
         assert verdict.get("missing") is True
 
 
-class TestCoreCountGuard:
-    """The parallel gate only arms with enough real cores to scale on;
-    the batch, columnar, auto-plan and serving gates arm everywhere."""
+def _shared_report(ratio, speedup=1.5, batch_speedup=2.0):
+    report = _report(batch_speedup)
+    report["shared_learning"] = {
+        "udf_calls_ratio_workers4": ratio,
+        "speedup_at_4": speedup,
+        "identical_at_1": True,
+    }
+    return report
 
-    ALWAYS_ON = ["gate", "gate_columnar", "gate_auto_plan", "gate_serving",
-                 "gate_serving_p99"]
+
+class TestSharedLearningGate:
+    """The shared-merge calls ratio gates against a fixed ceiling with zero
+    slack — no committed baseline involved — and the wall-clock speedup is
+    gated against the baseline like the other hardware-bound ratios."""
+
+    def test_ratio_at_the_ceiling_passes(self):
+        verdict = check_shared_learning_regression(
+            _shared_report(SHARED_CALLS_RATIO_LIMIT), {}, DEFAULT_MAX_REGRESSION
+        )
+        assert verdict["regressed"] is False
+        assert verdict["udf_calls_ratio"] == SHARED_CALLS_RATIO_LIMIT
+
+    def test_ratio_above_the_ceiling_regresses_regardless_of_margin(self):
+        # max_regression is deliberately ignored: the ceiling is absolute.
+        verdict = check_shared_learning_regression(
+            _shared_report(1.3), {}, max_regression=0.9
+        )
+        assert verdict["regressed"] is True
+        assert verdict["overridden"] is False
+
+    def test_override_env_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_OVERRIDE", "1")
+        verdict = check_shared_learning_regression(_shared_report(2.0), {}, 0.25)
+        assert verdict["regressed"] is True
+        assert verdict["overridden"] is True
+
+    @pytest.mark.parametrize("report", [_report(2.0), _shared_report(None),
+                                        _shared_report(0.0)])
+    def test_missing_or_degenerate_ratio_is_flagged(self, report):
+        verdict = check_shared_learning_regression(report, {}, 0.25)
+        assert verdict.get("missing") is True
+        assert verdict["regressed"] is False
+
+    def test_speedup_gate_compares_against_the_baseline(self):
+        healthy = check_shared_speedup_regression(
+            _shared_report(1.0, speedup=1.5), _shared_report(1.0, speedup=1.5), 0.25
+        )
+        assert healthy["regressed"] is False
+        regressed = check_shared_speedup_regression(
+            _shared_report(1.0, speedup=0.8), _shared_report(1.0, speedup=1.5), 0.25
+        )
+        assert regressed["regressed"] is True
+        missing = check_shared_speedup_regression(
+            _report(2.0), _shared_report(1.0), 0.25
+        )
+        assert missing.get("missing") is True
+
+
+class TestCoreCountGuard:
+    """The parallel and shared-speedup gates only arm with enough real
+    cores to scale on; the batch, columnar, shared-calls-ratio, auto-plan
+    and serving gates arm everywhere."""
+
+    ALWAYS_ON = ["gate", "gate_columnar", "gate_shared_learning",
+                 "gate_auto_plan", "gate_serving", "gate_serving_p99"]
 
     def test_single_core_runner_skips_parallel_gate(self):
         verdicts = gated_verdicts(
@@ -266,8 +333,9 @@ class TestCoreCountGuard:
             cpu_count=PARALLEL_GATE_MIN_CPUS,
         )
         assert [key for key, _ in verdicts] == [
-            "gate", "gate_columnar", "gate_parallel", "gate_auto_plan",
-            "gate_serving", "gate_serving_p99",
+            "gate", "gate_columnar", "gate_shared_learning", "gate_parallel",
+            "gate_shared_speedup", "gate_auto_plan", "gate_serving",
+            "gate_serving_p99",
         ]
         by_key = dict(verdicts)
         assert by_key["gate"]["regressed"] is False

@@ -419,3 +419,38 @@ def test_refit_threshold_serial_pipeline_does_not_double_count_refit_points():
     executor.compute_batch(udf, dists)
     emulator = _emulator_of(engine, udf)
     assert emulator.n_training == executor.last_merged_points
+
+
+# ---------------------------------------------------------------------------
+# shared_refresh: prefetch-walk fidelity on a cold stream
+# ---------------------------------------------------------------------------
+
+def test_shared_refresh_cuts_walk_mispredictions_on_a_cold_stream():
+    """``merge="shared"``'s pipeline leg: refreshed walks mispredict less.
+
+    On a cold stream every commit moves the model, so a walk fenced at
+    submission time prefetches candidates a no-longer-existing model would
+    have refined.  With ``shared_refresh`` the walk re-fences to the live
+    model between windows — re-ranking its candidates and stopping outright
+    once the refreshed bound fits the budget — so the speculative pool's
+    wasted (prefetched-but-never-consumed) evaluations must drop.  The
+    committed results are bit-identical either way: walks only feed the
+    deduplicated prefetch pool.
+    """
+    def run(shared_refresh):
+        udf, engine, dists = _fixture(function_name="F4", real_eval_time=2e-3)
+        executor = PipelinedExecutor(
+            engine, lookahead=4, inflight=4, batch_size=8,
+            shared_refresh=shared_refresh,
+        )
+        outputs = executor.compute_batch(udf, dists)
+        return outputs, executor
+
+    outputs_off, executor_off = run(False)
+    outputs_on, executor_on = run(True)
+    _assert_identical_outputs(outputs_off, outputs_on)
+    # The mechanism engaged: the cold stream outran fences repeatedly.
+    assert executor_off.last_walk_refreshes == 0
+    assert executor_on.last_walk_refreshes > 0
+    # ... and fewer prefetches were mispredicted.
+    assert executor_on.last_wasted_calls < executor_off.last_wasted_calls

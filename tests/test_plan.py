@@ -114,6 +114,32 @@ def test_plan_error_is_a_query_error():
         ExecutionPlan(batch_size=0)
 
 
+def test_shared_merge_needs_workers_or_a_pipeline():
+    # merge="shared" is the one policy meaningful beyond the sharded layer:
+    # with workers it shares the model across shards, with a pipeline it
+    # keeps prefetch walks refreshed against the live model.  Alone it
+    # would be silently inert, so the plan rejects it.
+    assert ExecutionPlan(workers=2, merge="shared").merge == "shared"
+    assert ExecutionPlan(pipeline_lookahead=4, merge="shared").merge == "shared"
+    with pytest.raises(PlanError, match="precedence"):
+        ExecutionPlan(merge="shared")
+    # Every other non-default policy still requires workers, pipeline or not.
+    with pytest.raises(PlanError, match="precedence"):
+        ExecutionPlan(pipeline_lookahead=4, merge="discard")
+
+
+def test_shared_merge_resolution_arms_the_walk_refresh():
+    _, engine, _ = _fixture(n_tuples=1)
+    piped = ExecutionPlan(pipeline_lookahead=4, merge="shared").resolve(engine)
+    assert isinstance(piped, PipelinedExecutor)
+    assert piped.shared_refresh is True
+    default = ExecutionPlan(pipeline_lookahead=4).resolve(engine)
+    assert default.shared_refresh is False
+    sharded = ExecutionPlan(workers=2, merge="shared").resolve(engine)
+    assert isinstance(sharded, ParallelExecutor)
+    assert sharded.merge == "shared"
+
+
 def test_transport_instance_with_workers_is_rejected():
     with pytest.raises(PlanError, match="process-local"):
         ExecutionPlan(workers=2, async_inflight=2, transport=ThreadPoolTransport())

@@ -14,8 +14,14 @@ Contracts under test (see :mod:`repro.engine.service`):
   :class:`~repro.exceptions.QueryTimeoutError`;
 * the anytime event stream yields in-order ``(tuple_id, verdict, bound,
   version)`` events matching the final result's verdicts;
-* the opt-in ``share_models`` cache warm-starts later queries (fewer UDF
-  calls), isolated per region.
+* the opt-in ``share_models`` mode warm-starts later queries (fewer UDF
+  calls), isolated per region — and routes concurrent same-``(udf,
+  region)`` queries through one live
+  :class:`~repro.core.shared_model.SharedEmulatorStore`, so neither
+  learner retrains blind to the other (the pre-store loan cache let the
+  race's loser train fully cold);
+* served results surface the shared-model cost under the
+  ``model_refresh`` / ``model_append`` timing phases.
 """
 
 from __future__ import annotations
@@ -334,6 +340,84 @@ def test_share_models_warm_starts_within_a_region():
         other_region = calls["n"] - cold - warm
     assert warm < cold  # trained emulator was reused
     assert other_region == cold  # regions are isolated
+
+
+def _counted_udf(per_call: float = 0.003):
+    """A ``counted`` UDF with a thread-safe call counter and a real cost.
+
+    The sleep releases the GIL so two served queries genuinely overlap;
+    each test builds its own instance because the counter is mutable
+    state on the UDF object.
+    """
+    calls = {"n": 0}
+    lock = threading.Lock()
+
+    def f(X: np.ndarray) -> np.ndarray:
+        with lock:
+            calls["n"] += 1
+        time.sleep(per_call)
+        return np.sin(3.0 * np.atleast_2d(X)[:, 0])
+
+    return UDF(f, dimension=1, name="counted", vectorized=True), calls
+
+
+def test_concurrent_same_region_queries_share_one_live_store():
+    """Two in-flight queries on one ``(udf, region)`` both warm-start.
+
+    Regression guard for the loaned-emulator race: the pre-store
+    ``share_models`` cache checked one model out to the first query, so a
+    concurrent second query found the slot empty and retrained fully
+    cold.  The store has no checkout — both engines must bind to the
+    *same* live store and each must absorb training rows the other paid
+    for, mid-stream.
+    """
+    udf_a, calls_a = _counted_udf()
+    udf_b, calls_b = _counted_udf()
+    engine_a, engine_b = _engine(), _engine()
+    with QueryService(share_models=True, worker_budget=4) as service:
+        handle_a = service.submit(_query(udf_a), engine_a, region="r1")
+        handle_b = service.submit(_query(udf_b), engine_b, region="r1")
+        handle_a.result(timeout=60)
+        handle_b.result(timeout=60)
+        store = service._model_stores["r1"]["counted"]
+    sync_a = engine_a._processor_for(udf_a).model_sync
+    sync_b = engine_b._processor_for(udf_b).model_sync
+    # One store, not a loan: both engines bound to the same object.
+    assert sync_a.store is store
+    assert sync_b.store is store
+    # Both warm-started: each absorbed rows the *other* query evaluated
+    # (absorption never calls the UDF, so these rows came for free) ...
+    assert sync_a.absorbed_rows > 0
+    assert sync_b.absorbed_rows > 0
+    # ... and each published its own work for the other to reuse.
+    assert sync_a.published_rows > 0
+    assert sync_b.published_rows > 0
+    assert calls_a["n"] > 0 and calls_b["n"] > 0
+
+
+def test_served_result_surfaces_model_phase_timings():
+    """``QueryResult.timings`` always carries the model-exchange phases.
+
+    With ``share_models`` on, the store round-trips are charged to
+    ``model_refresh`` (fetch + absorb) and ``model_append`` (gather +
+    publish); with it off the phases still exist — pinned at zero — so
+    bench rows render stable ``model_refresh_ms`` / ``model_append_ms``
+    columns either way.
+    """
+    udf, _ = _counted_udf(per_call=0.0)
+    with QueryService(share_models=True) as service:
+        result = service.submit(_query(udf), _engine(), region="r1").result(
+            timeout=60
+        )
+    assert "model_refresh" in result.timings.seconds
+    assert "model_append" in result.timings.seconds
+    assert result.timings.get("model_refresh") > 0.0
+
+    udf2, _ = _counted_udf(per_call=0.0)
+    with QueryService(share_models=False) as service:
+        result = service.submit(_query(udf2), _engine()).result(timeout=60)
+    assert result.timings.get("model_refresh") == 0.0
+    assert result.timings.get("model_append") == 0.0
 
 
 def test_plan_cache_dedupes_equal_plans():

@@ -1,0 +1,245 @@
+"""Live shared emulator model: store protocol, sync exchanges, endpoint.
+
+Contracts under test (see :mod:`repro.core.shared_model`):
+
+* the store's version is the committed row count, appends dedupe on the
+  input point's bytes, and ``fetch_since``/``exchange`` return rows in
+  commit order without ever echoing a caller's own publication back;
+* ``claim_initialization`` hands the initial-design bill to exactly one
+  learner, and ``await_version`` bounds the others' wait;
+* :class:`~repro.core.shared_model.EmulatorSync` publishes exactly the
+  rows its emulator evaluated locally, absorbs remote rows without
+  re-charging the UDF, honours the training cap, and records its cost
+  under the ``model_append`` / ``model_refresh`` phases;
+* the manager endpoint serves a real store through a picklable proxy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.emulator import GPEmulator
+from repro.core.shared_model import (
+    EmulatorSync,
+    SharedEmulatorStore,
+    serve_shared_store,
+)
+from repro.timing import PhaseTimings
+from repro.udf.base import UDF
+
+
+def _rows(n, d=2, offset=0.0):
+    """n deterministic distinct d-dimensional points."""
+    base = np.arange(n * d, dtype=float).reshape(n, d)
+    return base + offset
+
+
+def _f(X):
+    X = np.atleast_2d(X)
+    return np.sin(X[:, 0]) + 0.5 * X[:, 1]
+
+
+def _emulator(seed=7):
+    del seed  # the emulator itself is deterministic; kept for call-site intent
+    udf = UDF(_f, dimension=2, name="shared-test", vectorized=True)
+    return GPEmulator(udf)
+
+
+# ---------------------------------------------------------------------------
+# SharedEmulatorStore
+# ---------------------------------------------------------------------------
+
+def test_store_version_counts_committed_rows_and_dedupes():
+    store = SharedEmulatorStore()
+    assert store.current_version() == 0
+    X = _rows(3)
+    version = store.append(X, _f(X))
+    assert version == store.current_version() == 3
+    # Re-appending the same rows commits nothing new.
+    assert store.append(X, _f(X)) == 3
+    # A mixed batch commits only the genuinely new row.
+    mixed = np.vstack([X[1], _rows(1, offset=100.0)])
+    assert store.append(mixed, _f(mixed)) == 4
+
+
+def test_fetch_since_slices_in_commit_order():
+    store = SharedEmulatorStore()
+    first = _rows(2)
+    second = _rows(2, offset=50.0)
+    store.append(first, _f(first))
+    fence = store.current_version()
+    store.append(second, _f(second))
+    version, X, y = store.fetch_since(fence)
+    assert version == 4
+    assert np.array_equal(X, second)
+    assert np.array_equal(y, _f(second))
+    # Fetching at the head returns an empty, correctly-shaped delta.
+    version, X, y = store.fetch_since(version)
+    assert version == 4 and X.shape == (0, 2) and y.shape == (0,)
+
+
+def test_exchange_never_returns_the_callers_own_rows():
+    store = SharedEmulatorStore()
+    theirs = _rows(3)
+    store.append(theirs, _f(theirs))
+    mine = _rows(2, offset=200.0)
+    version, remote_X, remote_y = store.exchange(mine, _f(mine), seen_version=0)
+    assert version == 5
+    assert np.array_equal(remote_X, theirs)
+    assert np.array_equal(remote_y, _f(theirs))
+    # A second exchange from the same caller sees nothing new.
+    version, remote_X, _ = store.exchange(
+        np.empty((0, 2)), np.empty(0), seen_version=version
+    )
+    assert version == 5 and remote_X.shape[0] == 0
+
+
+def test_claim_initialization_is_single_winner():
+    store = SharedEmulatorStore()
+    assert store.claim_initialization() is True
+    assert store.claim_initialization() is False
+
+
+def test_await_version_returns_on_commit_or_timeout():
+    store = SharedEmulatorStore()
+    X = _rows(2)
+    store.append(X, _f(X))
+    assert store.await_version(2, timeout=0.0) == 2
+    # A timeout is a liveness signal, not an error.
+    assert store.await_version(10, timeout=0.05, poll=0.01) == 2
+
+
+def test_hyperparameter_publication_round_trips_a_copy():
+    store = SharedEmulatorStore()
+    assert store.hyperparameters() is None
+    theta = np.array([0.1, -0.5])
+    store.publish_hyperparameters(theta)
+    got = store.hyperparameters()
+    assert np.array_equal(got, theta)
+    got[0] = 99.0
+    assert np.array_equal(store.hyperparameters(), theta)
+
+
+# ---------------------------------------------------------------------------
+# EmulatorSync
+# ---------------------------------------------------------------------------
+
+def test_sync_publishes_local_rows_and_absorbs_remote_rows():
+    store = SharedEmulatorStore()
+    remote = _rows(4, offset=30.0)
+    store.append(remote, _f(remote))
+
+    emulator = _emulator()
+    local = _rows(3)
+    emulator.absorb_observations(local, _f(local))
+    sync = EmulatorSync(store, emulator)
+    published, absorbed = sync.sync()
+    assert (published, absorbed) == (3, 4)
+    assert store.current_version() == 7
+    assert emulator.n_training == 7
+    # The exchange is idempotent once both sides are caught up.
+    assert sync.sync() == (0, 0)
+    assert sync.published_rows == 3 and sync.absorbed_rows == 4
+
+
+def test_absorbed_rows_are_never_republished():
+    store = SharedEmulatorStore()
+    remote = _rows(2, offset=30.0)
+    store.append(remote, _f(remote))
+    emulator = _emulator()
+    sync = EmulatorSync(store, emulator)
+    sync.sync()  # absorbs the remote rows into the local model
+    assert emulator.n_training == 2
+    # The absorbed rows sit in the local model beyond the publish cursor's
+    # start, but must not ping-pong back into the store as "local" rows.
+    assert sync.sync() == (0, 0)
+    assert store.current_version() == 2
+
+
+def test_absorb_respects_the_training_cap_and_counts_drops():
+    store = SharedEmulatorStore()
+    remote = _rows(6, offset=30.0)
+    store.append(remote, _f(remote))
+    emulator = _emulator()
+    local = _rows(2)
+    emulator.absorb_observations(local, _f(local))
+    sync = EmulatorSync(store, emulator, max_training_points=5)
+    _, absorbed = sync.sync()
+    assert absorbed == 3
+    assert emulator.n_training == 5
+    assert sync.dropped_rows == 3
+
+
+def test_sync_records_model_phase_timings():
+    store = SharedEmulatorStore()
+    timings = PhaseTimings()
+    emulator = _emulator()
+    local = _rows(3)
+    emulator.absorb_observations(local, _f(local))
+    sync = EmulatorSync(store, emulator, timings=timings)
+    sync.sync()
+    # Both phases are materialised (bench rows render them as
+    # ``model_append_ms`` / ``model_refresh_ms``); the exchange itself is
+    # charged to the refresh phase.
+    assert timings.get("model_append") >= 0.0
+    assert "model_append" in timings.seconds
+    assert timings.get("model_refresh") > 0.0
+
+
+def test_seed_warm_starts_from_a_seeded_store_without_udf_calls():
+    store = SharedEmulatorStore()
+    X = _rows(10)
+    store.append(X, _f(X))
+    store.publish_hyperparameters(np.array([0.2, 0.3]))
+    emulator = _emulator()
+    sync = EmulatorSync(store, emulator)
+    assert sync.seed(min_rows=10) is True
+    assert emulator.n_training == 10
+    # Hyperparameters came from the store: no local ML refit needed.
+    assert emulator._trained_hyperparameters
+    assert np.allclose(emulator.gp.kernel.theta, [0.2, 0.3])
+
+
+def test_seed_or_wait_elects_exactly_one_initializer():
+    store = SharedEmulatorStore()
+    first = EmulatorSync(store, _emulator(seed=1))
+    second = EmulatorSync(store, _emulator(seed=2))
+    # Empty store: the first learner must pay for the design itself.
+    assert first.seed_or_wait(min_rows=5, timeout=0.05) is False
+    X = _rows(5)
+    first.emulator.absorb_observations(X, _f(X))
+    first.sync()
+    # The second learner seeds from the published design, zero UDF calls.
+    assert second.seed_or_wait(min_rows=5, timeout=0.05) is True
+    assert second.emulator.n_training == 5
+
+
+def test_seed_or_wait_times_out_to_self_sufficiency():
+    store = SharedEmulatorStore()
+    store.claim_initialization()  # a claimed initializer that never publishes
+    sync = EmulatorSync(store, _emulator())
+    assert sync.seed_or_wait(min_rows=5, timeout=0.05) is False
+
+
+# ---------------------------------------------------------------------------
+# The process endpoint
+# ---------------------------------------------------------------------------
+
+def test_manager_endpoint_serves_a_store_proxy():
+    manager, store = serve_shared_store()
+    try:
+        X = _rows(3)
+        assert store.append(X, _f(X)) == 3
+        version, remote_X, remote_y = store.fetch_since(0)
+        assert version == 3
+        assert np.array_equal(remote_X, X)
+        assert np.array_equal(remote_y, _f(X))
+        assert store.claim_initialization() is True
+        assert store.claim_initialization() is False
+        # A sync works identically through the proxy.
+        emulator = _emulator()
+        sync = EmulatorSync(store, emulator)
+        _, absorbed = sync.sync()
+        assert absorbed == 3
+    finally:
+        manager.shutdown()
